@@ -1,0 +1,469 @@
+//! The EMAN refinement workflow (§3.3).
+//!
+//! EMAN reconstructs 3-D models of single particles from electron
+//! micrographs; the compute-heavy *refinement* loop is the workflow GrADS
+//! scheduled at SC2003. The pipeline (paper Figure 2) is a linear graph in
+//! which two stages parallelize:
+//!
+//! ```text
+//! proc3d → project3d → [classesbymra × P] → [classalign2 × C] → make3d → eotest
+//! ```
+//!
+//! * `project3d` generates `n_classes` projections of the preliminary
+//!   model;
+//! * `classesbymra` — the dominant cost — matches every particle against
+//!   every projection; it splits over particle chunks;
+//! * `classalign2` aligns and averages each class; it splits over classes;
+//! * `make3d` reconstructs the refined 3-D model.
+//!
+//! Flop counts and data volumes are calibrated to the magnitudes reported
+//! for EMAN on 2003 hardware (minutes-to-hours per stage); the absolute
+//! values matter less than their ratios, which drive the scheduling
+//! decisions. `classesbymra`'s inner loop is classic dense correlation, so
+//! it also carries an MRD cache model from a blocked-sweep trace.
+
+use grads_perf::mrd::{traces, MrdHistogram};
+use grads_perf::{FittedModel, MrdModel, OpCountModel};
+use grads_sched::Workflow;
+use grads_sim::prelude::*;
+use grads_sim::topology::GridBuilder;
+use std::sync::Arc;
+
+/// EMAN refinement configuration.
+#[derive(Debug, Clone)]
+pub struct EmanConfig {
+    /// Particle images in the data set.
+    pub n_particles: usize,
+    /// Class averages (projection directions).
+    pub n_classes: usize,
+    /// Pixels per image edge.
+    pub image_size: usize,
+    /// Parallel pieces of `classesbymra`.
+    pub classify_par: usize,
+    /// Parallel pieces of `classalign2`.
+    pub align_par: usize,
+}
+
+impl Default for EmanConfig {
+    fn default() -> Self {
+        EmanConfig {
+            n_particles: 20_000,
+            n_classes: 60,
+            image_size: 128,
+            classify_par: 8,
+            align_par: 4,
+        }
+    }
+}
+
+impl EmanConfig {
+    /// Bytes of one particle image.
+    pub fn image_bytes(&self) -> f64 {
+        (self.image_size * self.image_size) as f64 * 4.0
+    }
+
+    /// Bytes of the 3-D model volume.
+    pub fn model_bytes(&self) -> f64 {
+        (self.image_size * self.image_size * self.image_size) as f64 * 4.0
+    }
+
+    /// Flops to classify one particle against one projection (alignment
+    /// search over rotations ≈ 50 image-sized FFT/correlation passes).
+    pub fn classify_flops_per_pair(&self) -> f64 {
+        let n2 = (self.image_size * self.image_size) as f64;
+        50.0 * 5.0 * n2 * (n2.log2())
+    }
+}
+
+fn flat_model(flops: f64, input_bytes: f64, output_bytes: f64) -> Arc<FittedModel> {
+    Arc::new(FittedModel {
+        problem_size: 1.0,
+        ops: OpCountModel {
+            coeffs: vec![flops],
+            degree: 0,
+            rms_rel_residual: 0.0,
+        },
+        mrd: None,
+        input_bytes,
+        output_bytes,
+        min_memory: 0,
+        allowed: None,
+    })
+}
+
+/// Build the refinement workflow for one iteration of the EMAN loop.
+/// Returns the workflow plus the component indices of each named stage.
+pub fn eman_workflow(cfg: &EmanConfig) -> (Workflow, EmanStages) {
+    let mut wf = Workflow::new();
+    let img = cfg.image_bytes();
+    let model = cfg.model_bytes();
+    let np = cfg.n_particles as f64;
+    let nc = cfg.n_classes as f64;
+
+    // proc3d: preprocess the preliminary model (cheap, serial).
+    let proc3d = wf.add_component("proc3d", flat_model(20.0 * model, model, model));
+
+    // project3d: generate nc projections of the model.
+    let project3d = wf.add_component(
+        "project3d",
+        flat_model(nc * 100.0 * img, model, nc * img),
+    );
+    wf.add_edge(proc3d, project3d, model);
+
+    // classesbymra: match every particle against every projection; split
+    // over particle chunks. Dominant cost. Carries an MRD cache model
+    // fitted from blocked correlation sweeps.
+    let mrd = {
+        let obs: Vec<(f64, MrdHistogram)> = [48u64, 64, 96, 128]
+            .iter()
+            .map(|&n| {
+                (
+                    n as f64,
+                    MrdHistogram::from_trace(&traces::blocked(n * n / 16, n / 4, 4, 2)),
+                )
+            })
+            .collect();
+        MrdModel::fit(&obs, 1, 2)
+    };
+    let mut classify = Vec::new();
+    for i in 0..cfg.classify_par {
+        let chunk = np / cfg.classify_par as f64;
+        let m = Arc::new(FittedModel {
+            problem_size: cfg.image_size as f64,
+            ops: OpCountModel {
+                coeffs: vec![chunk * nc * cfg.classify_flops_per_pair()],
+                degree: 0,
+                rms_rel_residual: 0.0,
+            },
+            mrd: mrd.clone(),
+            input_bytes: chunk * img + nc * img,
+            output_bytes: chunk * 16.0,
+            min_memory: (64 << 20) as u64,
+            allowed: None,
+        });
+        let c = wf.add_component(&format!("classesbymra{i}"), m);
+        // Needs all projections (and its particle chunk, modelled as part
+        // of the edge volume).
+        wf.add_edge(project3d, c, nc * img + chunk * img);
+        classify.push(c);
+    }
+
+    // classalign2: average each class; split over class groups.
+    let mut align = Vec::new();
+    for i in 0..cfg.align_par {
+        let classes = nc / cfg.align_par as f64;
+        let particles = np / cfg.align_par as f64;
+        let c = wf.add_component(
+            &format!("classalign2-{i}"),
+            flat_model(
+                particles * 200.0 * img,
+                particles * img,
+                classes * img,
+            ),
+        );
+        // Every classifier chunk contributes particles to every class
+        // group.
+        for &cl in &classify {
+            wf.add_edge(cl, c, (np / cfg.classify_par as f64) * 16.0 + particles * img
+                / cfg.classify_par as f64);
+        }
+        align.push(c);
+    }
+
+    // make3d: reconstruct the refined model from the class averages.
+    let make3d = wf.add_component(
+        "make3d",
+        flat_model(nc * 500.0 * img, nc * img, model),
+    );
+    for &a in &align {
+        wf.add_edge(a, make3d, (nc / cfg.align_par as f64) * img);
+    }
+
+    // eotest: even/odd resolution test (moderate, serial).
+    let eotest = wf.add_component("eotest", flat_model(np * 20.0 * img, model, 1e5));
+    wf.add_edge(make3d, eotest, model);
+
+    (
+        wf,
+        EmanStages {
+            proc3d,
+            project3d,
+            classify,
+            align,
+            make3d,
+            eotest,
+        },
+    )
+}
+
+/// Build a multi-round refinement loop: EMAN iterates the §3.3 pipeline,
+/// each round's `make3d` output becoming the next round's preliminary
+/// model. Returns the workflow plus the per-round stage indices.
+pub fn eman_refinement_loop(cfg: &EmanConfig, rounds: usize) -> (Workflow, Vec<EmanStages>) {
+    assert!(rounds >= 1, "need at least one refinement round");
+    let mut wf = Workflow::new();
+    let mut all_stages = Vec::with_capacity(rounds);
+    let mut prev_model: Option<usize> = None;
+    for round in 0..rounds {
+        let (round_wf, mut stages) = eman_workflow(cfg);
+        // Splice the round into the accumulated workflow, offsetting ids.
+        let offset = wf.len();
+        for comp in round_wf.components {
+            wf.add_component(&format!("r{round}-{}", comp.name), comp.model);
+        }
+        for e in &round_wf.edges {
+            wf.add_edge(e.from + offset, e.to + offset, e.bytes);
+        }
+        stages.proc3d += offset;
+        stages.project3d += offset;
+        for c in &mut stages.classify {
+            *c += offset;
+        }
+        for c in &mut stages.align {
+            *c += offset;
+        }
+        stages.make3d += offset;
+        stages.eotest += offset;
+        if let Some(prev) = prev_model {
+            // The refined model feeds the next round's preprocessing.
+            wf.add_edge(prev, stages.proc3d, cfg.model_bytes());
+        }
+        prev_model = Some(stages.make3d);
+        all_stages.push(stages);
+    }
+    (wf, all_stages)
+}
+
+/// Component indices of the pipeline stages.
+#[derive(Debug, Clone)]
+pub struct EmanStages {
+    /// Preliminary model preprocessing.
+    pub proc3d: usize,
+    /// Projection generation.
+    pub project3d: usize,
+    /// Classification chunks.
+    pub classify: Vec<usize>,
+    /// Class-averaging chunks.
+    pub align: Vec<usize>,
+    /// 3-D reconstruction.
+    pub make3d: usize,
+    /// Resolution test.
+    pub eotest: usize,
+}
+
+/// The heterogeneous demonstration grid of §3.3: an IA-32 cluster and an
+/// IA-64 cluster (the SC2003 demo ran EMAN across both), plus a slower
+/// campus pool.
+pub fn eman_grid() -> Grid {
+    let mut b = GridBuilder::new();
+    let ia32 = b.cluster("IA32");
+    b.local_link(ia32, 125e6, 1e-4);
+    b.add_hosts(
+        ia32,
+        6,
+        &grads_sim::topology::HostSpec {
+            speed: 2.4e9,
+            cores: 1,
+            arch: Arch::Ia32,
+            memory: 2 << 30,
+            cache_bytes: 512 * 1024,
+        },
+    );
+    let ia64 = b.cluster("IA64");
+    b.local_link(ia64, 125e6, 1e-4);
+    b.add_hosts(
+        ia64,
+        4,
+        &grads_sim::topology::HostSpec {
+            speed: 3.0e9,
+            cores: 1,
+            arch: Arch::Ia64,
+            memory: 4 << 30,
+            cache_bytes: 3 << 20,
+        },
+    );
+    let pool = b.cluster("POOL");
+    b.local_link(pool, 12.5e6, 5e-4);
+    b.add_hosts(
+        pool,
+        8,
+        &grads_sim::topology::HostSpec {
+            speed: 8e8,
+            cores: 1,
+            arch: Arch::Ia32,
+            memory: 1 << 30,
+            cache_bytes: 256 * 1024,
+        },
+    );
+    b.connect(ia32, ia64, 50e6, 0.002);
+    b.connect(ia32, pool, 10e6, 0.005);
+    b.connect(ia64, pool, 10e6, 0.005);
+    b.build().expect("static topology")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wf_exec::execute_workflow;
+    use grads_nws::NwsService;
+    use grads_perf::ResourceInfo;
+    use grads_sched::{schedule_random, schedule_round_robin, WorkflowScheduler};
+
+    fn resources(grid: &Grid) -> Vec<ResourceInfo> {
+        let nws = NwsService::new();
+        (0..grid.hosts().len() as u32)
+            .map(|i| ResourceInfo::from_grid(grid, &nws, HostId(i)))
+            .collect()
+    }
+
+    #[test]
+    fn workflow_is_a_valid_dag() {
+        let (wf, stages) = eman_workflow(&EmanConfig::default());
+        let levels = wf.levels().unwrap();
+        assert_eq!(levels.len(), 6, "six pipeline stages");
+        assert_eq!(levels[2].len(), 8, "classify fan width");
+        assert_eq!(levels[3].len(), 4, "align fan width");
+        assert_eq!(stages.classify.len(), 8);
+        assert!(wf.len() == 2 + 8 + 4 + 2);
+    }
+
+    #[test]
+    fn classification_dominates_cost() {
+        let cfg = EmanConfig::default();
+        let (wf, stages) = eman_workflow(&cfg);
+        let grid = eman_grid();
+        let res = resources(&grid)[0].clone();
+        let classify_cost: f64 = stages
+            .classify
+            .iter()
+            .map(|&c| wf.components[c].model.ecost(&res))
+            .sum();
+        let other_cost: f64 = (0..wf.len())
+            .filter(|c| !stages.classify.contains(c))
+            .map(|c| wf.components[c].model.ecost(&res))
+            .sum();
+        assert!(
+            classify_cost > other_cost,
+            "classify {classify_cost} vs rest {other_cost}"
+        );
+    }
+
+    #[test]
+    fn grads_schedule_beats_baselines_on_hetero_grid() {
+        let cfg = EmanConfig {
+            n_particles: 5000,
+            ..Default::default()
+        };
+        let (wf, _) = eman_workflow(&cfg);
+        let grid = eman_grid();
+        let res = resources(&grid);
+        let nws = NwsService::new();
+        let (best, per) = WorkflowScheduler::default().schedule(&wf, &grid, &nws, &res);
+        assert_eq!(per.len(), 3);
+        let rr = schedule_round_robin(&wf, &grid, &nws, &res);
+        let rnd: f64 = (0..5)
+            .map(|s| schedule_random(&wf, &grid, &nws, &res, s).makespan)
+            .sum::<f64>()
+            / 5.0;
+        assert!(best.makespan < rr.makespan, "{} vs rr {}", best.makespan, rr.makespan);
+        assert!(best.makespan < rnd, "{} vs rnd {}", best.makespan, rnd);
+    }
+
+    #[test]
+    fn schedule_uses_heterogeneous_clusters() {
+        // With a wide classify fan, the best schedule should engage both
+        // fast clusters (the paper's IA-32 + IA-64 demonstration).
+        let cfg = EmanConfig {
+            n_particles: 50_000,
+            classify_par: 12,
+            ..Default::default()
+        };
+        let (wf, stages) = eman_workflow(&cfg);
+        let grid = eman_grid();
+        let res = resources(&grid);
+        let nws = NwsService::new();
+        let (best, _) = WorkflowScheduler::default().schedule(&wf, &grid, &nws, &res);
+        let archs: std::collections::HashSet<String> = stages
+            .classify
+            .iter()
+            .map(|&c| format!("{}", res[best.placement[c]].arch))
+            .collect();
+        assert!(
+            archs.contains("ia32") && archs.contains("ia64"),
+            "classify should span architectures, got {archs:?}"
+        );
+    }
+
+    #[test]
+    fn refinement_loop_chains_rounds() {
+        let cfg = EmanConfig {
+            n_particles: 2000,
+            classify_par: 3,
+            align_par: 2,
+            ..Default::default()
+        };
+        let (wf, stages) = eman_refinement_loop(&cfg, 3);
+        assert_eq!(stages.len(), 3);
+        let per_round = 2 + 3 + 2 + 2;
+        assert_eq!(wf.len(), per_round * 3);
+        // Each round adds 5 depth levels (its eotest is a sibling of the
+        // next round's chain): 5·rounds + 1 levels.
+        let levels = wf.levels().unwrap();
+        assert_eq!(levels.len(), 16);
+        // Each round's proc3d depends on the previous round's make3d.
+        for w in stages.windows(2) {
+            assert!(wf
+                .preds(w[1].proc3d)
+                .any(|e| e.from == w[0].make3d));
+        }
+    }
+
+    #[test]
+    fn refinement_loop_schedules_and_scales() {
+        let cfg = EmanConfig {
+            n_particles: 3000,
+            classify_par: 4,
+            align_par: 2,
+            ..Default::default()
+        };
+        let grid = eman_grid();
+        let res = resources(&grid);
+        let nws = NwsService::new();
+        let (wf1, _) = eman_refinement_loop(&cfg, 1);
+        let (wf3, _) = eman_refinement_loop(&cfg, 3);
+        let (s1, _) = WorkflowScheduler::default().schedule(&wf1, &grid, &nws, &res);
+        let (s3, _) = WorkflowScheduler::default().schedule(&wf3, &grid, &nws, &res);
+        // Rounds serialize through the model dependency: ~3x makespan.
+        let ratio = s3.makespan / s1.makespan;
+        assert!(
+            (2.5..3.5).contains(&ratio),
+            "3-round makespan should be ~3x: ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn scheduled_workflow_executes_on_emulated_grid() {
+        let cfg = EmanConfig {
+            n_particles: 2000,
+            classify_par: 4,
+            align_par: 2,
+            ..Default::default()
+        };
+        let (wf, _) = eman_workflow(&cfg);
+        let grid = eman_grid();
+        let res = resources(&grid);
+        let nws = NwsService::new();
+        let (best, _) = WorkflowScheduler::default().schedule(&wf, &grid, &nws, &res);
+        let exec = execute_workflow(&grid, &wf, &best, &res);
+        assert!(exec.makespan > 0.0);
+        // Emulated execution should land within 2x of the prediction
+        // (transfers overlap differently than the analytic model assumes).
+        let rel = exec.makespan / best.makespan;
+        assert!(
+            rel > 0.5 && rel < 2.0,
+            "measured {} vs predicted {}",
+            exec.makespan,
+            best.makespan
+        );
+    }
+}

@@ -1,0 +1,336 @@
+//! Jacobi heat diffusion — a third application, exercising halo-exchange
+//! communication (QR broadcasts, N-body all-gathers; stencils exchange
+//! only with neighbours).
+//!
+//! A 2-D Laplace problem on an `n × n` grid with fixed boundary values
+//! (hot top edge), solved by Jacobi iteration. Rows are block-partitioned
+//! over the ranks; each iteration exchanges one halo row with each
+//! neighbour (iteration-tagged, so the swap layer's unordered
+//! communicators are safe) and relaxes the interior. Like the N-body code
+//! it is *swap-capable*: the per-rank state (iteration counter + owned
+//! rows) travels on a process swap.
+
+use grads_mpi::Comm;
+use grads_sim::prelude::*;
+
+/// Jacobi configuration.
+#[derive(Debug, Clone)]
+pub struct JacobiConfig {
+    /// Grid edge length (including boundary).
+    pub n: usize,
+    /// Iterations to run.
+    pub iters: u64,
+    /// Temperature of the top boundary edge.
+    pub hot: f64,
+    /// Virtual flop charge per interior cell per iteration.
+    pub flops_per_cell: f64,
+}
+
+impl Default for JacobiConfig {
+    fn default() -> Self {
+        JacobiConfig {
+            n: 64,
+            iters: 200,
+            hot: 1.0,
+            flops_per_cell: 6.0,
+        }
+    }
+}
+
+/// Row range `[lo, hi)` of interior rows owned by `rank` (interior rows
+/// are `1..n-1`).
+pub fn row_slice(n: usize, p: usize, rank: usize) -> (usize, usize) {
+    let interior = n - 2;
+    let base = interior / p;
+    let extra = interior % p;
+    let lo = 1 + rank * base + rank.min(extra);
+    let hi = lo + base + usize::from(rank < extra);
+    (lo, hi)
+}
+
+/// Per-rank state: owned rows plus halo rows above and below.
+#[derive(Clone)]
+pub struct JacobiState {
+    /// Current iteration.
+    pub iter: u64,
+    /// Owned interior row range `[lo, hi)`.
+    pub rows: (usize, usize),
+    /// Local storage: rows `lo-1 ..= hi`, each of length `n`.
+    pub u: Vec<f64>,
+}
+
+impl JacobiState {
+    /// Initial state for a rank: zero interior, hot top edge.
+    #[allow(clippy::needless_range_loop)]
+    pub fn new(cfg: &JacobiConfig, p: usize, rank: usize) -> Self {
+        let (lo, hi) = row_slice(cfg.n, p, rank);
+        let local_rows = hi - lo + 2; // plus halos
+        let mut u = vec![0.0; local_rows * cfg.n];
+        if lo == 1 {
+            // Row 0 (the top boundary) is this rank's upper halo.
+            for j in 0..cfg.n {
+                u[j] = cfg.hot;
+            }
+        }
+        JacobiState {
+            iter: 0,
+            rows: (lo, hi),
+            u,
+        }
+    }
+
+    fn row(&self, cfg: &JacobiConfig, global_row: usize) -> &[f64] {
+        let local = global_row + 1 - self.rows.0;
+        &self.u[local * cfg.n..(local + 1) * cfg.n]
+    }
+}
+
+const TAG_HALO_NS: u64 = 1 << 29;
+
+/// One Jacobi iteration on one rank: halo exchange, then relax. Returns
+/// `true` when the configured iteration count is reached. Rank 0 traces
+/// `("jacobi_iter", iter)`.
+pub fn jacobi_step(
+    ctx: &mut Ctx,
+    comm: &mut Comm,
+    cfg: &JacobiConfig,
+    st: &mut JacobiState,
+) -> bool {
+    let n = cfg.n;
+    let (lo, hi) = st.rows;
+    let p = comm.size();
+    let me = comm.rank();
+    let row_bytes = 8.0 * n as f64;
+    let tag = TAG_HALO_NS + st.iter;
+    // Exchange halos with neighbours (eager sends; no deadlock).
+    if me > 0 {
+        let top_row: Vec<f64> = st.row(cfg, lo).to_vec();
+        comm.isend(ctx, me - 1, tag, row_bytes, Box::new(top_row));
+    }
+    if me + 1 < p {
+        let bottom_row: Vec<f64> = st.row(cfg, hi - 1).to_vec();
+        comm.isend(ctx, me + 1, tag, row_bytes, Box::new(bottom_row));
+    }
+    if me > 0 {
+        let above: Vec<f64> = comm.recv_t(ctx, me - 1, tag);
+        st.u[..n].copy_from_slice(&above);
+    }
+    if me + 1 < p {
+        let below: Vec<f64> = comm.recv_t(ctx, me + 1, tag);
+        let last = st.u.len() - n;
+        st.u[last..].copy_from_slice(&below);
+    }
+    // Relax the interior (Jacobi: read old, write new).
+    let old = st.u.clone();
+    for gr in lo..hi {
+        let l = gr + 1 - lo;
+        for j in 1..n - 1 {
+            st.u[l * n + j] = 0.25
+                * (old[(l - 1) * n + j]
+                    + old[(l + 1) * n + j]
+                    + old[l * n + j - 1]
+                    + old[l * n + j + 1]);
+        }
+    }
+    comm.compute(
+        ctx,
+        (hi - lo) as f64 * (n - 2) as f64 * cfg.flops_per_cell,
+    );
+    if me == 0 {
+        ctx.trace("jacobi_iter", st.iter as f64);
+    }
+    st.iter += 1;
+    st.iter >= cfg.iters
+}
+
+/// Serial reference solution (for verification).
+#[allow(clippy::needless_range_loop)] // stencil code reads clearest indexed
+pub fn jacobi_serial(cfg: &JacobiConfig) -> Vec<f64> {
+    let n = cfg.n;
+    let mut u = vec![0.0; n * n];
+    for j in 0..n {
+        u[j] = cfg.hot;
+    }
+    for _ in 0..cfg.iters {
+        let old = u.clone();
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                u[i * n + j] = 0.25
+                    * (old[(i - 1) * n + j]
+                        + old[(i + 1) * n + j]
+                        + old[i * n + j - 1]
+                        + old[i * n + j + 1]);
+            }
+        }
+    }
+    u
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grads_mpi::{launch, launch_swap_world};
+    use grads_sim::topology::{GridBuilder, HostSpec};
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    fn grid(speeds: &[f64]) -> (Grid, Vec<HostId>) {
+        let mut b = GridBuilder::new();
+        let c = b.cluster("X");
+        b.local_link(c, 1e8, 1e-4);
+        let hs: Vec<HostId> = speeds
+            .iter()
+            .map(|&s| b.add_host(c, &HostSpec::with_speed(s)))
+            .collect();
+        (b.build().unwrap(), hs)
+    }
+
+    #[test]
+    fn row_slices_partition_interior() {
+        for (n, p) in [(10, 3), (64, 4), (9, 7)] {
+            let mut covered = 0;
+            for r in 0..p {
+                let (lo, hi) = row_slice(n, p, r);
+                assert!(lo >= 1 && hi < n);
+                covered += hi - lo;
+                if r > 0 {
+                    assert_eq!(lo, row_slice(n, p, r - 1).1);
+                }
+            }
+            assert_eq!(covered, n - 2);
+        }
+    }
+
+    #[test]
+    fn serial_obeys_maximum_principle() {
+        let cfg = JacobiConfig {
+            n: 32,
+            iters: 500,
+            ..Default::default()
+        };
+        let u = jacobi_serial(&cfg);
+        for (k, &v) in u.iter().enumerate() {
+            assert!(
+                (0.0..=1.0 + 1e-12).contains(&v),
+                "cell {k} out of range: {v}"
+            );
+        }
+        // Heat has diffused: an interior cell near the top edge is warm.
+        assert!(u[2 * 32 + 16] > 0.3);
+        // And the centre is warmer than the bottom.
+        assert!(u[16 * 32 + 16] > u[29 * 32 + 16]);
+    }
+
+    /// Gather the distributed field on rank 0 and compare to serial.
+    #[allow(clippy::needless_range_loop)]
+    fn run_parallel(p: usize, cfg: &JacobiConfig) -> Vec<f64> {
+        let (g, hs) = grid(&vec![1e9; p]);
+        let mut eng = Engine::new(g);
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let out2 = out.clone();
+        let cfg2 = cfg.clone();
+        launch(&mut eng, "jac", &hs, move |ctx, comm| {
+            let mut st = JacobiState::new(&cfg2, comm.size(), comm.rank());
+            while !jacobi_step(ctx, comm, &cfg2, &mut st) {}
+            // Gather owned rows at rank 0.
+            let n = cfg2.n;
+            let (lo, hi) = st.rows;
+            let mine: Vec<f64> = st.u[n..(hi - lo + 1) * n].to_vec();
+            let chunks = comm.gather_t(ctx, 0, 8.0 * mine.len() as f64, (lo, mine));
+            if let Some(chunks) = chunks {
+                let mut full = vec![0.0; n * n];
+                for j in 0..n {
+                    full[j] = cfg2.hot;
+                }
+                for (lo_r, rows) in chunks {
+                    full[lo_r * n..lo_r * n + rows.len()].copy_from_slice(&rows);
+                }
+                *out2.lock() = full;
+            }
+        });
+        eng.run();
+        let v = out.lock().clone();
+        v
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let cfg = JacobiConfig {
+            n: 24,
+            iters: 60,
+            ..Default::default()
+        };
+        let serial = jacobi_serial(&cfg);
+        for p in [1usize, 2, 3, 5] {
+            let par = run_parallel(p, &cfg);
+            assert_eq!(par.len(), serial.len(), "p = {p}");
+            for (k, (a, b)) in par.iter().zip(&serial).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-12,
+                    "p = {p}, cell {k}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn swap_capable_and_result_preserved() {
+        // Run in a swap world with a mid-run swap; the final field (from a
+        // post-run serial comparison on iteration count) must match.
+        let cfg = JacobiConfig {
+            n: 24,
+            iters: 80,
+            flops_per_cell: 2e4, // slow enough that the swap lands mid-run
+            ..Default::default()
+        };
+        let (g, hs) = grid(&[1e9, 1e9, 1e9]);
+        let mut eng = Engine::new(g);
+        let checksum = Arc::new(Mutex::new(0.0f64));
+        let cs2 = checksum.clone();
+        let cfg2 = cfg.clone();
+        let sw = launch_swap_world(
+            &mut eng,
+            "jac",
+            &hs,
+            2,
+            8.0 * (cfg.n * cfg.n) as f64,
+            {
+                let cfg = cfg.clone();
+                move |logical| JacobiState::new(&cfg, 2, logical)
+            },
+            move |ctx, comm, st| {
+                let fin = jacobi_step(ctx, comm, &cfg2, st);
+                if fin && comm.rank() == 0 {
+                    // Checksum of the owned rows.
+                    let s: f64 = st.u.iter().sum();
+                    *cs2.lock() = s;
+                }
+                fin
+            },
+        );
+        let sw2 = sw.clone();
+        eng.spawn("controller", hs[0], move |ctx| {
+            ctx.sleep(0.05);
+            sw2.request_swap(1, 2).unwrap();
+        });
+        eng.run();
+        assert_eq!(sw.swaps_done(), 1);
+        // Compare against a no-swap run of the same decomposition.
+        let (g2, hs2) = grid(&[1e9, 1e9]);
+        let mut eng2 = Engine::new(g2);
+        let checksum2 = Arc::new(Mutex::new(0.0f64));
+        let cs3 = checksum2.clone();
+        let cfg3 = cfg.clone();
+        grads_mpi::launch(&mut eng2, "jac-ref", &hs2, move |ctx, comm| {
+            let mut st = JacobiState::new(&cfg3, comm.size(), comm.rank());
+            while !jacobi_step(ctx, comm, &cfg3, &mut st) {}
+            if comm.rank() == 0 {
+                *cs3.lock() = st.u.iter().sum();
+            }
+        });
+        eng2.run();
+        let a = *checksum.lock();
+        let b = *checksum2.lock();
+        assert!((a - b).abs() < 1e-9, "swap changed the numerics: {a} vs {b}");
+    }
+}

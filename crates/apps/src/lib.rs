@@ -1,0 +1,26 @@
+//! # grads-apps — the paper's applications
+//!
+//! * [`qr`] — distributed Householder QR (ScaLAPACK analog) with SRS
+//!   checkpointing, for the §4.1 stop/restart experiment;
+//! * QR experiment driver, N-body and EMAN to follow.
+
+pub mod eman;
+pub mod ft_driver;
+pub mod jacobi;
+pub mod lu;
+pub mod nbody;
+pub mod opportunistic_driver;
+pub mod psa;
+pub mod qr;
+pub mod qr_driver;
+pub mod wf_exec;
+
+pub use eman::{eman_grid, eman_refinement_loop, eman_workflow, EmanConfig, EmanStages};
+pub use ft_driver::{run_ft_experiment, FtExperimentConfig, FtExperimentResult};
+pub use jacobi::{jacobi_serial, jacobi_step, JacobiConfig, JacobiState};
+pub use lu::{lu_flops, run_lu_rank, LuConfig, LuLocal, LuOutcome};
+pub use nbody::{nbody_step, run_nbody_experiment, NbodyConfig, NbodyExperimentConfig, NbodyExperimentResult, NbodyState};
+pub use opportunistic_driver::{run_opportunistic_experiment, OppExperimentConfig, OppExperimentResult};
+pub use psa::{execute_psa, generate as generate_psa, schedule_psa, PsaConfig, PsaSchedule, PsaStrategy, PsaWorkload};
+pub use qr::{qr_flops, run_qr_rank, QrConfig, QrLocal, QrOutcome};
+pub use qr_driver::{run_qr_experiment, QrCop, QrExperimentConfig, QrExperimentResult, QrRunning};

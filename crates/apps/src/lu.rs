@@ -1,0 +1,434 @@
+//! Distributed LU factorization with partial pivoting — a second
+//! ScaLAPACK-analog application.
+//!
+//! The GrADS prototype demonstrated several ScaLAPACK drivers (QR in this
+//! paper, LU/`PDGESV` in the companion GrADSoft demonstrations). LU
+//! exercises parts of the substrate QR does not: per-step pivot selection
+//! (owner-local argmax), row swaps applied by *every* rank, and a packed
+//! `L\U` + pivot-vector checkpoint.
+//!
+//! The matrix is distributed 1-D block-cyclically by columns, like QR;
+//! nominal-vs-real cost scaling works the same way (see `qr.rs`).
+
+use crate::qr::QrConfig;
+use grads_mpi::{BlockCyclic, Comm};
+use grads_sim::prelude::*;
+use grads_srs::Srs;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// LU reuses the QR configuration shape (sizes, blocks, polling,
+/// efficiency); alias for clarity at call sites.
+pub type LuConfig = QrConfig;
+
+/// Exact flop count of LU on an n×n matrix (leading term).
+pub fn lu_flops(n: f64) -> f64 {
+    2.0 / 3.0 * n * n * n
+}
+
+/// How a rank's participation ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LuOutcome {
+    /// Factorization ran to completion.
+    Completed,
+    /// Stop flag honoured; state checkpointed at this step.
+    Stopped {
+        /// Next elimination step on restart.
+        step: usize,
+    },
+}
+
+/// Per-rank state: local columns of the packed `L\U` factorization plus
+/// the (replicated) pivot vector.
+pub struct LuLocal {
+    /// Local columns, column-major, local index order.
+    pub a: Vec<f64>,
+    /// `ipiv[k]` = global row swapped with row `k` at step `k`.
+    pub ipiv: Vec<usize>,
+    /// Column distribution.
+    pub dist: BlockCyclic,
+    /// This rank.
+    pub rank: usize,
+}
+
+impl LuLocal {
+    /// Generate this rank's slice of the deterministic input matrix
+    /// (diagonally dominated enough to be comfortably non-singular, but
+    /// still requiring pivoting).
+    pub fn generate(cfg: &LuConfig, rank: usize, p: usize) -> Self {
+        let n = cfg.n_real;
+        let dist = cfg.dist(p);
+        let ncols = dist.local_len(rank);
+        let mut a = vec![0.0; n * ncols];
+        for lc in 0..ncols {
+            let g = dist.global_index(rank, lc);
+            let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0xBEEF + g as u64));
+            for r in 0..n {
+                a[lc * n + r] = rng.gen_range(-1.0..1.0);
+            }
+        }
+        LuLocal {
+            a,
+            ipiv: (0..n).collect(),
+            dist,
+            rank,
+        }
+    }
+}
+
+/// Run the factorization on one rank from `start_step` until completion or
+/// an SRS stop request (decision taken collectively, like QR).
+#[allow(clippy::needless_range_loop)] // elimination loops read clearest indexed
+pub fn run_lu_rank(
+    ctx: &mut Ctx,
+    comm: &mut Comm,
+    cfg: &LuConfig,
+    local: &mut LuLocal,
+    srs: Option<&Srs>,
+    start_step: usize,
+) -> LuOutcome {
+    let n = cfg.n_real;
+    let p = comm.size();
+    let fscale = cfg.flop_scale();
+    let bscale = cfg.byte_scale();
+    for k in 0..n.saturating_sub(1) {
+        if k < start_step {
+            continue;
+        }
+        if k % cfg.poll_every.max(1) == 0 {
+            if let Some(srs) = srs {
+                let stop = if p > 1 {
+                    comm.bcast_t(
+                        ctx,
+                        0,
+                        16.0,
+                        (comm.rank() == 0).then(|| srs.should_stop() && k > start_step),
+                    )
+                } else {
+                    srs.should_stop() && k > start_step
+                };
+                if stop {
+                    checkpoint(ctx, comm, cfg, local, srs, k);
+                    return LuOutcome::Stopped { step: k };
+                }
+            }
+        }
+        let owner = local.dist.owner(k);
+        let m = n - k - 1; // multiplier count
+        let (mut piv, mut mults) = (k, Vec::new());
+        if comm.rank() == owner {
+            let lc = local.dist.local_index(k);
+            let col = &mut local.a[lc * n..(lc + 1) * n];
+            // Partial pivot: argmax |col[i]| for i >= k.
+            let mut best = k;
+            for i in k + 1..n {
+                if col[i].abs() > col[best].abs() {
+                    best = i;
+                }
+            }
+            piv = best;
+            col.swap(k, piv);
+            let diag = col[k];
+            let mut mv = Vec::with_capacity(m);
+            for i in k + 1..n {
+                let l = if diag != 0.0 { col[i] / diag } else { 0.0 };
+                col[i] = l;
+                mv.push(l);
+            }
+            comm.compute(ctx, (2 * m) as f64 * fscale);
+            mults = mv;
+        }
+        if p > 1 {
+            let bytes = 8.0 * (m as f64 + 2.0) * bscale;
+            let (pv, mv) = comm.bcast_t(
+                ctx,
+                owner,
+                bytes,
+                (comm.rank() == owner).then(|| (piv, mults.clone())),
+            );
+            piv = pv;
+            mults = mv;
+        }
+        local.ipiv[k] = piv;
+        // Every rank: swap rows k <-> piv in its other local columns, then
+        // update the trailing submatrix.
+        let mut updated = 0usize;
+        let ncols = local.dist.local_len(local.rank);
+        for lc in 0..ncols {
+            let g = local.dist.global_index(local.rank, lc);
+            if g == k && comm.rank() == owner {
+                continue; // pivot column already swapped + scaled
+            }
+            let col = &mut local.a[lc * n..(lc + 1) * n];
+            if piv != k {
+                col.swap(k, piv);
+            }
+            if g > k {
+                let akj = col[k];
+                for (i, &l) in mults.iter().enumerate() {
+                    col[k + 1 + i] -= l * akj;
+                }
+                updated += 1;
+            }
+        }
+        comm.compute(ctx, (2 * m * updated) as f64 * fscale);
+    }
+    LuOutcome::Completed
+}
+
+/// Checkpoint matrix, pivots and progress through SRS.
+pub fn checkpoint(
+    ctx: &mut Ctx,
+    comm: &mut Comm,
+    cfg: &LuConfig,
+    local: &LuLocal,
+    srs: &Srs,
+    step: usize,
+) {
+    let p = comm.size();
+    let edist = cfg.elem_dist(p);
+    srs.store_distributed(
+        ctx,
+        "LU",
+        edist,
+        comm.rank(),
+        local.a.clone(),
+        8.0 * (cfg.n_nominal as f64).powi(2),
+    );
+    if comm.rank() == 0 {
+        srs.store_value(
+            ctx,
+            "ipiv",
+            local.ipiv.clone(),
+            8.0 * cfg.n_nominal as f64,
+        );
+        srs.store_value(ctx, "lu_step", step as u64, 8.0);
+    }
+    srs.rss.ack_stop();
+}
+
+/// Restore from an SRS checkpoint under a possibly different rank count.
+pub fn restore(
+    ctx: &mut Ctx,
+    comm: &mut Comm,
+    cfg: &LuConfig,
+    srs: &Srs,
+) -> Option<(LuLocal, usize)> {
+    let p = comm.size();
+    let edist = cfg.elem_dist(p);
+    let a = srs.read_distributed(ctx, "LU", edist, comm.rank())?;
+    let ipiv: Vec<usize> = srs.read_value(ctx, "ipiv")?;
+    let step: u64 = srs.read_value(ctx, "lu_step")?;
+    Some((
+        LuLocal {
+            a,
+            ipiv,
+            dist: cfg.dist(p),
+            rank: comm.rank(),
+        },
+        step as usize,
+    ))
+}
+
+/// Gather the packed factorization on rank 0.
+pub fn gather_factors(
+    ctx: &mut Ctx,
+    comm: &mut Comm,
+    cfg: &LuConfig,
+    local: &LuLocal,
+) -> Option<(Vec<f64>, Vec<usize>)> {
+    let n = cfg.n_real;
+    let chunks = comm.gather_t(
+        ctx,
+        0,
+        8.0 * local.a.len() as f64,
+        (local.rank, local.a.clone()),
+    )?;
+    let mut full = vec![0.0; n * n];
+    for (rank, chunk) in chunks {
+        let ncols = local.dist.local_len(rank);
+        for lc in 0..ncols {
+            let g = local.dist.global_index(rank, lc);
+            full[g * n..(g + 1) * n].copy_from_slice(&chunk[lc * n..(lc + 1) * n]);
+        }
+    }
+    Some((full, local.ipiv.clone()))
+}
+
+/// Reconstruct `P⁻¹·L·U` from the packed factorization and return the max
+/// abs error against the original generated matrix.
+pub fn verify_reconstruction(cfg: &LuConfig, packed: &[f64], ipiv: &[usize]) -> f64 {
+    let n = cfg.n_real;
+    // M = L * U (column-major).
+    let mut m = vec![0.0; n * n];
+    for c in 0..n {
+        for r in 0..n {
+            // (L U)[r][c] = sum_k L[r][k] * U[k][c], k <= min(r, c).
+            let kmax = r.min(c);
+            let mut s = 0.0;
+            for k in 0..=kmax {
+                let l = if k == r { 1.0 } else { packed[k * n + r] }; // L[r][k]
+                let u = packed[c * n + k]; // U[k][c]
+                s += l * u;
+            }
+            m[c * n + r] = s;
+        }
+    }
+    // Undo the row permutation: apply swaps in reverse order.
+    for k in (0..n.saturating_sub(1)).rev() {
+        let p = ipiv[k];
+        if p != k {
+            for c in 0..n {
+                m.swap(c * n + k, c * n + p);
+            }
+        }
+    }
+    let mut max_err = 0.0f64;
+    for c in 0..n {
+        let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0xBEEF + c as u64));
+        for r in 0..n {
+            let orig: f64 = rng.gen_range(-1.0..1.0);
+            max_err = max_err.max((m[c * n + r] - orig).abs());
+        }
+    }
+    max_err
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grads_mpi::launch;
+    use grads_sim::topology::{GridBuilder, HostSpec};
+    use grads_srs::{IbpStorage, Rss};
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    fn grid(n: usize) -> (Grid, Vec<HostId>) {
+        let mut b = GridBuilder::new();
+        let c = b.cluster("X");
+        b.local_link(c, 1e8, 1e-4);
+        let hs = b.add_hosts(c, n, &HostSpec::with_speed(1e9));
+        (b.build().unwrap(), hs)
+    }
+
+    fn run_and_verify(p: usize, n: usize, block: usize) -> f64 {
+        let (g, hs) = grid(p);
+        let mut eng = Engine::new(g);
+        let cfg = LuConfig::full(n, block);
+        let err = Arc::new(Mutex::new(-1.0f64));
+        let err2 = err.clone();
+        launch(&mut eng, "lu", &hs, move |ctx, comm| {
+            let mut local = LuLocal::generate(&cfg, comm.rank(), comm.size());
+            let out = run_lu_rank(ctx, comm, &cfg, &mut local, None, 0);
+            assert_eq!(out, LuOutcome::Completed);
+            if let Some((packed, ipiv)) = gather_factors(ctx, comm, &cfg, &local) {
+                *err2.lock() = verify_reconstruction(&cfg, &packed, &ipiv);
+            }
+        });
+        eng.run();
+        let e = *err.lock();
+        assert!(e >= 0.0, "verification ran");
+        e
+    }
+
+    #[test]
+    fn lu_correct_single_rank() {
+        let e = run_and_verify(1, 24, 4);
+        assert!(e < 1e-10, "max reconstruction error {e}");
+    }
+
+    #[test]
+    fn lu_correct_multi_rank() {
+        let e = run_and_verify(3, 30, 4);
+        assert!(e < 1e-10, "max reconstruction error {e}");
+    }
+
+    #[test]
+    fn lu_correct_awkward_sizes() {
+        let e = run_and_verify(4, 29, 3);
+        assert!(e < 1e-10, "max reconstruction error {e}");
+    }
+
+    #[test]
+    fn pivoting_actually_happens() {
+        let (g, hs) = grid(2);
+        let mut eng = Engine::new(g);
+        let cfg = LuConfig::full(20, 4);
+        let pivots = Arc::new(Mutex::new(Vec::new()));
+        let pivots2 = pivots.clone();
+        launch(&mut eng, "lu", &hs, move |ctx, comm| {
+            let mut local = LuLocal::generate(&cfg, comm.rank(), comm.size());
+            run_lu_rank(ctx, comm, &cfg, &mut local, None, 0);
+            if comm.rank() == 0 {
+                *pivots2.lock() = local.ipiv.clone();
+            }
+        });
+        eng.run();
+        let ipiv = pivots.lock();
+        assert!(
+            ipiv.iter().enumerate().any(|(k, &p)| p != k),
+            "a random matrix should need at least one row swap: {ipiv:?}"
+        );
+    }
+
+    #[test]
+    fn checkpoint_restart_n_to_m() {
+        let cfg = LuConfig::full(28, 4);
+        let srs = Srs::new("lu-n2m", Rss::new(), IbpStorage::default());
+        {
+            let (g, hs) = grid(2);
+            let mut eng = Engine::new(g);
+            let cfg1 = cfg.clone();
+            let srs1 = srs.clone();
+            srs.rss.request_stop();
+            launch(&mut eng, "lu1", &hs, move |ctx, comm| {
+                let mut local = LuLocal::generate(&cfg1, comm.rank(), comm.size());
+                let out = run_lu_rank(ctx, comm, &cfg1, &mut local, Some(&srs1), 0);
+                assert!(matches!(out, LuOutcome::Stopped { .. }));
+            });
+            eng.run();
+        }
+        srs.rss.begin_restart();
+        let err = Arc::new(Mutex::new(-1.0f64));
+        {
+            let (g, hs) = grid(4);
+            let mut eng = Engine::new(g);
+            let cfg2 = cfg.clone();
+            let srs2 = srs.clone();
+            let err2 = err.clone();
+            launch(&mut eng, "lu2", &hs, move |ctx, comm| {
+                let (mut local, step) = restore(ctx, comm, &cfg2, &srs2).expect("checkpoint");
+                let out = run_lu_rank(ctx, comm, &cfg2, &mut local, Some(&srs2), step);
+                assert_eq!(out, LuOutcome::Completed);
+                if let Some((packed, ipiv)) = gather_factors(ctx, comm, &cfg2, &local) {
+                    *err2.lock() = verify_reconstruction(&cfg2, &packed, &ipiv);
+                }
+            });
+            eng.run();
+        }
+        let e = *err.lock();
+        assert!((0.0..1e-10).contains(&e), "reconstruction error {e}");
+    }
+
+    #[test]
+    fn lu_flops_formula() {
+        assert!((lu_flops(100.0) - 2.0 / 3.0 * 1e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn nominal_scaling_cubic() {
+        let time_for = |nominal: usize| {
+            let (g, hs) = grid(1);
+            let mut eng = Engine::new(g);
+            let mut cfg = LuConfig::full(16, 4);
+            cfg.n_nominal = nominal;
+            launch(&mut eng, "lu", &hs, move |ctx, comm| {
+                let mut local = LuLocal::generate(&cfg, comm.rank(), comm.size());
+                run_lu_rank(ctx, comm, &cfg, &mut local, None, 0);
+            });
+            eng.run().end_time
+        };
+        let ratio = time_for(64) / time_for(16);
+        assert!(ratio > 40.0 && ratio < 80.0, "expected ~64x, got {ratio}");
+    }
+}

@@ -1,0 +1,525 @@
+//! Parameter-sweep application (PSA) scheduling — the lineage of the
+//! paper's heuristics.
+//!
+//! The min-min / max-min / sufferage heuristics the GrADS workflow
+//! scheduler applies come from Casanova, Legrand, Zagorodnov & Berman,
+//! *"Heuristics for scheduling parameter sweep applications in grid
+//! environments"* (HCW 2000) — the paper's citation \[3\]. That work also
+//! introduced **XSufferage**: when tasks share large input files, plain
+//! sufferage under-values cluster-level file reuse, because two hosts in
+//! the same cluster look like distinct alternatives even though a staged
+//! file serves both; XSufferage computes sufferage over *cluster-level*
+//! best completion times instead.
+//!
+//! This module reproduces that setting on our substrate: a sweep of
+//! independent tasks, each needing one large shared input file (plus a
+//! small unique input) staged from a storage host, with cluster-level
+//! file caching — scheduled by all four heuristics and executable on the
+//! emulator.
+
+use grads_nws::NwsService;
+use grads_sim::prelude::*;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Sweep generation parameters.
+#[derive(Debug, Clone)]
+pub struct PsaConfig {
+    /// Number of independent tasks.
+    pub n_tasks: usize,
+    /// Number of distinct shared input files.
+    pub n_files: usize,
+    /// Size of each shared input file, bytes.
+    pub file_bytes: f64,
+    /// Unique per-task input, bytes.
+    pub unique_bytes: f64,
+    /// Task compute cost range, flops.
+    pub flops: (f64, f64),
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl Default for PsaConfig {
+    fn default() -> Self {
+        PsaConfig {
+            n_tasks: 60,
+            n_files: 6,
+            file_bytes: 2e8,
+            unique_bytes: 1e6,
+            flops: (5e9, 5e10),
+            seed: 17,
+        }
+    }
+}
+
+/// One sweep task.
+#[derive(Debug, Clone, Copy)]
+pub struct PsaTask {
+    /// Compute cost, flops.
+    pub flops: f64,
+    /// Index of the shared input file it needs.
+    pub file: usize,
+    /// Unique input volume, bytes.
+    pub unique_bytes: f64,
+}
+
+/// A generated sweep workload.
+#[derive(Debug, Clone)]
+pub struct PsaWorkload {
+    /// The tasks.
+    pub tasks: Vec<PsaTask>,
+    /// Shared file sizes, bytes, by file index.
+    pub files: Vec<f64>,
+}
+
+/// Generate a deterministic sweep.
+pub fn generate(cfg: &PsaConfig) -> PsaWorkload {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let files = vec![cfg.file_bytes; cfg.n_files];
+    let tasks = (0..cfg.n_tasks)
+        .map(|_| PsaTask {
+            flops: rng.gen_range(cfg.flops.0..cfg.flops.1),
+            file: rng.gen_range(0..cfg.n_files),
+            unique_bytes: cfg.unique_bytes,
+        })
+        .collect();
+    PsaWorkload { tasks, files }
+}
+
+/// The scheduling strategies of HCW 2000.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PsaStrategy {
+    /// Smallest best completion time first.
+    MinMin,
+    /// Largest best completion time first.
+    MaxMin,
+    /// Largest host-level sufferage first.
+    Sufferage,
+    /// Largest *cluster-level* sufferage first (file-reuse aware).
+    XSufferage,
+    /// Tasks dealt to hosts in order (baseline).
+    RoundRobin,
+}
+
+impl PsaStrategy {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PsaStrategy::MinMin => "min-min",
+            PsaStrategy::MaxMin => "max-min",
+            PsaStrategy::Sufferage => "sufferage",
+            PsaStrategy::XSufferage => "xsufferage",
+            PsaStrategy::RoundRobin => "round-robin",
+        }
+    }
+
+    /// All strategies.
+    pub fn all() -> [PsaStrategy; 5] {
+        [
+            PsaStrategy::MinMin,
+            PsaStrategy::MaxMin,
+            PsaStrategy::Sufferage,
+            PsaStrategy::XSufferage,
+            PsaStrategy::RoundRobin,
+        ]
+    }
+}
+
+/// A complete sweep schedule.
+#[derive(Debug, Clone)]
+pub struct PsaSchedule {
+    /// Host (index into the scheduler's host list) per task.
+    pub assignment: Vec<usize>,
+    /// Predicted per-task completion times.
+    pub finish: Vec<f64>,
+    /// Predicted makespan.
+    pub makespan: f64,
+    /// Strategy used.
+    pub strategy: &'static str,
+}
+
+/// Completion-time model state shared by all strategies: per-host ready
+/// times plus per-(cluster, file) staged-availability times.
+struct GanttState<'a> {
+    grid: &'a Grid,
+    nws: &'a NwsService,
+    hosts: &'a [HostId],
+    storage: HostId,
+    ready: Vec<f64>,
+    staged: HashMap<(ClusterId, usize), f64>,
+    /// The storage host's uplink serves one staging transfer at a time in
+    /// this model; ignoring that contention makes aggressive-staging
+    /// schedules look better than they run.
+    storage_busy: f64,
+}
+
+impl<'a> GanttState<'a> {
+    /// Completion time of `task` on host index `h`, given current state.
+    fn ct(&self, task: &PsaTask, h: usize, files: &[f64]) -> f64 {
+        let host = self.hosts[h];
+        let cluster = self.grid.host(host).cluster;
+        let file_ready = match self.staged.get(&(cluster, task.file)) {
+            Some(&t) => t,
+            None => {
+                self.ready[h].max(self.storage_busy)
+                    + self
+                        .nws
+                        .transfer_time(self.grid, self.storage, host, files[task.file])
+            }
+        };
+        let unique = self
+            .nws
+            .transfer_time(self.grid, self.storage, host, task.unique_bytes);
+        let start = self.ready[h].max(file_ready) + unique;
+        start + task.flops / self.nws.effective_speed(self.grid, host).max(1.0)
+    }
+
+    /// Commit `task` to host index `h`; returns its completion time.
+    fn commit(&mut self, task: &PsaTask, h: usize, files: &[f64]) -> f64 {
+        let host = self.hosts[h];
+        let cluster = self.grid.host(host).cluster;
+        let file_ready = match self.staged.get(&(cluster, task.file)) {
+            Some(&t) => t,
+            None => {
+                let t = self.ready[h].max(self.storage_busy)
+                    + self
+                        .nws
+                        .transfer_time(self.grid, self.storage, host, files[task.file]);
+                self.staged.insert((cluster, task.file), t);
+                self.storage_busy = t;
+                t
+            }
+        };
+        let unique = self
+            .nws
+            .transfer_time(self.grid, self.storage, host, task.unique_bytes);
+        let start = self.ready[h].max(file_ready) + unique;
+        let finish = start + task.flops / self.nws.effective_speed(self.grid, host).max(1.0);
+        self.ready[h] = finish;
+        finish
+    }
+}
+
+/// Schedule a sweep onto `hosts`, staging inputs from `storage`.
+pub fn schedule_psa(
+    workload: &PsaWorkload,
+    grid: &Grid,
+    nws: &NwsService,
+    hosts: &[HostId],
+    storage: HostId,
+    strategy: PsaStrategy,
+) -> PsaSchedule {
+    let nt = workload.tasks.len();
+    let nh = hosts.len();
+    assert!(nh > 0, "need hosts");
+    let mut st = GanttState {
+        grid,
+        nws,
+        hosts,
+        storage,
+        ready: vec![0.0; nh],
+        staged: HashMap::new(),
+        storage_busy: 0.0,
+    };
+    let mut assignment = vec![usize::MAX; nt];
+    let mut finish = vec![0.0; nt];
+
+    if strategy == PsaStrategy::RoundRobin {
+        for (t, task) in workload.tasks.iter().enumerate() {
+            let h = t % nh;
+            assignment[t] = h;
+            finish[t] = st.commit(task, h, &workload.files);
+        }
+    } else {
+        let mut remaining: Vec<usize> = (0..nt).collect();
+        while !remaining.is_empty() {
+            // Best (and comparison) completion times per remaining task.
+            let mut pick: Option<(usize, usize, f64, f64)> = None; // (slot, host, ct, metric)
+            for (slot, &t) in remaining.iter().enumerate() {
+                let task = &workload.tasks[t];
+                let cts: Vec<f64> = (0..nh).map(|h| st.ct(task, h, &workload.files)).collect();
+                let (bh, bct) = cts
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(h, &c)| (h, c))
+                    .expect("hosts nonempty");
+                let metric = match strategy {
+                    PsaStrategy::MinMin | PsaStrategy::MaxMin => bct,
+                    PsaStrategy::Sufferage => {
+                        // Second-best over hosts.
+                        let mut second = f64::INFINITY;
+                        for (h, &c) in cts.iter().enumerate() {
+                            if h != bh {
+                                second = second.min(c);
+                            }
+                        }
+                        if second.is_finite() {
+                            second - bct
+                        } else {
+                            f64::INFINITY
+                        }
+                    }
+                    PsaStrategy::XSufferage => {
+                        // Cluster-level best cts; sufferage across clusters.
+                        let mut best_per_cluster: HashMap<ClusterId, f64> = HashMap::new();
+                        for (h, &c) in cts.iter().enumerate() {
+                            let cl = grid.host(hosts[h]).cluster;
+                            let e = best_per_cluster.entry(cl).or_insert(f64::INFINITY);
+                            *e = e.min(c);
+                        }
+                        let mut vals: Vec<f64> = best_per_cluster.values().copied().collect();
+                        vals.sort_by(f64::total_cmp);
+                        if vals.len() >= 2 {
+                            vals[1] - vals[0]
+                        } else {
+                            f64::INFINITY
+                        }
+                    }
+                    PsaStrategy::RoundRobin => unreachable!(),
+                };
+                let better = match (&pick, strategy) {
+                    (None, _) => true,
+                    (Some((_, _, _, cur)), PsaStrategy::MinMin) => metric < *cur,
+                    (Some((_, _, _, cur)), _) => metric > *cur,
+                };
+                if better {
+                    pick = Some((slot, bh, bct, metric));
+                }
+            }
+            let (slot, h, _, _) = pick.expect("remaining nonempty");
+            let t = remaining.swap_remove(slot);
+            assignment[t] = h;
+            finish[t] = st.commit(&workload.tasks[t], h, &workload.files);
+        }
+    }
+    let makespan = finish.iter().fold(0.0f64, |a, &b| a.max(b));
+    PsaSchedule {
+        assignment,
+        finish,
+        makespan,
+        strategy: strategy.name(),
+    }
+}
+
+/// Execute a sweep schedule on the emulator: one worker process per host
+/// runs its tasks in assignment order, staging shared files through a
+/// cluster-level cache (first requester transfers; others wait for it) and
+/// unique inputs per task. Returns the emulated makespan.
+pub fn execute_psa(
+    grid: &Grid,
+    workload: &PsaWorkload,
+    schedule: &PsaSchedule,
+    hosts: &[HostId],
+    storage: HostId,
+) -> f64 {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Stage {
+        InFlight,
+        Ready,
+    }
+    let cache: Arc<Mutex<HashMap<(ClusterId, usize), Stage>>> =
+        Arc::new(Mutex::new(HashMap::new()));
+    let mut eng = Engine::new(grid.clone());
+    let done_t = Arc::new(Mutex::new(0.0f64));
+    for (h, &host) in hosts.iter().enumerate() {
+        let my_tasks: Vec<PsaTask> = schedule
+            .assignment
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a == h)
+            .map(|(t, _)| workload.tasks[t])
+            .collect();
+        if my_tasks.is_empty() {
+            continue;
+        }
+        let files = workload.files.clone();
+        let cache2 = cache.clone();
+        let done2 = done_t.clone();
+        let cluster = grid.host(host).cluster;
+        eng.spawn(&format!("psa-worker-{h}"), host, move |ctx| {
+            for task in &my_tasks {
+                // Shared file: transfer once per cluster.
+                let key = (cluster, task.file);
+                let must_fetch = {
+                    let mut c = cache2.lock();
+                    match c.get(&key) {
+                        None => {
+                            c.insert(key, Stage::InFlight);
+                            true
+                        }
+                        Some(_) => false,
+                    }
+                };
+                if must_fetch {
+                    // Pull from storage (route is symmetric).
+                    ctx.transfer(storage, files[task.file]);
+                    cache2.lock().insert(key, Stage::Ready);
+                } else {
+                    while cache2.lock()[&key] == Stage::InFlight {
+                        ctx.sleep(1.0);
+                    }
+                }
+                ctx.transfer(storage, task.unique_bytes);
+                ctx.compute(task.flops);
+            }
+            let t = ctx.now();
+            let mut d = done2.lock();
+            if t > *d {
+                *d = t;
+            }
+        });
+    }
+    eng.run();
+    let t = *done_t.lock();
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grads_sim::topology::GridBuilder;
+
+    /// Two compute clusters (one fast, one slow) plus a storage site, with
+    /// a slow WAN — the HCW 2000 setting where XSufferage shines.
+    fn psa_grid() -> (Grid, Vec<HostId>, HostId) {
+        let mut b = GridBuilder::new();
+        let st = b.cluster("STORAGE");
+        b.local_link(st, 1e8, 1e-4);
+        let storage = b.add_host(st, &HostSpec::with_speed(1e9));
+        let fast = b.cluster("FAST");
+        b.local_link(fast, 1e8, 1e-4);
+        let f = b.add_hosts(fast, 4, &HostSpec::with_speed(3e9));
+        let slow = b.cluster("SLOW");
+        b.local_link(slow, 1e8, 1e-4);
+        let s = b.add_hosts(slow, 4, &HostSpec::with_speed(1.5e9));
+        b.connect(st, fast, 1e7, 0.02);
+        b.connect(st, slow, 1e7, 0.02);
+        b.connect(fast, slow, 1e7, 0.01);
+        let grid = b.build().unwrap();
+        let mut hosts = f;
+        hosts.extend(s);
+        (grid, hosts, storage)
+    }
+
+    #[test]
+    fn all_tasks_assigned_everywhere() {
+        let (grid, hosts, storage) = psa_grid();
+        let nws = NwsService::new();
+        let wl = generate(&PsaConfig::default());
+        for s in PsaStrategy::all() {
+            let sched = schedule_psa(&wl, &grid, &nws, &hosts, storage, s);
+            assert_eq!(sched.assignment.len(), wl.tasks.len());
+            assert!(sched.assignment.iter().all(|&a| a < hosts.len()), "{}", s.name());
+            assert!(sched.makespan > 0.0);
+        }
+    }
+
+    #[test]
+    fn informed_strategies_beat_round_robin() {
+        let (grid, hosts, storage) = psa_grid();
+        let nws = NwsService::new();
+        let wl = generate(&PsaConfig::default());
+        let rr = schedule_psa(&wl, &grid, &nws, &hosts, storage, PsaStrategy::RoundRobin);
+        for s in [PsaStrategy::MinMin, PsaStrategy::Sufferage, PsaStrategy::XSufferage] {
+            let sched = schedule_psa(&wl, &grid, &nws, &hosts, storage, s);
+            assert!(
+                sched.makespan <= rr.makespan * 1.05,
+                "{}: {} vs rr {}",
+                s.name(),
+                sched.makespan,
+                rr.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn xsufferage_exploits_file_reuse() {
+        // Large shared files, few of them: cluster-level reuse dominates.
+        let (grid, hosts, storage) = psa_grid();
+        let nws = NwsService::new();
+        let cfg = PsaConfig {
+            n_tasks: 40,
+            n_files: 4,
+            file_bytes: 1e9, // 100 s over the 10 MB/s WAN
+            flops: (2e9, 2e10),
+            ..Default::default()
+        };
+        let wl = generate(&cfg);
+        let xs = schedule_psa(&wl, &grid, &nws, &hosts, storage, PsaStrategy::XSufferage);
+        let suf = schedule_psa(&wl, &grid, &nws, &hosts, storage, PsaStrategy::Sufferage);
+        let mm = schedule_psa(&wl, &grid, &nws, &hosts, storage, PsaStrategy::MinMin);
+        // The HCW 2000 result, judged on the ground truth (emulated
+        // execution): XSufferage at least matches the host-level
+        // strategies when file reuse matters.
+        let e_xs = execute_psa(&grid, &wl, &xs, &hosts, storage);
+        let e_suf = execute_psa(&grid, &wl, &suf, &hosts, storage);
+        let e_mm = execute_psa(&grid, &wl, &mm, &hosts, storage);
+        assert!(
+            e_xs <= e_suf * 1.05,
+            "emulated xsufferage {e_xs} vs sufferage {e_suf}"
+        );
+        assert!(
+            e_xs <= e_mm * 1.05,
+            "emulated xsufferage {e_xs} vs min-min {e_mm}"
+        );
+        // File staging counted once per cluster: each file appears in at
+        // most 2 clusters' staged sets (by construction of commit()).
+        let mut transfers = 0;
+        {
+            // Recount by re-simulating the commit sequence.
+            let mut st = GanttState {
+                grid: &grid,
+                nws: &nws,
+                hosts: &hosts,
+                storage,
+                ready: vec![0.0; hosts.len()],
+                staged: HashMap::new(),
+                storage_busy: 0.0,
+            };
+            for (t, &h) in xs.assignment.iter().enumerate() {
+                let before = st.staged.len();
+                st.commit(&wl.tasks[t], h, &wl.files);
+                if st.staged.len() > before {
+                    transfers += 1;
+                }
+            }
+        }
+        assert!(
+            transfers <= cfg.n_files * 2,
+            "at most one staging per (file, cluster): {transfers}"
+        );
+    }
+
+    #[test]
+    fn emulated_execution_tracks_prediction() {
+        let (grid, hosts, storage) = psa_grid();
+        let nws = NwsService::new();
+        let cfg = PsaConfig {
+            n_tasks: 24,
+            ..Default::default()
+        };
+        let wl = generate(&cfg);
+        let sched = schedule_psa(&wl, &grid, &nws, &hosts, storage, PsaStrategy::XSufferage);
+        let measured = execute_psa(&grid, &wl, &sched, &hosts, storage);
+        let ratio = measured / sched.makespan;
+        assert!(
+            (0.6..1.6).contains(&ratio),
+            "measured {measured} vs predicted {} (ratio {ratio})",
+            sched.makespan
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&PsaConfig::default());
+        let b = generate(&PsaConfig::default());
+        for (x, y) in a.tasks.iter().zip(&b.tasks) {
+            assert_eq!(x.flops, y.flops);
+            assert_eq!(x.file, y.file);
+        }
+    }
+}

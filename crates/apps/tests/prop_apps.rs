@@ -1,0 +1,119 @@
+//! Property-based tests of the numeric applications: factorizations must
+//! reconstruct their inputs for arbitrary (size, block, rank-count)
+//! combinations, and the stencil solver must be decomposition-invariant.
+
+use grads_apps::jacobi::{jacobi_serial, jacobi_step, JacobiConfig, JacobiState};
+use grads_apps::lu::{self, LuLocal};
+use grads_apps::qr::{self, QrConfig, QrLocal};
+use grads_mpi::launch;
+use grads_sim::prelude::*;
+use grads_sim::topology::GridBuilder;
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn grid(p: usize) -> (Grid, Vec<HostId>) {
+    let mut b = GridBuilder::new();
+    let c = b.cluster("X");
+    b.local_link(c, 1e8, 1e-4);
+    let hs = b.add_hosts(c, p, &HostSpec::with_speed(1e9));
+    (b.build().unwrap(), hs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// QR reconstructs A = Q·R for arbitrary shapes and distributions.
+    #[test]
+    fn qr_reconstructs(
+        n in 8usize..28,
+        block in 1usize..6,
+        p in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let (g, hs) = grid(p);
+        let mut eng = Engine::new(g);
+        let mut cfg = QrConfig::full(n, block);
+        cfg.seed = seed;
+        let err = Arc::new(Mutex::new(-1.0f64));
+        let err2 = err.clone();
+        launch(&mut eng, "qr", &hs, move |ctx, comm| {
+            let mut local = QrLocal::generate(&cfg, comm.rank(), comm.size());
+            qr::run_qr_rank(ctx, comm, &cfg, &mut local, None, 0);
+            if let Some((packed, tau)) = qr::gather_factors(ctx, comm, &cfg, &local) {
+                *err2.lock() = qr::verify_reconstruction(&cfg, &packed, &tau);
+            }
+        });
+        eng.run();
+        let e = *err.lock();
+        prop_assert!((0.0..1e-9).contains(&e), "QR error {}", e);
+    }
+
+    /// LU with partial pivoting reconstructs P⁻¹·L·U = A.
+    #[test]
+    fn lu_reconstructs(
+        n in 8usize..28,
+        block in 1usize..6,
+        p in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let (g, hs) = grid(p);
+        let mut eng = Engine::new(g);
+        let mut cfg = QrConfig::full(n, block);
+        cfg.seed = seed;
+        let err = Arc::new(Mutex::new(-1.0f64));
+        let err2 = err.clone();
+        launch(&mut eng, "lu", &hs, move |ctx, comm| {
+            let mut local = LuLocal::generate(&cfg, comm.rank(), comm.size());
+            lu::run_lu_rank(ctx, comm, &cfg, &mut local, None, 0);
+            if let Some((packed, ipiv)) = lu::gather_factors(ctx, comm, &cfg, &local) {
+                *err2.lock() = lu::verify_reconstruction(&cfg, &packed, &ipiv);
+            }
+        });
+        eng.run();
+        let e = *err.lock();
+        prop_assert!((0.0..1e-9).contains(&e), "LU error {}", e);
+    }
+
+    /// Jacobi: any decomposition produces the serial field exactly.
+    #[test]
+    fn jacobi_decomposition_invariant(
+        n in 8usize..24,
+        iters in 5u64..40,
+        p in 1usize..5,
+    ) {
+        let cfg = JacobiConfig {
+            n,
+            iters,
+            ..Default::default()
+        };
+        prop_assume!(n - 2 >= p); // every rank needs at least one row
+        let serial = jacobi_serial(&cfg);
+        let (g, hs) = grid(p);
+        let mut eng = Engine::new(g);
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let out2 = out.clone();
+        let cfg2 = cfg.clone();
+        launch(&mut eng, "jac", &hs, move |ctx, comm| {
+            let mut st = JacobiState::new(&cfg2, comm.size(), comm.rank());
+            while !jacobi_step(ctx, comm, &cfg2, &mut st) {}
+            let nn = cfg2.n;
+            let (lo, hi) = st.rows;
+            let mine: Vec<f64> = st.u[nn..(hi - lo + 1) * nn].to_vec();
+            if let Some(chunks) = comm.gather_t(ctx, 0, 8.0 * mine.len() as f64, (lo, mine)) {
+                let mut full = vec![0.0; nn * nn];
+                full[..nn].fill(cfg2.hot);
+                for (lo_r, rows) in chunks {
+                    full[lo_r * nn..lo_r * nn + rows.len()].copy_from_slice(&rows);
+                }
+                *out2.lock() = full;
+            }
+        });
+        eng.run();
+        let par = out.lock().clone();
+        prop_assert_eq!(par.len(), serial.len());
+        for (a, b) in par.iter().zip(&serial) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! **A-FT** (DESIGN.md): fault-tolerance ablation — the §5 future-work
+//! capability built on the paper's own machinery (periodic SRS checkpoints
+//! to stable IBP storage, heartbeat-based failure suspicion, restart-style
+//! rescheduling onto survivors).
+//!
+//! Sweeps the periodic-checkpoint cadence against a mid-run host failure,
+//! showing the classic tradeoff: tighter cadence costs more during healthy
+//! execution but loses less work on failure. A no-failure column isolates
+//! the pure checkpointing overhead.
+//!
+//! Usage: `cargo run --release -p grads-bench --bin ablation_failover`
+
+use grads_core::apps::{run_ft_experiment, FtExperimentConfig};
+use grads_core::sim::topology::macrogrid_qr;
+
+fn main() {
+    let grid = macrogrid_qr();
+    let workers = grid.hosts_of("UTK");
+    let depot = grid.hosts_of("UIUC")[0];
+    println!("A-FT — periodic checkpointing vs a host failure (QR N=8000 on UTK,");
+    println!("stable depot at UIUC, utk-0 fails at t = 120 s)\n");
+    println!(
+        "{:>14} {:>16} {:>16} {:>12} {:>12}",
+        "ckpt cadence", "healthy total(s)", "failure total(s)", "lost steps", "recoveries"
+    );
+    for &every in &[1usize, 2, 4, 8, 16] {
+        let healthy = FtExperimentConfig {
+            ckpt_every_chunks: every,
+            fail_at: 1e9,
+            ..Default::default()
+        };
+        let rh = run_ft_experiment(grid.clone(), &workers, depot, healthy);
+        let faulty = FtExperimentConfig {
+            ckpt_every_chunks: every,
+            ..Default::default()
+        };
+        let rf = run_ft_experiment(grid.clone(), &workers, depot, faulty);
+        assert!(rh.completed && rf.completed, "runs must complete");
+        println!(
+            "{:>10} chnk {:>16.1} {:>16.1} {:>12} {:>12}",
+            every, rh.total_time, rf.total_time, rf.lost_steps, rf.recoveries
+        );
+    }
+    println!("\nshape to check: healthy-run time grows as the cadence tightens (checkpoint");
+    println!("traffic to the stable depot), failure-run lost work shrinks; the sweet spot");
+    println!("balances the two. Every failure run recovers exactly once and completes on");
+    println!("the surviving hosts.");
+}

@@ -1,0 +1,66 @@
+//! **A-RESCHED** (DESIGN.md): migration-decision sensitivity, after the
+//! parameters studied in Vadhiyar & Dongarra's companion paper \[21\] — the
+//! magnitude of the competing load and the time it arrives.
+//!
+//! For a fixed problem size, sweeps (load amount × injection time) and
+//! reports the default rescheduler's decision plus both forced branches,
+//! so every decision can be judged against ground truth.
+//!
+//! Usage: `cargo run --release -p grads-bench --bin ablation_resched [N]`
+
+use grads_core::apps::{run_qr_experiment, QrExperimentConfig};
+use grads_core::reschedule::ReschedulerMode;
+use grads_core::sim::topology::macrogrid_qr;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12_000);
+    println!("A-RESCHED — decision sensitivity at N = {n} (load amount x injection time)\n");
+    println!(
+        "{:>6} {:>8} | {:>10} {:>10} {:>9} | {:>8} {:>7}",
+        "load", "t_inj", "stay(s)", "migrate(s)", "winner", "default", "verdict"
+    );
+
+    for &amount in &[2.0f64, 6.0, 12.0] {
+        for &t_inj in &[100.0f64, 300.0, 600.0] {
+            let mk = |mode: ReschedulerMode| {
+                let mut c = QrExperimentConfig::paper(n);
+                c.load_amount = amount;
+                c.load_at = t_inj;
+                c.mode = mode;
+                run_qr_experiment(macrogrid_qr(), c)
+            };
+            let stay = mk(ReschedulerMode::ForceStay);
+            let go = mk(ReschedulerMode::ForceMigrate);
+            let dflt = mk(ReschedulerMode::Default);
+            let tie = (stay.total_time - go.total_time).abs() < 0.02 * stay.total_time;
+            let winner = if tie {
+                "tie"
+            } else if go.total_time < stay.total_time {
+                "migrate"
+            } else {
+                "stay"
+            };
+            let verdict = if tie {
+                "tie"
+            } else if dflt.migrated == (go.total_time < stay.total_time) {
+                "RIGHT"
+            } else {
+                "WRONG"
+            };
+            println!(
+                "{amount:>6.0} {t_inj:>8.0} | {:>10.1} {:>10.1} {:>9} | {:>8} {:>7}",
+                stay.total_time,
+                go.total_time,
+                winner,
+                if dflt.migrated { "migrate" } else { "stay" },
+                verdict
+            );
+        }
+    }
+    println!("\nshape to check (per [21]): heavier and earlier load favours migration;");
+    println!("light or late load does not amortize the checkpoint-read cost, and the");
+    println!("default rescheduler should track that boundary.");
+}

@@ -1,0 +1,49 @@
+//! **A-SWAP** (DESIGN.md): swap-policy comparison, after the policies
+//! studied in Sievert & Casanova \[14\].
+//!
+//! Runs the Figure 4 scenario under each policy and threshold, reporting
+//! completion time and the number of swaps actuated.
+//!
+//! Usage: `cargo run --release -p grads-bench --bin ablation_swap`
+
+use grads_core::apps::{run_nbody_experiment, NbodyConfig, NbodyExperimentConfig};
+use grads_core::reschedule::SwapPolicy;
+use grads_core::sim::topology::microgrid_nbody;
+
+fn main() {
+    let grid = microgrid_nbody();
+    let mut workers = grid.hosts_of("UTK");
+    workers.extend(grid.hosts_of("UIUC"));
+    let monitor = grid.hosts_of("UCSD")[0];
+    let base = NbodyExperimentConfig {
+        app: NbodyConfig {
+            n_bodies: 96,
+            iters: 300,
+            flops_per_pair: 2e5,
+            ..Default::default()
+        },
+        t_max: 4000.0,
+        ..Default::default()
+    };
+
+    println!("A-SWAP — swap policies on the Figure 4 scenario\n");
+    println!("{:<24} {:>14} {:>8}", "policy", "completion(s)", "swaps");
+    let policies: [(&str, SwapPolicy); 7] = [
+        ("never", SwapPolicy::Never),
+        ("greedy(factor 1.2)", SwapPolicy::Greedy { factor: 1.2 }),
+        ("greedy(factor 1.5)", SwapPolicy::Greedy { factor: 1.5 }),
+        ("greedy(factor 2.0)", SwapPolicy::Greedy { factor: 2.0 }),
+        ("greedy(factor 4.0)", SwapPolicy::Greedy { factor: 4.0 }),
+        ("worst-first(2.0)", SwapPolicy::WorstFirst { factor: 2.0 }),
+        ("pack-cluster(1.5)", SwapPolicy::PackCluster { factor: 1.5 }),
+    ];
+    for (name, policy) in policies {
+        let mut cfg = base.clone();
+        cfg.policy = policy;
+        let r = run_nbody_experiment(grid.clone(), &workers, monitor, cfg);
+        println!("{name:<24} {:>14.1} {:>8}", r.end_time, r.swaps.len());
+    }
+    println!("\nshape to check: any reasonable threshold recovers most of the loss; an");
+    println!("over-strict threshold (4.0) behaves like never-swap; the mechanism itself");
+    println!("is cheap (one state transfer per swap).");
+}

@@ -1,0 +1,72 @@
+//! **T-ECON**: Grid-economy resource allocation (the §5 future-work
+//! capability, after G-commerce \[24\]) — commodities market vs auction on
+//! grid-shaped supply/demand mixes.
+//!
+//! Usage: `cargo run --release -p grads-bench --bin economy_table`
+
+use grads_core::sched::{
+    auction_allocate, jain_fairness, price_volatility, CommodityMarket, Consumer, Producer,
+};
+
+fn scenario(name: &str, producers: Vec<Producer>, consumers: Vec<Consumer>) {
+    let supply = CommodityMarket::supply(&producers);
+    let mut market = CommodityMarket::default();
+    let eq = market.clear(&producers, &consumers, 500, 0.01);
+    let market_sold: f64 = eq.allocations.iter().sum();
+    let tail = &eq.price_history[eq.price_history.len().saturating_sub(3)..];
+    let auction = auction_allocate(&producers, &consumers);
+    let auction_sold: f64 = auction.allocations.iter().sum();
+    println!("{name} (supply {supply:.0} slots, {} consumers):", consumers.len());
+    println!(
+        "  commodities market: price {:>7.3}  utilization {:>5.1}%  fairness {:.3}  volatility {:.4}  ({} iters{})",
+        eq.price,
+        market_sold / supply * 100.0,
+        jain_fairness(&eq.allocations),
+        price_volatility(tail),
+        eq.iterations,
+        if eq.converged { "" } else { ", NOT converged" }
+    );
+    println!(
+        "  auction:            avg price {:>3.3}  utilization {:>5.1}%  fairness {:.3}  volatility {:.4}",
+        auction.slot_prices.iter().sum::<f64>() / auction.slot_prices.len().max(1) as f64,
+        auction_sold / supply * 100.0,
+        jain_fairness(&auction.allocations),
+        price_volatility(&auction.slot_prices),
+    );
+    println!();
+}
+
+fn main() {
+    println!("T-ECON — market formulations for Grid resource allocation\n");
+    scenario(
+        "balanced",
+        vec![Producer { capacity: 50.0 }, Producer { capacity: 50.0 }],
+        vec![
+            Consumer { budget: 100.0, max_demand: 50.0 },
+            Consumer { budget: 100.0, max_demand: 50.0 },
+            Consumer { budget: 100.0, max_demand: 50.0 },
+        ],
+    );
+    scenario(
+        "over-subscribed (4x demand)",
+        vec![Producer { capacity: 40.0 }],
+        (0..8)
+            .map(|i| Consumer {
+                budget: 50.0 + 10.0 * i as f64,
+                max_demand: 20.0,
+            })
+            .collect(),
+    );
+    scenario(
+        "under-subscribed",
+        vec![Producer { capacity: 500.0 }],
+        vec![
+            Consumer { budget: 10.0, max_demand: 30.0 },
+            Consumer { budget: 10.0, max_demand: 20.0 },
+        ],
+    );
+    println!("shape to check (per G-commerce): both formulations allocate scarce capacity");
+    println!("to higher-budget consumers; the commodities market's equilibrium price is");
+    println!("stable while sequential auction prices drift as budgets drain; under-");
+    println!("subscribed markets floor out with everyone served.");
+}

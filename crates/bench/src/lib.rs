@@ -1,0 +1,39 @@
+//! # grads-bench — evaluation harnesses
+//!
+//! One binary per paper artifact (see DESIGN.md's per-experiment index):
+//!
+//! * `fig3_qr_migration` — Figure 3: QR stop/restart bars with phase
+//!   breakdown, decision correctness, and the worst-case-overhead wrong
+//!   decision;
+//! * `fig4_nbody_swap` — Figure 4: N-body progress under process swapping;
+//! * `eman_workflow` — §3.3: EMAN on the heterogeneous grid;
+//! * `heuristics_table` — min-min / max-min / sufferage vs baselines over
+//!   randomized workloads;
+//! * `ablation_weights`, `ablation_resched`, `ablation_swap` — design-
+//!   choice ablations.
+//!
+//! `benches/microbench.rs` holds the Criterion microbenchmarks of the
+//! substrate itself.
+
+/// Render one breakdown row of the Figure 3 table.
+pub fn breakdown_row(label: &str, b: &grads_core::binder::Breakdown) -> String {
+    format!(
+        "{label:<22} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>9.1} {:>9.1}",
+        b.resource_selection,
+        b.perf_modeling,
+        b.grid_overhead,
+        b.app_start,
+        b.checkpoint_write,
+        b.checkpoint_read,
+        b.app_duration,
+        b.total()
+    )
+}
+
+/// Header matching [`breakdown_row`].
+pub fn breakdown_header() -> String {
+    format!(
+        "{:<22} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9} {:>9}",
+        "run", "select", "model", "gridovh", "start", "ckpt-w", "ckpt-r", "app", "TOTAL"
+    )
+}

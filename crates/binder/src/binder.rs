@@ -1,0 +1,368 @@
+//! The distributed GrADS binder (§2).
+//!
+//! The original binder edited whole application binaries and only worked
+//! on homogeneous Pentium clusters; the new binder described in the paper
+//! ships a *compilation package* — source in an intermediate
+//! representation, a library list, and a configure script — and runs a
+//! **local binder** on every scheduled host: it queries GIS for library
+//! locations, instruments the code with Autopilot sensors, and configures
+//! and compiles for the local architecture. That is what makes
+//! heterogeneous (IA-32 + IA-64) schedules possible.
+//!
+//! Here the global binder is a simulated process that ships the IR to each
+//! scheduled host, spawns local binder processes that pay per-architecture
+//! configure+compile time, and collects acknowledgements.
+
+use crate::gis::Gis;
+use grads_sim::prelude::*;
+use grads_sim::process::mail_key;
+
+/// What the program preparation system hands the binder.
+#[derive(Debug, Clone)]
+pub struct CompilationPackage {
+    /// Application name (used in mailbox keys and error messages).
+    pub app_name: String,
+    /// Libraries that must be pre-installed (registered in GIS) on every
+    /// scheduled host.
+    pub required_libs: Vec<String>,
+    /// Minimum acceptable versions per library (lexicographic compare on
+    /// dotted components); libraries absent from this map accept any
+    /// version.
+    pub min_versions: Vec<(String, String)>,
+    /// Size of the IR shipped to each host, bytes.
+    pub ir_bytes: f64,
+    /// Configure + compile cost on the target, flops.
+    pub compile_flops: f64,
+    /// Extra instrumentation (sensor insertion) cost, flops.
+    pub instrument_flops: f64,
+}
+
+impl CompilationPackage {
+    /// A small default package for an application.
+    pub fn new(app_name: &str, required_libs: &[&str]) -> Self {
+        CompilationPackage {
+            app_name: app_name.to_string(),
+            required_libs: required_libs.iter().map(|s| s.to_string()).collect(),
+            min_versions: Vec::new(),
+            ir_bytes: 2e6,
+            compile_flops: 5e9,
+            instrument_flops: 5e8,
+        }
+    }
+
+    /// Require at least `version` of `lib` on every scheduled host.
+    pub fn require_version(mut self, lib: &str, version: &str) -> Self {
+        self.min_versions.push((lib.to_string(), version.to_string()));
+        self
+    }
+}
+
+/// Compare dotted version strings component-wise (numeric where possible,
+/// lexicographic otherwise): `version_at_least("1.10", "1.9") == true`.
+pub fn version_at_least(have: &str, want: &str) -> bool {
+    let parse = |s: &str| -> Vec<Result<u64, String>> {
+        s.split('.')
+            .map(|c| c.parse::<u64>().map_err(|_| c.to_string()))
+            .collect()
+    };
+    let (h, w) = (parse(have), parse(want));
+    for i in 0..h.len().max(w.len()) {
+        let hv = h.get(i);
+        let wv = w.get(i);
+        let ord = match (hv, wv) {
+            (None, None) => std::cmp::Ordering::Equal,
+            (None, Some(_)) => std::cmp::Ordering::Less,
+            (Some(_), None) => std::cmp::Ordering::Greater,
+            (Some(Ok(a)), Some(Ok(b))) => a.cmp(b),
+            (Some(a), Some(b)) => format!("{a:?}").cmp(&format!("{b:?}")),
+        };
+        match ord {
+            std::cmp::Ordering::Equal => continue,
+            std::cmp::Ordering::Greater => return true,
+            std::cmp::Ordering::Less => return false,
+        }
+    }
+    true
+}
+
+/// Binder failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BinderError {
+    /// A required library (or the local binder itself) is not installed on
+    /// a scheduled host.
+    MissingSoftware { host: HostId, what: String },
+    /// An installed library is older than the package requires.
+    VersionTooOld {
+        host: HostId,
+        lib: String,
+        have: String,
+        want: String,
+    },
+}
+
+impl std::fmt::Display for BinderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BinderError::MissingSoftware { host, what } => {
+                write!(f, "host {host}: required software {what:?} not in GIS")
+            }
+            BinderError::VersionTooOld {
+                host,
+                lib,
+                have,
+                want,
+            } => write!(
+                f,
+                "host {host}: {lib} {have} installed but >= {want} required"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BinderError {}
+
+/// Result of a successful bind: the application is configured, compiled
+/// and instrumented on every scheduled host.
+#[derive(Debug, Clone)]
+pub struct BoundApp {
+    /// Hosts the application is bound on.
+    pub hosts: Vec<HostId>,
+    /// Architecture each host was configured for.
+    pub archs: Vec<Arch>,
+    /// Virtual time the bind took.
+    pub bind_time: f64,
+}
+
+/// The name under which the local binder must be registered in GIS.
+pub const LOCAL_BINDER: &str = "local-binder";
+
+/// Run the global binder from inside the simulation (typically called by
+/// the application manager). Validates software availability through GIS,
+/// ships the IR to every host, runs local binders in parallel, and waits
+/// for all acknowledgements.
+pub fn run_binder(
+    ctx: &mut Ctx,
+    gis: &Gis,
+    grid: &Grid,
+    pkg: &CompilationPackage,
+    hosts: &[HostId],
+) -> Result<BoundApp, BinderError> {
+    let t0 = ctx.now();
+    // Locate the local binder and every required library on each host,
+    // querying GIS (the paper's global binder does exactly this walk).
+    for &h in hosts {
+        if gis.locate(ctx, h, LOCAL_BINDER).is_none() {
+            return Err(BinderError::MissingSoftware {
+                host: h,
+                what: LOCAL_BINDER.to_string(),
+            });
+        }
+        for lib in &pkg.required_libs {
+            let Some(rec) = gis.locate(ctx, h, lib) else {
+                return Err(BinderError::MissingSoftware {
+                    host: h,
+                    what: lib.clone(),
+                });
+            };
+            if let Some((_, want)) = pkg.min_versions.iter().find(|(l, _)| l == lib) {
+                if !version_at_least(&rec.version, want) {
+                    return Err(BinderError::VersionTooOld {
+                        host: h,
+                        lib: lib.clone(),
+                        have: rec.version,
+                        want: want.clone(),
+                    });
+                }
+            }
+        }
+    }
+    // Launch local binders; each acknowledges on a dedicated mailbox.
+    let ack_key = mail_key(&[0xB1DD, ctx.pid().0 as u64, ctx.now().to_bits()]);
+    let my_host = ctx.host();
+    for (i, &h) in hosts.iter().enumerate() {
+        // Ship the IR, then bind locally.
+        let pkgc = pkg.clone();
+        let idx = i as u64;
+        ctx.spawn(
+            &format!("local-binder-{}-{}", pkg.app_name, i),
+            h,
+            move |lctx| {
+                // Local binder: instrument with sensors, configure, compile
+                // for the local architecture.
+                lctx.compute(pkgc.instrument_flops);
+                lctx.compute(pkgc.compile_flops);
+                lctx.isend(ack_key, my_host, 256.0, Box::new(idx));
+            },
+        );
+        // The IR travels from the manager to the host.
+        ctx.transfer(h, pkg.ir_bytes);
+    }
+    for _ in hosts {
+        let _ = ctx.recv(ack_key);
+    }
+    let archs = hosts.iter().map(|&h| grid.host(h).arch.clone()).collect();
+    Ok(BoundApp {
+        hosts: hosts.to_vec(),
+        archs,
+        bind_time: ctx.now() - t0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grads_sim::topology::{Arch, GridBuilder, HostSpec};
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    fn hetero_grid() -> (Grid, Vec<HostId>) {
+        let mut b = GridBuilder::new();
+        let x = b.cluster("X");
+        b.local_link(x, 1e7, 1e-3);
+        let h32 = b.add_host(x, &HostSpec::with_speed(1e9));
+        let h64 = b.add_host(
+            x,
+            &HostSpec {
+                speed: 1.5e9,
+                arch: Arch::Ia64,
+                ..Default::default()
+            },
+        );
+        (b.build().unwrap(), vec![h32, h64])
+    }
+
+    #[test]
+    fn binds_on_heterogeneous_hosts() {
+        let (grid, hs) = hetero_grid();
+        let gis = Gis::new();
+        gis.register_all(&hs, LOCAL_BINDER, "1", "/grads/bin");
+        gis.register_all(&hs, "scalapack", "1.7", "/opt/sl");
+        let mut eng = Engine::new(grid.clone());
+        let out = Arc::new(Mutex::new(None));
+        let out2 = out.clone();
+        let hs2 = hs.clone();
+        eng.spawn("manager", hs[0], move |ctx| {
+            let pkg = CompilationPackage::new("qr", &["scalapack"]);
+            let bound = run_binder(ctx, &gis, &grid, &pkg, &hs2).unwrap();
+            *out2.lock() = Some(bound);
+        });
+        eng.run();
+        let bound = out.lock().clone().unwrap();
+        assert_eq!(bound.hosts.len(), 2);
+        assert_eq!(bound.archs, vec![Arch::Ia32, Arch::Ia64]);
+        // Bind time includes GIS queries, IR shipping and compilation.
+        assert!(bound.bind_time > 0.1, "bind_time = {}", bound.bind_time);
+    }
+
+    #[test]
+    fn missing_library_fails_cleanly() {
+        let (grid, hs) = hetero_grid();
+        let gis = Gis::new();
+        gis.register_all(&hs, LOCAL_BINDER, "1", "/grads/bin");
+        gis.register(hs[0], "scalapack", "1.7", "/opt/sl"); // not on hs[1]
+        let mut eng = Engine::new(grid.clone());
+        let out = Arc::new(Mutex::new(None));
+        let out2 = out.clone();
+        let hs2 = hs.clone();
+        eng.spawn("manager", hs[0], move |ctx| {
+            let pkg = CompilationPackage::new("qr", &["scalapack"]);
+            let r = run_binder(ctx, &gis, &grid, &pkg, &hs2);
+            *out2.lock() = Some(r);
+        });
+        eng.run();
+        let r = out.lock().clone().unwrap();
+        let err = r.unwrap_err();
+        assert_eq!(
+            err,
+            BinderError::MissingSoftware {
+                host: hs[1],
+                what: "scalapack".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn version_comparison() {
+        assert!(version_at_least("1.10", "1.9"));
+        assert!(version_at_least("2.0", "2.0"));
+        assert!(!version_at_least("1.9", "1.10"));
+        assert!(version_at_least("1.2.1", "1.2"));
+        assert!(!version_at_least("1.2", "1.2.1"));
+        assert!(version_at_least("1.7b", "1.7a"));
+    }
+
+    #[test]
+    fn stale_library_version_rejected() {
+        let (grid, hs) = hetero_grid();
+        let gis = Gis::new();
+        gis.register_all(&hs, LOCAL_BINDER, "1", "/grads/bin");
+        gis.register(hs[0], "scalapack", "1.8", "/opt/sl");
+        gis.register(hs[1], "scalapack", "1.6", "/opt/sl"); // too old
+        let mut eng = Engine::new(grid.clone());
+        let out = Arc::new(Mutex::new(None));
+        let out2 = out.clone();
+        let hs2 = hs.clone();
+        eng.spawn("manager", hs[0], move |ctx| {
+            let pkg = CompilationPackage::new("qr", &["scalapack"])
+                .require_version("scalapack", "1.7");
+            *out2.lock() = Some(run_binder(ctx, &gis, &grid, &pkg, &hs2));
+        });
+        eng.run();
+        let got = out.lock().clone().unwrap();
+        match got {
+            Err(BinderError::VersionTooOld { host, have, want, .. }) => {
+                assert_eq!(host, hs[1]);
+                assert_eq!(have, "1.6");
+                assert_eq!(want, "1.7");
+            }
+            other => panic!("expected version rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_local_binder_detected_first() {
+        let (grid, hs) = hetero_grid();
+        let gis = Gis::new(); // nothing registered
+        let mut eng = Engine::new(grid.clone());
+        let out = Arc::new(Mutex::new(None));
+        let out2 = out.clone();
+        let hs2 = hs.clone();
+        eng.spawn("manager", hs[0], move |ctx| {
+            let pkg = CompilationPackage::new("qr", &[]);
+            *out2.lock() = Some(run_binder(ctx, &gis, &grid, &pkg, &hs2));
+        });
+        eng.run();
+        let got = out.lock().clone().unwrap();
+        match got {
+            Err(BinderError::MissingSoftware { what, .. }) => {
+                assert_eq!(what, LOCAL_BINDER);
+            }
+            other => panic!("expected missing binder, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn slow_host_dominates_bind_time() {
+        // Compilation runs in parallel; the slowest host sets the pace.
+        let mut b = GridBuilder::new();
+        let x = b.cluster("X");
+        b.local_link(x, 1e8, 1e-4);
+        let fast = b.add_host(x, &HostSpec::with_speed(1e10));
+        let slow = b.add_host(x, &HostSpec::with_speed(1e8));
+        let grid = b.build().unwrap();
+        let gis = Gis::new();
+        gis.register_all(&[fast, slow], LOCAL_BINDER, "1", "/b");
+        let mut eng = Engine::new(grid.clone());
+        let out = Arc::new(Mutex::new(0.0f64));
+        let out2 = out.clone();
+        eng.spawn("manager", fast, move |ctx| {
+            let pkg = CompilationPackage::new("app", &[]);
+            let bound = run_binder(ctx, &gis, &grid, &pkg, &[fast, slow]).unwrap();
+            *out2.lock() = bound.bind_time;
+        });
+        eng.run();
+        // Slow host: 5.5e9 flops at 1e8 flop/s = 55 s.
+        let bt = *out.lock();
+        assert!(bt > 50.0 && bt < 70.0, "bind_time = {bt}");
+    }
+}

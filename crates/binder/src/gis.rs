@@ -1,0 +1,193 @@
+//! The GrADS Information Service (GIS), an MDS-style directory (§2).
+//!
+//! The binder and scheduler query GIS for resource-specific information:
+//! hardware capabilities (served from the grid topology) and software
+//! locations — application libraries, general libraries, and the binder
+//! itself — registered per host. Queries from inside the emulation charge
+//! a small service round-trip latency, which shows up in the Figure 3
+//! "grid overhead" bars.
+
+use grads_sim::prelude::*;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cost of one GIS query round trip, seconds.
+pub const GIS_QUERY_COST: f64 = 0.05;
+
+/// A registered software artifact on a host.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SoftwareRecord {
+    /// Artifact name, e.g. `"scalapack"` or `"local-binder"`.
+    pub name: String,
+    /// Version string.
+    pub version: String,
+    /// Install path on the host.
+    pub path: String,
+}
+
+/// Hardware description served by GIS (mirrors the topology).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HardwareRecord {
+    /// Host described.
+    pub host: HostId,
+    /// Peak per-core speed, flop/s.
+    pub speed: f64,
+    /// Core count.
+    pub cores: u32,
+    /// Architecture.
+    pub arch: Arch,
+    /// Memory, bytes.
+    pub memory: u64,
+    /// Cache, bytes.
+    pub cache_bytes: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    software: HashMap<HostId, Vec<SoftwareRecord>>,
+}
+
+/// Shared GIS handle.
+#[derive(Clone, Default)]
+pub struct Gis {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Gis {
+    /// Empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a software artifact on a host (setup-time; free).
+    pub fn register(&self, host: HostId, name: &str, version: &str, path: &str) {
+        self.inner
+            .lock()
+            .software
+            .entry(host)
+            .or_default()
+            .push(SoftwareRecord {
+                name: name.to_string(),
+                version: version.to_string(),
+                path: path.to_string(),
+            });
+    }
+
+    /// Register an artifact on many hosts at once.
+    pub fn register_all(&self, hosts: &[HostId], name: &str, version: &str, path: &str) {
+        for &h in hosts {
+            self.register(h, name, version, path);
+        }
+    }
+
+    /// Query (from inside the emulation, paying the round trip): where is
+    /// `name` installed on `host`?
+    pub fn locate(&self, ctx: &mut Ctx, host: HostId, name: &str) -> Option<SoftwareRecord> {
+        ctx.sleep(GIS_QUERY_COST);
+        self.locate_free(host, name)
+    }
+
+    /// Metadata-only lookup without simulated cost (for setup and tests).
+    pub fn locate_free(&self, host: HostId, name: &str) -> Option<SoftwareRecord> {
+        self.inner
+            .lock()
+            .software
+            .get(&host)
+            .and_then(|v| v.iter().find(|r| r.name == name))
+            .cloned()
+    }
+
+    /// Hosts on which all of `names` are installed (no simulated cost;
+    /// callers account one query via [`Gis::locate`] semantics if needed).
+    pub fn hosts_with_all(&self, names: &[String]) -> Vec<HostId> {
+        let inner = self.inner.lock();
+        let mut out: Vec<HostId> = inner
+            .software
+            .iter()
+            .filter(|(_, recs)| {
+                names
+                    .iter()
+                    .all(|n| recs.iter().any(|r| &r.name == n))
+            })
+            .map(|(&h, _)| h)
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Hardware record for a host, from the topology.
+    pub fn hardware(&self, grid: &Grid, host: HostId) -> HardwareRecord {
+        let h = grid.host(host);
+        HardwareRecord {
+            host,
+            speed: h.speed,
+            cores: h.cores,
+            arch: h.arch.clone(),
+            memory: h.memory,
+            cache_bytes: h.cache_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grads_sim::topology::{GridBuilder, HostSpec};
+
+    #[test]
+    fn register_and_locate() {
+        let gis = Gis::new();
+        gis.register(HostId(0), "scalapack", "1.7", "/opt/scalapack");
+        assert_eq!(
+            gis.locate_free(HostId(0), "scalapack").unwrap().path,
+            "/opt/scalapack"
+        );
+        assert!(gis.locate_free(HostId(0), "nope").is_none());
+        assert!(gis.locate_free(HostId(1), "scalapack").is_none());
+    }
+
+    #[test]
+    fn hosts_with_all_filters() {
+        let gis = Gis::new();
+        gis.register(HostId(0), "a", "1", "/a");
+        gis.register(HostId(0), "b", "1", "/b");
+        gis.register(HostId(1), "a", "1", "/a");
+        let hosts = gis.hosts_with_all(&["a".to_string(), "b".to_string()]);
+        assert_eq!(hosts, vec![HostId(0)]);
+        let hosts_a = gis.hosts_with_all(&["a".to_string()]);
+        assert_eq!(hosts_a, vec![HostId(0), HostId(1)]);
+    }
+
+    #[test]
+    fn query_charges_round_trip() {
+        let mut b = GridBuilder::new();
+        let c = b.cluster("X");
+        let hs = b.add_hosts(c, 1, &HostSpec::default());
+        let mut eng = Engine::new(b.build().unwrap());
+        let gis = Gis::new();
+        gis.register(hs[0], "lib", "1", "/lib");
+        let g2 = gis.clone();
+        let h = hs[0];
+        eng.spawn("q", h, move |ctx| {
+            let r = g2.locate(ctx, h, "lib");
+            assert!(r.is_some());
+            let t = ctx.now();
+            ctx.trace("t", t);
+        });
+        let r = eng.run();
+        assert!((r.trace.last_value("t").unwrap() - GIS_QUERY_COST).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hardware_mirrors_topology() {
+        let mut b = GridBuilder::new();
+        let c = b.cluster("X");
+        let hs = b.add_hosts(c, 1, &HostSpec::with_speed(7e8));
+        let grid = b.build().unwrap();
+        let gis = Gis::new();
+        let hw = gis.hardware(&grid, hs[0]);
+        assert_eq!(hw.speed, 7e8);
+        assert_eq!(hw.arch, Arch::Ia32);
+    }
+}

@@ -1,0 +1,16 @@
+//! # grads-binder — GIS, the distributed binder, and the application manager
+//!
+//! The §2 launch machinery: [`gis`] is the MDS-style information service
+//! (hardware capabilities + software locations); [`binder`] is the new
+//! distributed binder that ships IR to every scheduled host and configures,
+//! instruments and compiles locally (enabling heterogeneous IA-32/IA-64
+//! schedules); [`manager`] holds the COP abstraction and the preparation
+//! phases whose virtual-time costs form the Figure 3 breakdown.
+
+pub mod binder;
+pub mod gis;
+pub mod manager;
+
+pub use binder::{run_binder, version_at_least, BinderError, BoundApp, CompilationPackage, LOCAL_BINDER};
+pub use gis::{Gis, HardwareRecord, SoftwareRecord, GIS_QUERY_COST};
+pub use manager::{prepare_and_bind, Breakdown, Cop, ManagerCosts, ManagerError};

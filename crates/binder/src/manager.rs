@@ -1,0 +1,302 @@
+//! The application manager: COP abstraction and the launch-cycle phases
+//! whose costs Figure 3 breaks down.
+//!
+//! A *configurable object program* (COP) packages *"code for the
+//! application (e.g. an MPI program), a mapper that determines how to map
+//! an application's tasks to a set of resources, and an executable
+//! performance model that estimates the application's performance on a set
+//! of resources"* (§1). The application manager drives the execution
+//! cycle: discover resources through GIS, map, model, bind, launch — and
+//! accounts each phase's virtual time in a [`Breakdown`], the exact bar
+//! segments of Figure 3.
+
+use crate::binder::{run_binder, BinderError, BoundApp, CompilationPackage};
+use crate::gis::Gis;
+use grads_nws::NwsService;
+use grads_sim::prelude::*;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Per-incarnation phase costs (seconds of virtual time) — the Figure 3
+/// bar segments.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Breakdown {
+    /// GIS discovery + mapper execution.
+    pub resource_selection: f64,
+    /// Performance-model evaluation.
+    pub perf_modeling: f64,
+    /// Binder and other GrADS machinery.
+    pub grid_overhead: f64,
+    /// Launch / MPI startup synchronization.
+    pub app_start: f64,
+    /// SRS checkpoint writing (stop side of a migration).
+    pub checkpoint_write: f64,
+    /// SRS checkpoint reading + redistribution (restart side).
+    pub checkpoint_read: f64,
+    /// Useful application execution.
+    pub app_duration: f64,
+}
+
+impl Breakdown {
+    /// Total wall time of the incarnation.
+    pub fn total(&self) -> f64 {
+        self.resource_selection
+            + self.perf_modeling
+            + self.grid_overhead
+            + self.app_start
+            + self.checkpoint_write
+            + self.checkpoint_read
+            + self.app_duration
+    }
+
+    /// Element-wise sum of two breakdowns (e.g. both incarnations of a
+    /// migrated run).
+    pub fn merged(&self, o: &Breakdown) -> Breakdown {
+        Breakdown {
+            resource_selection: self.resource_selection + o.resource_selection,
+            perf_modeling: self.perf_modeling + o.perf_modeling,
+            grid_overhead: self.grid_overhead + o.grid_overhead,
+            app_start: self.app_start + o.app_start,
+            checkpoint_write: self.checkpoint_write + o.checkpoint_write,
+            checkpoint_read: self.checkpoint_read + o.checkpoint_read,
+            app_duration: self.app_duration + o.app_duration,
+        }
+    }
+}
+
+/// Fixed per-phase service costs of the manager machinery (tunable; the
+/// paper's measured grid overheads were tens of seconds on 2003
+/// middleware).
+#[derive(Debug, Clone, Copy)]
+pub struct ManagerCosts {
+    /// Mapper execution cost beyond GIS queries, seconds.
+    pub mapper_s: f64,
+    /// Performance-model evaluation cost, seconds.
+    pub perf_model_s: f64,
+    /// MPI launch synchronization cost, seconds.
+    pub launch_sync_s: f64,
+}
+
+impl Default for ManagerCosts {
+    fn default() -> Self {
+        ManagerCosts {
+            mapper_s: 3.0,
+            perf_model_s: 8.0,
+            launch_sync_s: 4.0,
+        }
+    }
+}
+
+/// A configurable object program.
+pub trait Cop: Send + Sync {
+    /// Application name.
+    fn name(&self) -> &str;
+    /// Libraries the binder must find on every host.
+    fn required_libs(&self) -> Vec<String>;
+    /// The compilation package the binder receives.
+    fn package(&self) -> CompilationPackage;
+    /// The mapper: choose resources from the eligible set.
+    fn map(&self, grid: &Grid, nws: &NwsService, eligible: &[HostId]) -> Option<Vec<HostId>>;
+    /// The executable performance model: predicted execution time.
+    fn predict(&self, hosts: &[HostId], grid: &Grid, nws: &NwsService) -> f64;
+}
+
+/// Errors from the manager's preparation phases.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ManagerError {
+    /// No host carries the required software.
+    NoEligibleResources,
+    /// The mapper found no acceptable mapping.
+    MapperFailed,
+    /// The binder failed.
+    Binder(BinderError),
+}
+
+impl std::fmt::Display for ManagerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ManagerError::NoEligibleResources => write!(f, "no eligible resources in GIS"),
+            ManagerError::MapperFailed => write!(f, "COP mapper found no acceptable mapping"),
+            ManagerError::Binder(e) => write!(f, "binder: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ManagerError {}
+
+/// Run the preparation phases of the GrADS execution cycle from inside
+/// the simulation: discovery → mapping (timed as resource selection) →
+/// performance modeling → binding (timed as grid overhead) → launch
+/// synchronization (timed as app start). Returns the chosen hosts, the
+/// bind result, and the phase breakdown (with `app_duration` still zero).
+pub fn prepare_and_bind(
+    ctx: &mut Ctx,
+    cop: &dyn Cop,
+    gis: &Gis,
+    grid: &Grid,
+    nws: &Arc<Mutex<NwsService>>,
+    costs: &ManagerCosts,
+) -> Result<(Vec<HostId>, BoundApp, Breakdown), ManagerError> {
+    let mut bd = Breakdown::default();
+
+    // Resource selection: GIS discovery + the COP's mapper.
+    let t0 = ctx.now();
+    let libs = cop.required_libs();
+    ctx.sleep(crate::gis::GIS_QUERY_COST); // directory sweep
+    let eligible = gis.hosts_with_all(&libs);
+    if eligible.is_empty() {
+        return Err(ManagerError::NoEligibleResources);
+    }
+    ctx.sleep(costs.mapper_s);
+    let mapped = {
+        let n = nws.lock();
+        cop.map(grid, &n, &eligible)
+    };
+    let hosts = mapped.ok_or(ManagerError::MapperFailed)?;
+    bd.resource_selection = ctx.now() - t0;
+
+    // Performance modeling: evaluate the executable model on the mapping.
+    let t1 = ctx.now();
+    ctx.sleep(costs.perf_model_s);
+    let _predicted = {
+        let n = nws.lock();
+        cop.predict(&hosts, grid, &n)
+    };
+    bd.perf_modeling = ctx.now() - t1;
+
+    // Grid overhead: the binder.
+    let t2 = ctx.now();
+    let bound = run_binder(ctx, gis, grid, &cop.package(), &hosts)
+        .map_err(ManagerError::Binder)?;
+    bd.grid_overhead = ctx.now() - t2;
+
+    // Application start: launch synchronization (the binder returns
+    // control to the manager for MPI programs, §2).
+    let t3 = ctx.now();
+    ctx.sleep(costs.launch_sync_s);
+    bd.app_start = ctx.now() - t3;
+
+    Ok((hosts, bound, bd))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binder::LOCAL_BINDER;
+    use grads_sim::topology::{GridBuilder, HostSpec};
+
+    struct ToyCop;
+
+    impl Cop for ToyCop {
+        fn name(&self) -> &str {
+            "toy"
+        }
+        fn required_libs(&self) -> Vec<String> {
+            vec!["libtoy".to_string()]
+        }
+        fn package(&self) -> CompilationPackage {
+            CompilationPackage::new("toy", &["libtoy"])
+        }
+        fn map(&self, grid: &Grid, nws: &NwsService, eligible: &[HostId]) -> Option<Vec<HostId>> {
+            // Fastest-effective host wins.
+            let mut hs = eligible.to_vec();
+            hs.sort_by(|&a, &b| {
+                nws.effective_speed(grid, b)
+                    .total_cmp(&nws.effective_speed(grid, a))
+            });
+            Some(hs[..1].to_vec())
+        }
+        fn predict(&self, hosts: &[HostId], grid: &Grid, nws: &NwsService) -> f64 {
+            1e9 / nws.effective_speed(grid, hosts[0])
+        }
+    }
+
+    fn setup() -> (Grid, Vec<HostId>) {
+        let mut b = GridBuilder::new();
+        let x = b.cluster("X");
+        b.local_link(x, 1e8, 1e-4);
+        let hs = vec![
+            b.add_host(x, &HostSpec::with_speed(1e9)),
+            b.add_host(x, &HostSpec::with_speed(2e9)),
+        ];
+        (b.build().unwrap(), hs)
+    }
+
+    #[test]
+    fn full_preparation_cycle() {
+        let (grid, hs) = setup();
+        let gis = Gis::new();
+        gis.register_all(&hs, LOCAL_BINDER, "1", "/b");
+        gis.register_all(&hs, "libtoy", "1", "/l");
+        let mut eng = Engine::new(grid.clone());
+        let nws = Arc::new(Mutex::new(NwsService::new()));
+        let out = Arc::new(Mutex::new(None));
+        let out2 = out.clone();
+        eng.spawn("manager", hs[0], move |ctx| {
+            let r = prepare_and_bind(
+                ctx,
+                &ToyCop,
+                &gis,
+                &grid,
+                &nws,
+                &ManagerCosts::default(),
+            );
+            *out2.lock() = Some(r);
+        });
+        eng.run();
+        let (hosts, bound, bd) = out.lock().take().unwrap().unwrap();
+        // Mapper picks the 2 Gflop/s host.
+        assert_eq!(hosts, vec![HostId(1)]);
+        assert_eq!(bound.hosts, hosts);
+        assert!(bd.resource_selection >= 3.0);
+        assert!(bd.perf_modeling >= 8.0);
+        assert!(bd.grid_overhead > 0.0);
+        assert!(bd.app_start >= 4.0);
+        assert_eq!(bd.app_duration, 0.0);
+        assert!(bd.total() > 15.0);
+    }
+
+    #[test]
+    fn missing_library_reports_no_resources() {
+        let (grid, hs) = setup();
+        let gis = Gis::new();
+        gis.register_all(&hs, LOCAL_BINDER, "1", "/b"); // no libtoy
+        let mut eng = Engine::new(grid.clone());
+        let nws = Arc::new(Mutex::new(NwsService::new()));
+        let out = Arc::new(Mutex::new(None));
+        let out2 = out.clone();
+        eng.spawn("manager", hs[0], move |ctx| {
+            *out2.lock() = Some(prepare_and_bind(
+                ctx,
+                &ToyCop,
+                &gis,
+                &grid,
+                &nws,
+                &ManagerCosts::default(),
+            ));
+        });
+        eng.run();
+        let got = out.lock().take().unwrap();
+        match got {
+            Err(ManagerError::NoEligibleResources) => {}
+            other => panic!("expected NoEligibleResources, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn breakdown_arithmetic() {
+        let a = Breakdown {
+            resource_selection: 1.0,
+            perf_modeling: 2.0,
+            grid_overhead: 3.0,
+            app_start: 4.0,
+            checkpoint_write: 5.0,
+            checkpoint_read: 6.0,
+            app_duration: 7.0,
+        };
+        assert_eq!(a.total(), 28.0);
+        let b = a.merged(&a);
+        assert_eq!(b.total(), 56.0);
+        assert_eq!(b.checkpoint_read, 12.0);
+    }
+}

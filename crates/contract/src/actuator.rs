@@ -1,0 +1,206 @@
+//! Actuators — the output half of Autopilot's closed loop.
+//!
+//! *"Autopilot provides sensors for performance data acquisition,
+//! actuators for implementing optimization commands and a decision-making
+//! mechanism based on fuzzy logic."* (§1)
+//!
+//! Sensors live on the `RankStats` channels; this module provides the
+//! actuator side: named, typed set-points that a decision process writes
+//! and application/runtime code reads, plus a small closed-loop controller
+//! that drives an actuator from a fuzzy engine — the shape of every
+//! Autopilot control loop.
+
+use crate::fuzzy::FuzzyEngine;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A bus of named scalar set-points. Cloning shares the bus. Writers are
+/// decision processes (monitors, reschedulers); readers are application
+/// or runtime code that polls at convenient points.
+#[derive(Clone, Default)]
+pub struct ActuatorBus {
+    inner: Arc<Mutex<HashMap<String, f64>>>,
+}
+
+impl ActuatorBus {
+    /// Empty bus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set (or create) an actuator's value.
+    pub fn set(&self, name: &str, value: f64) {
+        self.inner.lock().insert(name.to_string(), value);
+    }
+
+    /// Read an actuator, with a default for never-set names.
+    pub fn get_or(&self, name: &str, default: f64) -> f64 {
+        self.inner.lock().get(name).copied().unwrap_or(default)
+    }
+
+    /// Read an actuator if it has ever been set.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.inner.lock().get(name).copied()
+    }
+
+    /// Names currently on the bus, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.inner.lock().keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+/// A fuzzy closed-loop controller over one actuator: each step it
+/// fuzzifies the observed inputs, infers a correction factor, and applies
+/// it multiplicatively to the set-point (clamped to a range).
+///
+/// Example use: adapting the contract monitor's polling period — poll
+/// faster while ratios degrade, back off when they are healthy — which is
+/// precisely the kind of "optimization command" Autopilot actuated.
+pub struct FuzzyController {
+    /// The rule base mapping inputs to a multiplicative correction.
+    pub engine: FuzzyEngine,
+    /// Actuator name controlled.
+    pub actuator: String,
+    /// Bounds on the set-point.
+    pub range: (f64, f64),
+    /// The shared bus.
+    pub bus: ActuatorBus,
+}
+
+impl FuzzyController {
+    /// Observe inputs and update the actuator. Returns the new set-point.
+    /// If no rule fires the set-point is left unchanged.
+    pub fn step(&self, inputs: &HashMap<String, f64>, default: f64) -> f64 {
+        let cur = self.bus.get_or(&self.actuator, default);
+        let next = match self.engine.infer(inputs) {
+            Some(factor) => (cur * factor).clamp(self.range.0, self.range.1),
+            None => cur,
+        };
+        self.bus.set(&self.actuator, next);
+        next
+    }
+}
+
+/// Build the adaptive-poll-period controller: ratio ≈ 1 → relax the
+/// period (×1.5), ratio high → tighten it (×0.5).
+pub fn poll_period_controller(bus: ActuatorBus, min_s: f64, max_s: f64) -> FuzzyController {
+    use crate::fuzzy::Membership;
+    let mut engine = FuzzyEngine::new();
+    engine.term("ratio", "healthy", Membership::FallingEdge(1.0, 1.3));
+    engine.term("ratio", "degrading", Membership::Trap(1.1, 1.3, 1.7, 2.2));
+    engine.term("ratio", "bad", Membership::RisingEdge(1.7, 2.5));
+    engine.rule(&[("ratio", "healthy")], 1.5);
+    engine.rule(&[("ratio", "degrading")], 0.8);
+    engine.rule(&[("ratio", "bad")], 0.5);
+    FuzzyController {
+        engine,
+        actuator: "monitor_period".to_string(),
+        range: (min_s, max_s),
+        bus,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bus_set_get_roundtrip() {
+        let bus = ActuatorBus::new();
+        assert_eq!(bus.get("x"), None);
+        assert_eq!(bus.get_or("x", 7.0), 7.0);
+        bus.set("x", 3.0);
+        assert_eq!(bus.get("x"), Some(3.0));
+        let bus2 = bus.clone();
+        bus2.set("y", 1.0);
+        assert_eq!(bus.names(), vec!["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn controller_tightens_under_degradation() {
+        let bus = ActuatorBus::new();
+        let ctl = poll_period_controller(bus.clone(), 1.0, 60.0);
+        bus.set("monitor_period", 20.0);
+        let mut inp = HashMap::new();
+        inp.insert("ratio".to_string(), 2.6); // clearly bad
+        let p1 = ctl.step(&inp, 20.0);
+        assert!((p1 - 10.0).abs() < 1e-9, "p1 = {p1}");
+        let p2 = ctl.step(&inp, 20.0);
+        assert!(p2 < p1);
+        // Clamped at the floor eventually.
+        for _ in 0..10 {
+            ctl.step(&inp, 20.0);
+        }
+        assert_eq!(bus.get("monitor_period"), Some(1.0));
+    }
+
+    #[test]
+    fn controller_relaxes_when_healthy() {
+        let bus = ActuatorBus::new();
+        let ctl = poll_period_controller(bus.clone(), 1.0, 60.0);
+        bus.set("monitor_period", 10.0);
+        let mut inp = HashMap::new();
+        inp.insert("ratio".to_string(), 1.0);
+        let p = ctl.step(&inp, 10.0);
+        assert!((p - 15.0).abs() < 1e-9);
+        for _ in 0..10 {
+            ctl.step(&inp, 10.0);
+        }
+        assert_eq!(bus.get("monitor_period"), Some(60.0));
+    }
+
+    #[test]
+    fn mixed_ratio_blends_rules() {
+        let bus = ActuatorBus::new();
+        let ctl = poll_period_controller(bus.clone(), 1.0, 60.0);
+        bus.set("monitor_period", 20.0);
+        let mut inp = HashMap::new();
+        inp.insert("ratio".to_string(), 1.2); // healthy + degrading overlap
+        let p = ctl.step(&inp, 20.0);
+        assert!(p > 16.0 && p < 30.0, "blended correction: {p}");
+    }
+
+    #[test]
+    fn controller_in_simulation_closed_loop() {
+        // Drive the controller from inside the emulator: a monitor process
+        // adapts its own poll period from observed ratios.
+        use grads_sim::prelude::*;
+        use grads_sim::topology::{GridBuilder, HostSpec};
+        let mut b = GridBuilder::new();
+        let c = b.cluster("X");
+        let hs = b.add_hosts(c, 1, &HostSpec::with_speed(1e9));
+        let mut eng = Engine::new(b.build().unwrap());
+        let bus = ActuatorBus::new();
+        let bus2 = bus.clone();
+        eng.spawn("adaptive-monitor", hs[0], move |ctx| {
+            let ctl = poll_period_controller(bus2.clone(), 1.0, 32.0);
+            bus2.set("monitor_period", 16.0);
+            // Phase 1: healthy ratios -> period grows.
+            for _ in 0..4 {
+                let period = bus2.get_or("monitor_period", 16.0);
+                ctx.sleep(period);
+                let mut inp = HashMap::new();
+                inp.insert("ratio".to_string(), 1.0);
+                ctl.step(&inp, 16.0);
+            }
+            let relaxed = bus2.get_or("monitor_period", 0.0);
+            ctx.trace("relaxed", relaxed);
+            // Phase 2: bad ratios -> period shrinks fast.
+            for _ in 0..6 {
+                let period = bus2.get_or("monitor_period", 16.0);
+                ctx.sleep(period);
+                let mut inp = HashMap::new();
+                inp.insert("ratio".to_string(), 3.0);
+                ctl.step(&inp, 16.0);
+            }
+            let tightened = bus2.get_or("monitor_period", 0.0);
+            ctx.trace("tightened", tightened);
+        });
+        let r = eng.run();
+        assert_eq!(r.trace.last_value("relaxed"), Some(32.0));
+        assert_eq!(r.trace.last_value("tightened"), Some(1.0));
+    }
+}

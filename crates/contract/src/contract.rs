@@ -1,0 +1,296 @@
+//! Performance contracts and the adaptive contract monitor (§1, §4.1.1).
+//!
+//! A contract predicts how long each instrumented application phase should
+//! take on the scheduled resources. The monitor compares each sensor
+//! report against the prediction:
+//!
+//! *"The contract monitor compares the actual execution times with
+//! predicted ones and calculates the ratio. ... When a given ratio is
+//! greater than the upper tolerance limit, the contract monitor calculates
+//! the average of the computed ratios. If the average is greater than the
+//! upper tolerance limit, it contacts the rescheduler, requesting that the
+//! application be migrated. If the rescheduler chooses not to migrate the
+//! application, the contract monitor adjusts its tolerance limits to new
+//! values. Similarly, when a given ratio is less than the lower tolerance
+//! limit, the contract monitor ... lowers the tolerance limits."*
+
+use crate::fuzzy::{violation_engine, FuzzyEngine};
+use std::collections::{HashMap, VecDeque};
+
+/// A performance contract: per-phase predicted durations plus tolerance
+/// limits on the actual/predicted ratio.
+#[derive(Debug, Clone)]
+pub struct Contract {
+    /// Predicted duration of each monitored phase, seconds.
+    pub predicted: HashMap<String, f64>,
+    /// Violation threshold on the ratio (e.g. 1.5 = 50% slower than
+    /// predicted).
+    pub upper_tolerance: f64,
+    /// Renegotiation threshold for faster-than-predicted execution.
+    pub lower_tolerance: f64,
+    /// Number of recent ratios averaged before declaring a violation.
+    pub window: usize,
+}
+
+impl Contract {
+    /// Contract for a single repeated phase (the common case: one
+    /// iteration of an iterative application).
+    pub fn single_phase(name: &str, predicted: f64, upper: f64, lower: f64, window: usize) -> Self {
+        assert!(predicted > 0.0, "prediction must be positive");
+        assert!(upper > 1.0 && lower < 1.0, "tolerances must bracket 1.0");
+        assert!(window >= 1);
+        let mut p = HashMap::new();
+        p.insert(name.to_string(), predicted);
+        Contract {
+            predicted: p,
+            upper_tolerance: upper,
+            lower_tolerance: lower,
+            window,
+        }
+    }
+}
+
+/// Outcome of one sensor observation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Within the tolerance band.
+    Ok,
+    /// Average ratio exceeded the upper limit: request rescheduling.
+    Violation(Violation),
+    /// Average ratio below the lower limit: the contract was pessimistic;
+    /// the monitor tightened its limits.
+    Renegotiated { new_upper: f64, new_lower: f64 },
+}
+
+/// Details handed to the rescheduler on a violation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Phase that violated.
+    pub phase: String,
+    /// Average actual/predicted ratio over the window.
+    pub avg_ratio: f64,
+    /// Fuzzy violation score in `[0, 1]`.
+    pub score: f64,
+}
+
+/// The contract monitor: consumes sensor reports, tracks ratio history,
+/// detects violations with the fuzzy engine, and adapts its tolerance
+/// limits.
+#[derive(Debug, Clone)]
+pub struct ContractMonitor {
+    /// The active contract (limits mutate as the monitor adapts).
+    pub contract: Contract,
+    ratios: HashMap<String, VecDeque<f64>>,
+    engine: FuzzyEngine,
+    /// Total violations raised.
+    pub violations: u64,
+    /// Total observations consumed.
+    pub observations: u64,
+}
+
+impl ContractMonitor {
+    /// Monitor a contract.
+    pub fn new(contract: Contract) -> Self {
+        let engine = violation_engine(contract.upper_tolerance);
+        ContractMonitor {
+            contract,
+            ratios: HashMap::new(),
+            engine,
+            violations: 0,
+            observations: 0,
+        }
+    }
+
+    fn avg_ratio(&self, phase: &str) -> f64 {
+        let w = &self.ratios[phase];
+        w.iter().sum::<f64>() / w.len() as f64
+    }
+
+    /// Consume one sensor report: `actual` seconds for `phase`.
+    pub fn observe(&mut self, phase: &str, actual: f64) -> Outcome {
+        let Some(&predicted) = self.contract.predicted.get(phase) else {
+            return Outcome::Ok; // unmonitored phase
+        };
+        self.observations += 1;
+        let ratio = actual / predicted;
+        let window = self
+            .ratios
+            .entry(phase.to_string())
+            .or_default();
+        window.push_back(ratio);
+        if window.len() > self.contract.window {
+            window.pop_front();
+        }
+        if ratio > self.contract.upper_tolerance {
+            let avg = self.avg_ratio(phase);
+            if avg > self.contract.upper_tolerance {
+                let mut inputs = HashMap::new();
+                inputs.insert("ratio".to_string(), avg);
+                let score = self.engine.infer(&inputs).unwrap_or(1.0);
+                self.violations += 1;
+                return Outcome::Violation(Violation {
+                    phase: phase.to_string(),
+                    avg_ratio: avg,
+                    score,
+                });
+            }
+        } else if ratio < self.contract.lower_tolerance {
+            let avg = self.avg_ratio(phase);
+            if avg < self.contract.lower_tolerance {
+                // Execution is consistently faster than predicted: tighten
+                // the band around the observed level so later slowdowns
+                // are still caught.
+                let new_upper = (self.contract.upper_tolerance * 0.5
+                    + avg * self.contract.upper_tolerance * 0.5)
+                    .max(avg * 1.2)
+                    .max(1.05);
+                let new_lower = (self.contract.lower_tolerance * avg).max(0.01);
+                self.contract.upper_tolerance = new_upper;
+                self.contract.lower_tolerance = new_lower;
+                self.engine = violation_engine(new_upper);
+                return Outcome::Renegotiated {
+                    new_upper,
+                    new_lower,
+                };
+            }
+        }
+        Outcome::Ok
+    }
+
+    /// Called when the rescheduler declines to migrate after a violation:
+    /// relax the limits so the monitor does not immediately re-raise the
+    /// same violation.
+    pub fn relax(&mut self) {
+        let phase_avgs: Vec<f64> = self
+            .ratios
+            .values()
+            .filter(|w| !w.is_empty())
+            .map(|w| w.iter().sum::<f64>() / w.len() as f64)
+            .collect();
+        let worst = phase_avgs.iter().fold(1.0f64, |a, &b| a.max(b));
+        self.contract.upper_tolerance = self.contract.upper_tolerance.max(worst * 1.1);
+        self.engine = violation_engine(self.contract.upper_tolerance);
+    }
+
+    /// Replace the contract after a successful migration (new resources,
+    /// new predictions) and clear the ratio history.
+    pub fn renew(&mut self, contract: Contract) {
+        self.engine = violation_engine(contract.upper_tolerance);
+        self.contract = contract;
+        self.ratios.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monitor(upper: f64, lower: f64, window: usize) -> ContractMonitor {
+        ContractMonitor::new(Contract::single_phase("iter", 1.0, upper, lower, window))
+    }
+
+    #[test]
+    fn within_band_is_ok() {
+        let mut m = monitor(1.5, 0.7, 3);
+        for _ in 0..10 {
+            assert_eq!(m.observe("iter", 1.1), Outcome::Ok);
+        }
+        assert_eq!(m.violations, 0);
+    }
+
+    #[test]
+    fn single_spike_does_not_violate() {
+        let mut m = monitor(1.5, 0.7, 4);
+        m.observe("iter", 1.0);
+        m.observe("iter", 1.0);
+        m.observe("iter", 1.0);
+        // One bad ratio: the window average (1.75 over these 4 would be
+        // (1+1+1+4)/4 = 1.75 > 1.5) — choose a spike small enough that the
+        // average stays under the limit.
+        assert_eq!(m.observe("iter", 1.6), Outcome::Ok);
+    }
+
+    #[test]
+    fn sustained_slowdown_violates() {
+        let mut m = monitor(1.5, 0.7, 3);
+        m.observe("iter", 1.0);
+        let mut got = None;
+        for _ in 0..5 {
+            if let Outcome::Violation(v) = m.observe("iter", 2.5) {
+                got = Some(v);
+                break;
+            }
+        }
+        let v = got.expect("sustained slowdown must violate");
+        assert!(v.avg_ratio > 1.5);
+        assert!(v.score > 0.5);
+        assert_eq!(v.phase, "iter");
+    }
+
+    #[test]
+    fn relax_suppresses_repeat_violation() {
+        let mut m = monitor(1.5, 0.7, 2);
+        for _ in 0..3 {
+            m.observe("iter", 2.0);
+        }
+        assert!(m.violations >= 1);
+        m.relax();
+        let v_before = m.violations;
+        // Same level no longer violates after relaxing.
+        for _ in 0..5 {
+            assert_eq!(m.observe("iter", 2.0), Outcome::Ok);
+        }
+        assert_eq!(m.violations, v_before);
+        // But a further slowdown does.
+        let mut violated = false;
+        for _ in 0..5 {
+            if matches!(m.observe("iter", 3.5), Outcome::Violation(_)) {
+                violated = true;
+            }
+        }
+        assert!(violated);
+    }
+
+    #[test]
+    fn consistently_fast_renegotiates_downward() {
+        let mut m = monitor(1.5, 0.7, 3);
+        let mut renegotiated = false;
+        for _ in 0..6 {
+            if let Outcome::Renegotiated { new_upper, new_lower } = m.observe("iter", 0.4) {
+                assert!(new_upper < 1.5);
+                assert!(new_lower < 0.7);
+                renegotiated = true;
+                break;
+            }
+        }
+        assert!(renegotiated);
+    }
+
+    #[test]
+    fn unmonitored_phase_ignored() {
+        let mut m = monitor(1.5, 0.7, 3);
+        assert_eq!(m.observe("io", 100.0), Outcome::Ok);
+        assert_eq!(m.observations, 0);
+    }
+
+    #[test]
+    fn renew_resets_history() {
+        let mut m = monitor(1.5, 0.7, 2);
+        m.observe("iter", 2.0);
+        m.observe("iter", 2.0);
+        m.renew(Contract::single_phase("iter", 2.0, 1.5, 0.7, 2));
+        // Ratio of 2.0 s against new prediction 2.0 s is 1.0: fine.
+        assert_eq!(m.observe("iter", 2.0), Outcome::Ok);
+    }
+
+    #[test]
+    fn window_bounds_history() {
+        let mut m = monitor(1.5, 0.7, 2);
+        // Two old bad ratios fall out of the window once good ones arrive.
+        m.observe("iter", 3.0);
+        m.observe("iter", 3.0);
+        m.observe("iter", 1.0);
+        m.observe("iter", 1.0);
+        assert_eq!(m.observe("iter", 1.0), Outcome::Ok);
+    }
+}

@@ -1,0 +1,267 @@
+//! A small fuzzy-logic inference engine, after Autopilot's decision
+//! mechanism.
+//!
+//! *"Autopilot provides sensors for performance data acquisition, actuators
+//! for implementing optimization commands and a decision-making mechanism
+//! based on fuzzy logic."* (§1)
+//!
+//! The engine is zero-order Sugeno: inputs are fuzzified through named
+//! membership functions, rule activations combine with min (AND), and the
+//! crisp output is the activation-weighted average of per-rule output
+//! values. Deterministic and allocation-light — it runs inside the contract
+//! monitor's periodic loop.
+
+use std::collections::HashMap;
+
+/// A membership function over a scalar input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Membership {
+    /// Triangle with feet at `a` and `c`, peak at `b`.
+    Tri(f64, f64, f64),
+    /// Trapezoid with feet at `a` and `d`, plateau from `b` to `c`.
+    Trap(f64, f64, f64, f64),
+    /// 1 below `a`, falling to 0 at `b` (left shoulder).
+    FallingEdge(f64, f64),
+    /// 0 below `a`, rising to 1 at `b` (right shoulder).
+    RisingEdge(f64, f64),
+}
+
+impl Membership {
+    /// Degree of membership of `x`, in `[0, 1]`.
+    pub fn eval(&self, x: f64) -> f64 {
+        let ramp_up = |a: f64, b: f64| {
+            if b <= a {
+                if x >= a {
+                    1.0
+                } else {
+                    0.0
+                }
+            } else {
+                ((x - a) / (b - a)).clamp(0.0, 1.0)
+            }
+        };
+        match *self {
+            Membership::Tri(a, b, c) => {
+                if x <= a || x >= c {
+                    0.0
+                } else if x <= b {
+                    ramp_up(a, b)
+                } else {
+                    1.0 - ramp_up(b, c)
+                }
+            }
+            Membership::Trap(a, b, c, d) => {
+                if x <= a || x >= d {
+                    0.0
+                } else if x < b {
+                    ramp_up(a, b)
+                } else if x <= c {
+                    1.0
+                } else {
+                    1.0 - ramp_up(c, d)
+                }
+            }
+            Membership::FallingEdge(a, b) => 1.0 - ramp_up(a, b),
+            Membership::RisingEdge(a, b) => ramp_up(a, b),
+        }
+    }
+}
+
+/// One antecedent clause: `input IS term`.
+#[derive(Debug, Clone)]
+pub struct Clause {
+    /// Input variable name.
+    pub var: String,
+    /// Term (membership function) name within that variable.
+    pub term: String,
+}
+
+/// A Sugeno rule: AND of clauses → crisp output contribution.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// Antecedents, combined with min.
+    pub clauses: Vec<Clause>,
+    /// Output value contributed at full activation.
+    pub output: f64,
+}
+
+/// The inference engine: variables with named terms, plus rules.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzyEngine {
+    vars: HashMap<String, HashMap<String, Membership>>,
+    rules: Vec<Rule>,
+}
+
+impl FuzzyEngine {
+    /// Empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Define a term for an input variable.
+    pub fn term(&mut self, var: &str, term: &str, m: Membership) -> &mut Self {
+        self.vars
+            .entry(var.to_string())
+            .or_default()
+            .insert(term.to_string(), m);
+        self
+    }
+
+    /// Add a rule: `clauses` is a list of `(var, term)` pairs.
+    pub fn rule(&mut self, clauses: &[(&str, &str)], output: f64) -> &mut Self {
+        self.rules.push(Rule {
+            clauses: clauses
+                .iter()
+                .map(|(v, t)| Clause {
+                    var: v.to_string(),
+                    term: t.to_string(),
+                })
+                .collect(),
+            output,
+        });
+        self
+    }
+
+    /// Run inference on crisp inputs. Returns the weighted-average output,
+    /// or `None` if no rule fires (or the engine has no rules).
+    ///
+    /// # Panics
+    /// Panics if a rule references an undefined variable or term — that is
+    /// a construction bug, not a runtime condition.
+    pub fn infer(&self, inputs: &HashMap<String, f64>) -> Option<f64> {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for rule in &self.rules {
+            let mut act: f64 = 1.0;
+            for c in &rule.clauses {
+                let x = *inputs
+                    .get(&c.var)
+                    .unwrap_or_else(|| panic!("missing input {:?}", c.var));
+                let m = self
+                    .vars
+                    .get(&c.var)
+                    .and_then(|ts| ts.get(&c.term))
+                    .unwrap_or_else(|| panic!("undefined term {}.{}", c.var, c.term));
+                act = act.min(m.eval(x));
+            }
+            num += act * rule.output;
+            den += act;
+        }
+        (den > 1e-12).then(|| num / den)
+    }
+}
+
+/// Build the contract monitor's standard violation engine: maps the
+/// actual/predicted time ratio (relative to the tolerance band) to a
+/// violation score in `[0, 1]`.
+///
+/// * ratio well inside the band → ~0
+/// * ratio near the upper limit → ~0.5
+/// * ratio far above the upper limit → ~1
+pub fn violation_engine(upper: f64) -> FuzzyEngine {
+    let mut e = FuzzyEngine::new();
+    // Normalized ratio: 1.0 = exactly at prediction, `upper` = at the
+    // tolerance limit.
+    e.term("ratio", "good", Membership::FallingEdge(1.0, upper));
+    e.term(
+        "ratio",
+        "marginal",
+        Membership::Tri(1.0, upper, upper + (upper - 1.0)),
+    );
+    e.term(
+        "ratio",
+        "bad",
+        Membership::RisingEdge(upper, upper + (upper - 1.0)),
+    );
+    e.rule(&[("ratio", "good")], 0.0);
+    e.rule(&[("ratio", "marginal")], 0.5);
+    e.rule(&[("ratio", "bad")], 1.0);
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_membership() {
+        let m = Membership::Tri(0.0, 1.0, 2.0);
+        assert_eq!(m.eval(-0.5), 0.0);
+        assert_eq!(m.eval(0.5), 0.5);
+        assert_eq!(m.eval(1.0), 1.0);
+        assert_eq!(m.eval(1.5), 0.5);
+        assert_eq!(m.eval(2.5), 0.0);
+    }
+
+    #[test]
+    fn trapezoid_membership() {
+        let m = Membership::Trap(0.0, 1.0, 2.0, 3.0);
+        assert_eq!(m.eval(1.5), 1.0);
+        assert_eq!(m.eval(0.5), 0.5);
+        assert_eq!(m.eval(2.5), 0.5);
+        assert_eq!(m.eval(3.5), 0.0);
+    }
+
+    #[test]
+    fn edges() {
+        let f = Membership::FallingEdge(1.0, 2.0);
+        assert_eq!(f.eval(0.5), 1.0);
+        assert_eq!(f.eval(1.5), 0.5);
+        assert_eq!(f.eval(2.5), 0.0);
+        let r = Membership::RisingEdge(1.0, 2.0);
+        assert_eq!(r.eval(0.5), 0.0);
+        assert_eq!(r.eval(2.5), 1.0);
+    }
+
+    #[test]
+    fn inference_weighted_average() {
+        let mut e = FuzzyEngine::new();
+        e.term("x", "low", Membership::FallingEdge(0.0, 1.0));
+        e.term("x", "high", Membership::RisingEdge(0.0, 1.0));
+        e.rule(&[("x", "low")], 0.0);
+        e.rule(&[("x", "high")], 10.0);
+        let mut inp = HashMap::new();
+        inp.insert("x".to_string(), 0.25);
+        // low fires 0.75, high fires 0.25 -> 2.5.
+        assert!((e.infer(&inp).unwrap() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn and_uses_min() {
+        let mut e = FuzzyEngine::new();
+        e.term("a", "on", Membership::RisingEdge(0.0, 1.0));
+        e.term("b", "on", Membership::RisingEdge(0.0, 1.0));
+        e.rule(&[("a", "on"), ("b", "on")], 1.0);
+        let mut inp = HashMap::new();
+        inp.insert("a".to_string(), 0.9);
+        inp.insert("b".to_string(), 0.2);
+        // Activation = min(0.9, 0.2); single rule -> output 1.0 regardless
+        // of activation magnitude (weighted average of one rule).
+        assert!((e.infer(&inp).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_rule_fires_returns_none() {
+        let mut e = FuzzyEngine::new();
+        e.term("x", "band", Membership::Tri(0.0, 1.0, 2.0));
+        e.rule(&[("x", "band")], 1.0);
+        let mut inp = HashMap::new();
+        inp.insert("x".to_string(), 5.0);
+        assert!(e.infer(&inp).is_none());
+    }
+
+    #[test]
+    fn violation_engine_scores_monotonically() {
+        let e = violation_engine(1.5);
+        let score = |r: f64| {
+            let mut inp = HashMap::new();
+            inp.insert("ratio".to_string(), r);
+            e.infer(&inp).unwrap()
+        };
+        assert!(score(1.0) < 0.1);
+        let s_mid = score(1.5);
+        assert!(s_mid > 0.3 && s_mid < 0.7, "mid = {s_mid}");
+        assert!(score(2.5) > 0.9);
+        assert!(score(1.2) < score(1.6));
+    }
+}

@@ -1,0 +1,199 @@
+//! The Contract Viewer analog.
+//!
+//! GrADS shipped *"a Java-based Contract Viewer GUI to visualize the
+//! performance contract validation activity in real-time"* (§1). This is
+//! the headless equivalent: it renders a run's trace as an ASCII timeline
+//! — contract violations, renegotiations, swaps, load changes, host
+//! failures and recoveries — so harness output can show *when* the control
+//! loop acted.
+
+use grads_sim::trace::{Trace, TraceKind};
+
+/// One renderable event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineEvent {
+    /// Virtual time.
+    pub t: f64,
+    /// Single-character marker used on the timeline.
+    pub marker: char,
+    /// Legend label.
+    pub label: String,
+}
+
+/// Extract the control-loop events from a trace.
+pub fn control_events(trace: &Trace) -> Vec<TimelineEvent> {
+    let mut out = Vec::new();
+    for r in &trace.records {
+        let ev = match &r.kind {
+            TraceKind::LoadChange { host, total } => Some(TimelineEvent {
+                t: r.t,
+                marker: if *total > 0.0 { 'L' } else { 'l' },
+                label: format!("load on {host} -> {total}"),
+            }),
+            TraceKind::HostFail { host } => Some(TimelineEvent {
+                t: r.t,
+                marker: 'X',
+                label: format!("host {host} failed"),
+            }),
+            TraceKind::Custom { label, value } => match label.as_str() {
+                "contract_violation" => Some(TimelineEvent {
+                    t: r.t,
+                    marker: 'V',
+                    label: format!("contract violation (ratio {value:.2})"),
+                }),
+                "contract_renegotiated" => Some(TimelineEvent {
+                    t: r.t,
+                    marker: 'R',
+                    label: format!("contract renegotiated (upper {value:.2})"),
+                }),
+                "swap" => Some(TimelineEvent {
+                    t: r.t,
+                    marker: 'S',
+                    label: format!("swap of logical rank {value:.0}"),
+                }),
+                "recovery" => Some(TimelineEvent {
+                    t: r.t,
+                    marker: 'F',
+                    label: format!("failure recovery #{value:.0}"),
+                }),
+                _ => None,
+            },
+            _ => None,
+        };
+        if let Some(e) = ev {
+            out.push(e);
+        }
+    }
+    out
+}
+
+/// Render the control events of a trace as a fixed-width ASCII timeline
+/// plus a chronological legend. Returns an empty string when the trace has
+/// no control events.
+pub fn render_timeline(trace: &Trace, width: usize) -> String {
+    let events = control_events(trace);
+    if events.is_empty() {
+        return String::new();
+    }
+    let width = width.max(20);
+    let t_end = trace
+        .records
+        .last()
+        .map(|r| r.t)
+        .unwrap_or(0.0)
+        .max(events.last().map(|e| e.t).unwrap_or(0.0))
+        .max(1e-9);
+    let mut lane: Vec<char> = vec!['-'; width];
+    for e in &events {
+        let pos = ((e.t / t_end) * (width as f64 - 1.0)).round() as usize;
+        let pos = pos.min(width - 1);
+        // Later events overwrite; collisions show the most recent marker.
+        lane[pos] = e.marker;
+    }
+    let mut out = String::new();
+    out.push_str("contract activity  0s ");
+    out.extend(lane.iter());
+    out.push_str(&format!(" {t_end:.0}s\n"));
+    for e in &events {
+        out.push_str(&format!("  [{}] t={:>8.1}  {}\n", e.marker, e.t, e.label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grads_sim::prelude::*;
+    use grads_sim::trace::TraceRecord;
+
+    fn trace_with(events: &[(f64, TraceKind)]) -> Trace {
+        let mut t = Trace::default();
+        for (time, kind) in events {
+            t.records.push(TraceRecord {
+                t: *time,
+                pid: None,
+                kind: kind.clone(),
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn extracts_control_events_in_order() {
+        let tr = trace_with(&[
+            (
+                10.0,
+                TraceKind::LoadChange {
+                    host: HostId(0),
+                    total: 2.0,
+                },
+            ),
+            (
+                20.0,
+                TraceKind::Custom {
+                    label: "contract_violation".into(),
+                    value: 2.5,
+                },
+            ),
+            (
+                30.0,
+                TraceKind::Custom {
+                    label: "swap".into(),
+                    value: 1.0,
+                },
+            ),
+            (
+                40.0,
+                TraceKind::Custom {
+                    label: "iteration".into(), // not a control event
+                    value: 7.0,
+                },
+            ),
+        ]);
+        let evs = control_events(&tr);
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].marker, 'L');
+        assert_eq!(evs[1].marker, 'V');
+        assert_eq!(evs[2].marker, 'S');
+    }
+
+    #[test]
+    fn timeline_renders_markers_and_legend() {
+        let tr = trace_with(&[
+            (
+                0.0,
+                TraceKind::Custom {
+                    label: "contract_violation".into(),
+                    value: 1.9,
+                },
+            ),
+            (100.0, TraceKind::HostFail { host: HostId(3) }),
+        ]);
+        let s = render_timeline(&tr, 40);
+        assert!(s.contains('V'));
+        assert!(s.contains('X'));
+        assert!(s.contains("host h3 failed"));
+        assert!(s.contains("ratio 1.90"));
+    }
+
+    #[test]
+    fn empty_trace_renders_nothing() {
+        let tr = Trace::default();
+        assert_eq!(render_timeline(&tr, 60), "");
+    }
+
+    #[test]
+    fn markers_stay_in_bounds() {
+        let tr = trace_with(&[
+            (
+                1e6,
+                TraceKind::Custom {
+                    label: "swap".into(),
+                    value: 0.0,
+                },
+            ),
+        ]);
+        let s = render_timeline(&tr, 30);
+        assert!(s.lines().next().unwrap().contains('S'));
+    }
+}

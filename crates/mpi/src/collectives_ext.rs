@@ -1,0 +1,202 @@
+//! Extended collectives: scan, reduce-scatter, all-to-all, and paired
+//! send-receive.
+//!
+//! The §2 binder links GrADS programs against preinstalled MPI libraries;
+//! these complete the usual operation set beyond what the paper's three
+//! applications strictly need, so new COPs written against this substrate
+//! do not have to hand-roll them.
+
+use crate::comm::{Comm, INTERNAL_TAG_BASE};
+use grads_sim::prelude::*;
+
+const TAG_SCAN: u64 = INTERNAL_TAG_BASE + 16;
+const TAG_A2A: u64 = INTERNAL_TAG_BASE + 18;
+const TAG_SENDRECV: u64 = INTERNAL_TAG_BASE + 19;
+
+impl Comm {
+    /// Inclusive prefix scan: rank `r` returns `op(v₀, v₁, …, v_r)`.
+    /// Linear pipeline (ranks are few in grid settings; latency per hop is
+    /// one message).
+    pub fn scan_t<T, F>(&mut self, ctx: &mut Ctx, bytes: f64, value: T, op: F) -> T
+    where
+        T: Clone + Send + 'static,
+        F: Fn(T, T) -> T,
+    {
+        let r = self.rank();
+        let mut acc = value;
+        if r > 0 {
+            let prev: T = self.recv_t(ctx, r - 1, TAG_SCAN);
+            acc = op(prev, acc);
+        }
+        if r + 1 < self.size() {
+            self.send(ctx, r + 1, TAG_SCAN, bytes, Box::new(acc.clone()));
+        }
+        acc
+    }
+
+    /// Reduce-scatter: element-wise reduce `contrib` (one element per
+    /// rank) across all ranks, then hand each rank its own element.
+    /// Implemented as reduce-to-0 + scatter.
+    pub fn reduce_scatter_t<T, F>(
+        &mut self,
+        ctx: &mut Ctx,
+        bytes_per_elem: f64,
+        contrib: Vec<T>,
+        op: F,
+    ) -> T
+    where
+        T: Clone + Send + 'static,
+        F: Fn(T, T) -> T + Copy,
+    {
+        assert_eq!(
+            contrib.len(),
+            self.size(),
+            "reduce_scatter needs one element per rank"
+        );
+        let total_bytes = bytes_per_elem * self.size() as f64;
+        let reduced = self.reduce_t(ctx, 0, total_bytes, contrib, |a, b| {
+            a.into_iter().zip(b).map(|(x, y)| op(x, y)).collect()
+        });
+        self.scatter_t(ctx, 0, bytes_per_elem, reduced)
+    }
+
+    /// All-to-all personalized exchange: rank `r` sends `data[d]` to rank
+    /// `d` and returns the vector of elements received (index = source
+    /// rank). Messages are eager and tagged by a reserved tag, so the
+    /// exchange cannot deadlock.
+    #[allow(clippy::needless_range_loop)] // rank-indexed slots
+    pub fn alltoall_t<T: Send + 'static>(
+        &mut self,
+        ctx: &mut Ctx,
+        bytes_per_elem: f64,
+        data: Vec<T>,
+    ) -> Vec<T> {
+        assert_eq!(self.size(), data.len(), "alltoall needs one element per rank");
+        let me = self.rank();
+        let mut out: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
+        for (d, v) in data.into_iter().enumerate() {
+            if d == me {
+                out[d] = Some(v);
+            } else {
+                self.isend(ctx, d, TAG_A2A, bytes_per_elem, Box::new(v));
+            }
+        }
+        for s in 0..self.size() {
+            if s == me {
+                continue;
+            }
+            out[s] = Some(self.recv_t::<T>(ctx, s, TAG_A2A));
+        }
+        out.into_iter().map(|o| o.expect("element received")).collect()
+    }
+
+    /// Paired exchange with one peer: sends `value` to `peer` and receives
+    /// its counterpart, without deadlock (the send is eager).
+    pub fn sendrecv_t<T: Send + 'static>(
+        &mut self,
+        ctx: &mut Ctx,
+        peer: usize,
+        bytes: f64,
+        value: T,
+    ) -> T {
+        if peer == self.rank() {
+            return value;
+        }
+        self.isend(ctx, peer, TAG_SENDRECV, bytes, Box::new(value));
+        self.recv_t(ctx, peer, TAG_SENDRECV)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::world::launch;
+    use grads_sim::prelude::*;
+    use grads_sim::topology::{GridBuilder, HostSpec};
+
+    fn grid(n: usize) -> (Grid, Vec<HostId>) {
+        let mut b = GridBuilder::new();
+        let c = b.cluster("X");
+        b.local_link(c, 1e8, 1e-4);
+        let hs = b.add_hosts(c, n, &HostSpec::with_speed(1e9));
+        (b.build().unwrap(), hs)
+    }
+
+    #[test]
+    fn scan_computes_prefix_sums() {
+        for n in [1usize, 2, 5, 8] {
+            let (g, hs) = grid(n);
+            let mut eng = Engine::new(g);
+            launch(&mut eng, "scan", &hs, |ctx, comm| {
+                let v = comm.scan_t(ctx, 8.0, comm.rank() as u64 + 1, |a, b| a + b);
+                let r = comm.rank() as u64;
+                let want = (r + 1) * (r + 2) / 2;
+                assert_eq!(v, want, "rank {r}");
+                ctx.trace("ok", 1.0);
+            });
+            let r = eng.run();
+            assert_eq!(r.trace.series("ok").len(), n);
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_distributes_sums() {
+        let (g, hs) = grid(4);
+        let mut eng = Engine::new(g);
+        launch(&mut eng, "rs", &hs, |ctx, comm| {
+            // contrib[d] = my_rank * 10 + d; the reduced element for rank d
+            // is sum over ranks of (rank*10 + d) = 60 + 4d.
+            let contrib: Vec<u64> = (0..comm.size())
+                .map(|d| comm.rank() as u64 * 10 + d as u64)
+                .collect();
+            let mine = comm.reduce_scatter_t(ctx, 8.0, contrib, |a, b| a + b);
+            assert_eq!(mine, 60 + 4 * comm.rank() as u64);
+            ctx.trace("ok", 1.0);
+        });
+        let r = eng.run();
+        assert_eq!(r.trace.series("ok").len(), 4);
+    }
+
+    #[test]
+    fn alltoall_exchanges_everything() {
+        let (g, hs) = grid(5);
+        let mut eng = Engine::new(g);
+        launch(&mut eng, "a2a", &hs, |ctx, comm| {
+            let data: Vec<(usize, usize)> =
+                (0..comm.size()).map(|d| (comm.rank(), d)).collect();
+            let got = comm.alltoall_t(ctx, 16.0, data);
+            for (s, &(src, dst)) in got.iter().enumerate() {
+                assert_eq!(src, s, "element from rank {s}");
+                assert_eq!(dst, comm.rank());
+            }
+            ctx.trace("ok", 1.0);
+        });
+        let r = eng.run();
+        assert_eq!(r.trace.series("ok").len(), 5);
+    }
+
+    #[test]
+    fn sendrecv_swaps_values() {
+        let (g, hs) = grid(2);
+        let mut eng = Engine::new(g);
+        launch(&mut eng, "sr", &hs, |ctx, comm| {
+            let peer = 1 - comm.rank();
+            let got = comm.sendrecv_t(ctx, peer, 8.0, comm.rank() as u64);
+            assert_eq!(got, peer as u64);
+            ctx.trace("ok", 1.0);
+        });
+        let r = eng.run();
+        assert_eq!(r.trace.series("ok").len(), 2);
+    }
+
+    #[test]
+    fn sendrecv_self_is_identity() {
+        let (g, hs) = grid(1);
+        let mut eng = Engine::new(g);
+        launch(&mut eng, "sr1", &hs, |ctx, comm| {
+            let got = comm.sendrecv_t(ctx, 0, 8.0, 42u8);
+            assert_eq!(got, 42);
+            let _ = ctx;
+        });
+        eng.run();
+    }
+}

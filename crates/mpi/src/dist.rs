@@ -1,0 +1,226 @@
+//! Block-cyclic data distributions and N→M redistribution plans.
+//!
+//! ScaLAPACK distributes matrices block-cyclically; the SRS checkpointing
+//! library *"can transparently handle the redistribution of certain data
+//! distributions (e.g., block cyclic) between different numbers of
+//! processors (i.e., N to M processors)"* (§4.1.1). This module provides
+//! the index algebra both for the QR application's column distribution and
+//! for SRS restart-time redistribution.
+
+/// A 1-D block-cyclic distribution of `n` elements over `p` ranks with
+/// blocks of `block` elements: global block `b` (elements
+/// `b·block .. (b+1)·block`) lives on rank `b mod p`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockCyclic {
+    /// Global element count.
+    pub n: usize,
+    /// Block length.
+    pub block: usize,
+    /// Number of ranks.
+    pub p: usize,
+}
+
+impl BlockCyclic {
+    /// New distribution; `block` and `p` must be nonzero.
+    pub fn new(n: usize, block: usize, p: usize) -> Self {
+        assert!(block > 0, "block must be positive");
+        assert!(p > 0, "rank count must be positive");
+        BlockCyclic { n, block, p }
+    }
+
+    /// Rank owning global index `g`.
+    pub fn owner(&self, g: usize) -> usize {
+        debug_assert!(g < self.n);
+        (g / self.block) % self.p
+    }
+
+    /// Local index of global index `g` on its owner.
+    pub fn local_index(&self, g: usize) -> usize {
+        debug_assert!(g < self.n);
+        let b = g / self.block;
+        (b / self.p) * self.block + g % self.block
+    }
+
+    /// Global index of local index `l` on `rank`.
+    pub fn global_index(&self, rank: usize, l: usize) -> usize {
+        debug_assert!(rank < self.p);
+        let lb = l / self.block;
+        let gb = lb * self.p + rank;
+        gb * self.block + l % self.block
+    }
+
+    /// Number of elements stored on `rank`.
+    pub fn local_len(&self, rank: usize) -> usize {
+        debug_assert!(rank < self.p);
+        let cycle = self.block * self.p;
+        let full_cycles = self.n / cycle;
+        let rem = self.n % cycle;
+        let extra = rem
+            .saturating_sub(rank * self.block)
+            .min(self.block);
+        full_cycles * self.block + extra
+    }
+
+    /// Iterator over the global indices owned by `rank`, ascending.
+    pub fn globals_of(&self, rank: usize) -> impl Iterator<Item = usize> + '_ {
+        let me = *self;
+        (0..self.local_len(rank)).map(move |l| me.global_index(rank, l))
+    }
+
+    /// Compute the redistribution plan from `self` to `to` (same `n`,
+    /// possibly different block size and rank count). Returns, for each
+    /// `(src_rank, dst_rank)` pair with traffic, the list of contiguous
+    /// global ranges `(start, len)` that move between them, in ascending
+    /// global order.
+    pub fn redistribute_plan(&self, to: &BlockCyclic) -> Vec<RedistEntry> {
+        assert_eq!(self.n, to.n, "redistribution must preserve length");
+        let mut map: Vec<RedistEntry> = Vec::new();
+        let mut g = 0usize;
+        while g < self.n {
+            // The segment ends at the next block boundary of either
+            // distribution (ownership constant inside it).
+            let src_end = (g / self.block + 1) * self.block;
+            let dst_end = (g / to.block + 1) * to.block;
+            let end = src_end.min(dst_end).min(self.n);
+            let (src, dst) = (self.owner(g), to.owner(g));
+            match map
+                .iter_mut()
+                .find(|e| e.src == src && e.dst == dst)
+            {
+                Some(e) => {
+                    // Merge with the previous range when contiguous.
+                    if let Some(last) = e.ranges.last_mut() {
+                        if last.0 + last.1 == g {
+                            last.1 += end - g;
+                        } else {
+                            e.ranges.push((g, end - g));
+                        }
+                    }
+                }
+                None => map.push(RedistEntry {
+                    src,
+                    dst,
+                    ranges: vec![(g, end - g)],
+                }),
+            }
+            g = end;
+        }
+        map
+    }
+}
+
+/// Traffic between one (src, dst) rank pair in a redistribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RedistEntry {
+    /// Source rank in the old distribution.
+    pub src: usize,
+    /// Destination rank in the new distribution.
+    pub dst: usize,
+    /// Contiguous global ranges `(start, len)`, ascending.
+    pub ranges: Vec<(usize, usize)>,
+}
+
+impl RedistEntry {
+    /// Total elements moved by this entry.
+    pub fn total(&self) -> usize {
+        self.ranges.iter().map(|&(_, l)| l).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_and_local_round_trip() {
+        let d = BlockCyclic::new(100, 8, 3);
+        for g in 0..d.n {
+            let r = d.owner(g);
+            let l = d.local_index(g);
+            assert_eq!(d.global_index(r, l), g, "g = {g}");
+        }
+    }
+
+    #[test]
+    fn local_lens_sum_to_n() {
+        for (n, b, p) in [(100, 8, 3), (64, 64, 4), (7, 2, 4), (1, 1, 1), (33, 5, 7)] {
+            let d = BlockCyclic::new(n, b, p);
+            let total: usize = (0..p).map(|r| d.local_len(r)).sum();
+            assert_eq!(total, n, "n={n} b={b} p={p}");
+        }
+    }
+
+    #[test]
+    fn globals_of_matches_owner() {
+        let d = BlockCyclic::new(50, 4, 3);
+        for r in 0..d.p {
+            for g in d.globals_of(r) {
+                assert_eq!(d.owner(g), r);
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_owns_everything() {
+        let d = BlockCyclic::new(17, 4, 1);
+        assert_eq!(d.local_len(0), 17);
+        for g in 0..17 {
+            assert_eq!(d.owner(g), 0);
+            assert_eq!(d.local_index(g), g);
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn redistribution_covers_everything_once() {
+        let from = BlockCyclic::new(100, 8, 3);
+        let to = BlockCyclic::new(100, 5, 7);
+        let plan = from.redistribute_plan(&to);
+        let mut seen = [false; 100];
+        for e in &plan {
+            for &(g0, len) in &e.ranges {
+                for g in g0..g0 + len {
+                    assert!(!seen[g], "duplicate coverage of {g}");
+                    seen[g] = true;
+                    assert_eq!(from.owner(g), e.src);
+                    assert_eq!(to.owner(g), e.dst);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "full coverage");
+    }
+
+    #[test]
+    fn identity_redistribution_is_diagonal() {
+        let d = BlockCyclic::new(64, 4, 4);
+        let plan = d.redistribute_plan(&d);
+        for e in &plan {
+            assert_eq!(e.src, e.dst);
+        }
+        let total: usize = plan.iter().map(|e| e.total()).sum();
+        assert_eq!(total, 64);
+    }
+
+    #[test]
+    fn n_to_m_shrink_and_grow() {
+        let from = BlockCyclic::new(96, 8, 4);
+        let to = BlockCyclic::new(96, 8, 6);
+        let plan = from.redistribute_plan(&to);
+        let total: usize = plan.iter().map(|e| e.total()).sum();
+        assert_eq!(total, 96);
+        // Growing the rank set must spread data to the new ranks.
+        assert!(plan.iter().any(|e| e.dst >= 4));
+    }
+
+    #[test]
+    fn ranges_are_merged_when_contiguous() {
+        // Same block size, same p: each rank's data stays, and the plan
+        // should merge each block... blocks of one rank are not globally
+        // contiguous, so expect one range per block.
+        let d = BlockCyclic::new(32, 4, 2);
+        let plan = d.redistribute_plan(&d);
+        let e0 = plan.iter().find(|e| e.src == 0).unwrap();
+        assert_eq!(e0.ranges.len(), 4); // blocks 0,2,4,6
+        assert!(e0.ranges.iter().all(|&(_, l)| l == 4));
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests of block-cyclic index algebra and redistribution.
+
+use grads_mpi::BlockCyclic;
+use proptest::prelude::*;
+
+fn dist() -> impl Strategy<Value = BlockCyclic> {
+    (1usize..400, 1usize..16, 1usize..9)
+        .prop_map(|(n, b, p)| BlockCyclic::new(n, b, p))
+}
+
+proptest! {
+    /// owner/local_index/global_index round-trip for every element.
+    #[test]
+    fn index_round_trip(d in dist()) {
+        for g in 0..d.n {
+            let r = d.owner(g);
+            prop_assert!(r < d.p);
+            let l = d.local_index(g);
+            prop_assert_eq!(d.global_index(r, l), g);
+            prop_assert!(l < d.local_len(r));
+        }
+    }
+
+    /// Local lengths sum to the global length.
+    #[test]
+    fn local_lens_partition(d in dist()) {
+        let total: usize = (0..d.p).map(|r| d.local_len(r)).sum();
+        prop_assert_eq!(total, d.n);
+    }
+
+    /// `globals_of` enumerates exactly the owned indices, ascending.
+    #[test]
+    fn globals_of_is_sorted_ownership(d in dist()) {
+        for r in 0..d.p {
+            let gs: Vec<usize> = d.globals_of(r).collect();
+            prop_assert_eq!(gs.len(), d.local_len(r));
+            for w in gs.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+            for &g in &gs {
+                prop_assert_eq!(d.owner(g), r);
+            }
+        }
+    }
+
+    /// A redistribution plan covers every element exactly once with
+    /// correct endpoints, for arbitrary (block, rank-count) changes.
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn redistribution_exact_cover(
+        n in 1usize..300,
+        b1 in 1usize..12,
+        p1 in 1usize..7,
+        b2 in 1usize..12,
+        p2 in 1usize..7,
+    ) {
+        let from = BlockCyclic::new(n, b1, p1);
+        let to = BlockCyclic::new(n, b2, p2);
+        let plan = from.redistribute_plan(&to);
+        let mut seen = vec![false; n];
+        for e in &plan {
+            for &(g0, len) in &e.ranges {
+                prop_assert!(len > 0);
+                for g in g0..g0 + len {
+                    prop_assert!(!seen[g], "duplicate {g}");
+                    seen[g] = true;
+                    prop_assert_eq!(from.owner(g), e.src);
+                    prop_assert_eq!(to.owner(g), e.dst);
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Plan entries are unique per (src, dst) pair.
+    #[test]
+    fn redistribution_pairs_unique(
+        n in 1usize..200,
+        b1 in 1usize..10,
+        p1 in 1usize..6,
+        p2 in 1usize..6,
+    ) {
+        let from = BlockCyclic::new(n, b1, p1);
+        let to = BlockCyclic::new(n, b1, p2);
+        let plan = from.redistribute_plan(&to);
+        let mut pairs: Vec<(usize, usize)> = plan.iter().map(|e| (e.src, e.dst)).collect();
+        let count = pairs.len();
+        pairs.sort_unstable();
+        pairs.dedup();
+        prop_assert_eq!(pairs.len(), count);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests of the forecasting ensemble.
+
+use grads_nws::predictors::{Predictor, SlidingMean, SlidingMedian, TrimmedMean};
+use grads_nws::Ensemble;
+use proptest::prelude::*;
+
+fn series() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..100.0, 1..120)
+}
+
+proptest! {
+    /// Window-based predictors forecast within the range of their window
+    /// (means and medians cannot extrapolate beyond observed values).
+    #[test]
+    fn window_predictors_bounded(vals in series(), k in 1usize..20) {
+        let mut mean = SlidingMean::new(k);
+        let mut median = SlidingMedian::new(k);
+        for &v in &vals {
+            mean.update(v);
+            median.update(v);
+        }
+        let window: Vec<f64> = vals.iter().rev().take(k).copied().collect();
+        let lo = window.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = window.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let m = mean.predict().unwrap();
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+        let md = median.predict().unwrap();
+        prop_assert!(md >= lo - 1e-9 && md <= hi + 1e-9);
+    }
+
+    /// The trimmed mean is bounded by the untrimmed window range too.
+    #[test]
+    fn trimmed_mean_bounded(vals in series()) {
+        let mut tm = TrimmedMean::new(9, 2);
+        for &v in &vals {
+            tm.update(v);
+        }
+        let window: Vec<f64> = vals.iter().rev().take(9).copied().collect();
+        let lo = window.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = window.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let p = tm.predict().unwrap();
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+    }
+
+    /// The ensemble always produces a forecast after ≥1 measurement, with
+    /// non-negative MAE, and is fully deterministic.
+    #[test]
+    fn ensemble_total_and_deterministic(vals in series()) {
+        let run = |vs: &[f64]| {
+            let mut e = Ensemble::standard();
+            for &v in vs {
+                e.update(v);
+            }
+            e.forecast().unwrap()
+        };
+        let f1 = run(&vals);
+        let f2 = run(&vals);
+        prop_assert_eq!(f1.clone(), f2);
+        prop_assert!(f1.mae >= 0.0);
+        prop_assert!(f1.value.is_finite());
+    }
+
+    /// On a constant signal every scored predictor converges to the value
+    /// and the winner's MAE is (near) zero.
+    #[test]
+    fn constant_signal_perfect(v in 0.0f64..1000.0, n in 2usize..60) {
+        let mut e = Ensemble::standard();
+        for _ in 0..n {
+            e.update(v);
+        }
+        let f = e.forecast().unwrap();
+        prop_assert!((f.value - v).abs() < 1e-9);
+        prop_assert!(f.mae < 1e-9);
+    }
+
+    /// The winning predictor's MAE is minimal among all scored predictors.
+    #[test]
+    fn winner_has_min_mae(vals in proptest::collection::vec(0.0f64..100.0, 5..80)) {
+        let mut e = Ensemble::standard();
+        for &v in &vals {
+            e.update(v);
+        }
+        let f = e.forecast().unwrap();
+        for (name, mae, _) in e.scores() {
+            if mae.is_finite() {
+                prop_assert!(f.mae <= mae + 1e-9, "{} beats winner: {} < {}", name, mae, f.mae);
+            }
+        }
+    }
+}

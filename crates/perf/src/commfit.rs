@@ -1,0 +1,195 @@
+//! Communication-model fitting.
+//!
+//! The §3.2 methodology — run small probes, fit a parametric model, use it
+//! inside `ecost`/`dcost` — applies to communication as much as to
+//! computation. This module fits the classic affine message-cost model
+//!
+//! ```text
+//! t(bytes) = latency + bytes / bandwidth
+//! ```
+//!
+//! from timed transfer samples, plus a two-segment variant that discovers
+//! the eager/rendezvous protocol switchover (visible as a breakpoint in
+//! real MPI timings): each segment gets its own affine fit, and the
+//! breakpoint minimizing the total squared error wins.
+
+/// An affine message-cost model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommModel {
+    /// Fixed per-message cost, seconds.
+    pub latency: f64,
+    /// Sustained transfer rate, bytes/second.
+    pub bandwidth: f64,
+    /// Coefficient of determination of the fit (1 = perfect).
+    pub r_squared: f64,
+}
+
+impl CommModel {
+    /// Predicted transfer time for a message of `bytes`.
+    pub fn predict(&self, bytes: f64) -> f64 {
+        self.latency + bytes / self.bandwidth
+    }
+}
+
+/// A two-segment model with a protocol switchover.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseCommModel {
+    /// Model below the breakpoint (eager protocol).
+    pub small: CommModel,
+    /// Model at/above the breakpoint (rendezvous protocol).
+    pub large: CommModel,
+    /// Message size where the protocol switches, bytes.
+    pub breakpoint: f64,
+}
+
+impl PiecewiseCommModel {
+    /// Predicted transfer time for a message of `bytes`.
+    pub fn predict(&self, bytes: f64) -> f64 {
+        if bytes < self.breakpoint {
+            self.small.predict(bytes)
+        } else {
+            self.large.predict(bytes)
+        }
+    }
+}
+
+/// Ordinary least squares of `t = a + b·bytes` over `(bytes, seconds)`
+/// samples. Returns `None` with fewer than two distinct sizes or a
+/// non-positive slope (no meaningful bandwidth).
+pub fn fit_comm_model(samples: &[(f64, f64)]) -> Option<CommModel> {
+    if samples.len() < 2 {
+        return None;
+    }
+    let n = samples.len() as f64;
+    let sx: f64 = samples.iter().map(|s| s.0).sum();
+    let sy: f64 = samples.iter().map(|s| s.1).sum();
+    let sxx: f64 = samples.iter().map(|s| s.0 * s.0).sum();
+    let sxy: f64 = samples.iter().map(|s| s.0 * s.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-300 {
+        return None;
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    if slope <= 0.0 {
+        return None;
+    }
+    // R².
+    let mean_y = sy / n;
+    let ss_tot: f64 = samples.iter().map(|s| (s.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = samples
+        .iter()
+        .map(|s| (s.1 - (intercept + slope * s.0)).powi(2))
+        .sum();
+    let r_squared = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
+    Some(CommModel {
+        latency: intercept.max(0.0),
+        bandwidth: 1.0 / slope,
+        r_squared,
+    })
+}
+
+fn sse(samples: &[(f64, f64)], m: &CommModel) -> f64 {
+    samples
+        .iter()
+        .map(|&(x, y)| (y - m.predict(x)).powi(2))
+        .sum()
+}
+
+/// Fit a two-segment model by trying every inter-sample breakpoint and
+/// keeping the split with the lowest total squared error. Requires at
+/// least two samples on each side. Returns `None` when no valid split
+/// exists (fall back to [`fit_comm_model`]).
+pub fn fit_piecewise(samples: &[(f64, f64)]) -> Option<PiecewiseCommModel> {
+    let mut s = samples.to_vec();
+    s.sort_by(|a, b| a.0.total_cmp(&b.0));
+    if s.len() < 4 {
+        return None;
+    }
+    let mut best: Option<(f64, PiecewiseCommModel)> = None;
+    for cut in 2..=s.len() - 2 {
+        let (lo, hi) = s.split_at(cut);
+        let (Some(small), Some(large)) = (fit_comm_model(lo), fit_comm_model(hi)) else {
+            continue;
+        };
+        let err = sse(lo, &small) + sse(hi, &large);
+        let model = PiecewiseCommModel {
+            small,
+            large,
+            breakpoint: 0.5 * (lo[lo.len() - 1].0 + hi[0].0),
+        };
+        match &best {
+            Some((e, _)) if *e <= err => {}
+            _ => best = Some((err, model)),
+        }
+    }
+    best.map(|(_, m)| m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn affine_samples(lat: f64, bw: f64, sizes: &[f64]) -> Vec<(f64, f64)> {
+        sizes.iter().map(|&b| (b, lat + b / bw)).collect()
+    }
+
+    #[test]
+    fn recovers_clean_affine_model() {
+        let samples = affine_samples(0.01, 1e7, &[1e3, 1e4, 1e5, 1e6, 1e7]);
+        let m = fit_comm_model(&samples).unwrap();
+        assert!((m.latency - 0.01).abs() < 1e-6, "latency {}", m.latency);
+        assert!((m.bandwidth - 1e7).abs() / 1e7 < 1e-6, "bw {}", m.bandwidth);
+        assert!(m.r_squared > 0.999999);
+        assert!((m.predict(5e6) - (0.01 + 0.5)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tolerates_noise() {
+        let mut samples = affine_samples(0.005, 5e6, &[1e4, 5e4, 1e5, 5e5, 1e6, 5e6]);
+        for (i, s) in samples.iter_mut().enumerate() {
+            s.1 *= if i % 2 == 0 { 1.03 } else { 0.97 };
+        }
+        let m = fit_comm_model(&samples).unwrap();
+        assert!((m.bandwidth - 5e6).abs() / 5e6 < 0.1);
+        assert!(m.r_squared > 0.99);
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(fit_comm_model(&[(1e3, 0.1)]).is_none());
+        assert!(fit_comm_model(&[(1e3, 0.1), (1e3, 0.1)]).is_none());
+        // Negative slope (times shrink with size): nonsense.
+        assert!(fit_comm_model(&[(1e3, 1.0), (1e6, 0.1)]).is_none());
+    }
+
+    #[test]
+    fn piecewise_finds_protocol_switch() {
+        // Eager below 64 KiB: low latency; rendezvous above: extra
+        // round-trip in the latency term.
+        let eager = affine_samples(0.001, 1e8, &[1e3, 8e3, 3.2e4, 6e4]);
+        let rendezvous = affine_samples(0.02, 1e8, &[1e5, 4e5, 1e6, 4e6]);
+        let mut samples = eager;
+        samples.extend(rendezvous);
+        let m = fit_piecewise(&samples).unwrap();
+        assert!(
+            m.breakpoint > 6e4 && m.breakpoint < 1e5,
+            "breakpoint {}",
+            m.breakpoint
+        );
+        assert!((m.small.latency - 0.001).abs() < 1e-4);
+        assert!((m.large.latency - 0.02).abs() < 1e-3);
+        // Prediction uses the right segment on each side.
+        assert!((m.predict(1e3) - (0.001 + 1e3 / 1e8)).abs() < 1e-4);
+        assert!((m.predict(2e6) - (0.02 + 2e6 / 1e8)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn piecewise_needs_enough_samples() {
+        assert!(fit_piecewise(&affine_samples(0.0, 1e6, &[1.0, 2.0, 3.0])).is_none());
+    }
+}

@@ -1,0 +1,340 @@
+//! Rank values and the performance matrix (§3.1).
+//!
+//! For each (component, resource) pair the workflow scheduler computes
+//!
+//! ```text
+//! rank(cᵢ, rⱼ) = w₁·ecost(cᵢ, rⱼ) + w₂·dcost(cᵢ, rⱼ)
+//! ```
+//!
+//! where `ecost` comes from the §3.2 performance models (op counts scaled
+//! by effective speed, plus cache-miss time from the MRD model) and `dcost`
+//! is the data volume times the NWS-forecast transfer rate. Resources
+//! failing a component's minimum requirements rank infinity. The collated
+//! matrix `p[i][j]` feeds the min-min / max-min / sufferage heuristics.
+
+use crate::mrd::MrdModel;
+use crate::opcount::OpCountModel;
+use grads_nws::NwsService;
+use grads_sim::prelude::*;
+
+/// Static-plus-forecast view of one candidate resource.
+#[derive(Debug, Clone)]
+pub struct ResourceInfo {
+    /// The host this describes.
+    pub host: HostId,
+    /// Peak per-core rate, flop/s.
+    pub speed: f64,
+    /// Forecast CPU availability in `[0, 1]`.
+    pub availability: f64,
+    /// Cache capacity, bytes.
+    pub cache_bytes: u64,
+    /// Cache block (line) size, bytes.
+    pub cache_block: u64,
+    /// Memory capacity, bytes.
+    pub memory: u64,
+    /// Time cost of one cache miss, seconds.
+    pub miss_penalty: f64,
+    /// Processor architecture.
+    pub arch: Arch,
+}
+
+/// Default cache line size used when deriving resources from a grid.
+pub const DEFAULT_CACHE_BLOCK: u64 = 64;
+/// Default miss penalty: 100 ns (memory access on 2003-era hardware).
+pub const DEFAULT_MISS_PENALTY: f64 = 100e-9;
+
+impl ResourceInfo {
+    /// Derive a resource view from the grid topology and NWS forecasts.
+    pub fn from_grid(grid: &Grid, nws: &NwsService, host: HostId) -> Self {
+        let h = grid.host(host);
+        ResourceInfo {
+            host,
+            speed: h.speed,
+            availability: nws.forecast_cpu_or_idle(host),
+            cache_bytes: h.cache_bytes,
+            cache_block: DEFAULT_CACHE_BLOCK,
+            memory: h.memory,
+            miss_penalty: DEFAULT_MISS_PENALTY,
+            arch: h.arch.clone(),
+        }
+    }
+
+    /// Effective compute rate: peak speed scaled by availability, floored
+    /// to avoid division blow-ups.
+    pub fn effective_speed(&self) -> f64 {
+        (self.speed * self.availability).max(1.0)
+    }
+}
+
+/// Architecture-independent performance model of one workflow component.
+pub trait ComponentModel: Send + Sync {
+    /// Expected execution time on a resource, seconds.
+    fn ecost(&self, res: &ResourceInfo) -> f64;
+    /// Total input data volume the component must receive, bytes.
+    fn input_bytes(&self) -> f64;
+    /// Output data volume it produces, bytes.
+    fn output_bytes(&self) -> f64;
+    /// Minimum memory requirement; resources below rank infinity.
+    fn min_memory(&self) -> u64 {
+        0
+    }
+    /// Allowed architectures; `None` means any (the binder configures the
+    /// component per-architecture at launch).
+    fn allowed_archs(&self) -> Option<&[Arch]> {
+        None
+    }
+}
+
+/// The §3.2 construction: fitted op-count model plus optional MRD cache
+/// model, evaluated at a fixed problem size.
+#[derive(Debug, Clone)]
+pub struct FittedModel {
+    /// Problem size the component will run at.
+    pub problem_size: f64,
+    /// Fitted `flops(n)`.
+    pub ops: OpCountModel,
+    /// Fitted reuse-distance scaling model, if memory behaviour matters.
+    pub mrd: Option<MrdModel>,
+    /// Input volume, bytes.
+    pub input_bytes: f64,
+    /// Output volume, bytes.
+    pub output_bytes: f64,
+    /// Minimum memory requirement, bytes.
+    pub min_memory: u64,
+    /// Architecture restriction, if any.
+    pub allowed: Option<Vec<Arch>>,
+}
+
+impl ComponentModel for FittedModel {
+    fn ecost(&self, res: &ResourceInfo) -> f64 {
+        let flops = self.ops.predict(self.problem_size);
+        let t_cpu = flops / res.effective_speed();
+        let t_mem = match &self.mrd {
+            Some(m) => {
+                let capacity_blocks = (res.cache_bytes / res.cache_block).max(1);
+                m.predict_misses(self.problem_size, capacity_blocks) * res.miss_penalty
+            }
+            None => 0.0,
+        };
+        t_cpu + t_mem
+    }
+    fn input_bytes(&self) -> f64 {
+        self.input_bytes
+    }
+    fn output_bytes(&self) -> f64 {
+        self.output_bytes
+    }
+    fn min_memory(&self) -> u64 {
+        self.min_memory
+    }
+    fn allowed_archs(&self) -> Option<&[Arch]> {
+        self.allowed.as_deref()
+    }
+}
+
+/// Weights of the rank function. The paper: *"the weights w₁ and w₂ can be
+/// customized to vary the relative importance of the two costs."*
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankWeights {
+    /// Weight of the execution cost.
+    pub w1: f64,
+    /// Weight of the data-movement cost.
+    pub w2: f64,
+}
+
+impl Default for RankWeights {
+    fn default() -> Self {
+        RankWeights { w1: 1.0, w2: 1.0 }
+    }
+}
+
+/// Rank one (component, resource) pair given a data-movement cost estimate.
+/// Infinity when the resource fails the component's minimum requirements.
+pub fn rank(
+    model: &dyn ComponentModel,
+    res: &ResourceInfo,
+    dcost: f64,
+    w: RankWeights,
+) -> f64 {
+    if res.memory < model.min_memory() {
+        return f64::INFINITY;
+    }
+    if let Some(allowed) = model.allowed_archs() {
+        if !allowed.contains(&res.arch) {
+            return f64::INFINITY;
+        }
+    }
+    w.w1 * model.ecost(res) + w.w2 * dcost
+}
+
+/// The collated performance matrix: `ranks[i][j]` is the rank of component
+/// `i` on resource `j`, with the `ecost`/`dcost` terms kept for diagnosis
+/// and for makespan accounting in the heuristics.
+#[derive(Debug, Clone)]
+pub struct PerfMatrix {
+    /// Rank values (lower is better; infinity = ineligible).
+    pub ranks: Vec<Vec<f64>>,
+    /// Execution-cost term.
+    pub ecosts: Vec<Vec<f64>>,
+    /// Data-movement-cost term.
+    pub dcosts: Vec<Vec<f64>>,
+}
+
+impl PerfMatrix {
+    /// Build from component models and resources. `dcost(i, j)` supplies
+    /// the data-movement estimate for component `i` on resource `j` (the
+    /// scheduler derives it from predecessor placements and NWS
+    /// forecasts).
+    pub fn build(
+        components: &[&dyn ComponentModel],
+        resources: &[ResourceInfo],
+        mut dcost: impl FnMut(usize, usize) -> f64,
+        w: RankWeights,
+    ) -> Self {
+        let mut ranks = Vec::with_capacity(components.len());
+        let mut ecosts = Vec::with_capacity(components.len());
+        let mut dcosts = Vec::with_capacity(components.len());
+        for (i, c) in components.iter().enumerate() {
+            let mut rr = Vec::with_capacity(resources.len());
+            let mut ee = Vec::with_capacity(resources.len());
+            let mut dd = Vec::with_capacity(resources.len());
+            for (j, r) in resources.iter().enumerate() {
+                let d = dcost(i, j);
+                rr.push(rank(*c, r, d, w));
+                ee.push(c.ecost(r));
+                dd.push(d);
+            }
+            ranks.push(rr);
+            ecosts.push(ee);
+            dcosts.push(dd);
+        }
+        PerfMatrix {
+            ranks,
+            ecosts,
+            dcosts,
+        }
+    }
+
+    /// Number of components (rows).
+    pub fn n_components(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Number of resources (columns).
+    pub fn n_resources(&self) -> usize {
+        self.ranks.first().map(|r| r.len()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opcount::OpCountModel;
+
+    fn model(flops_per_n: f64, mem: u64) -> FittedModel {
+        FittedModel {
+            problem_size: 100.0,
+            ops: OpCountModel {
+                coeffs: vec![0.0, flops_per_n],
+                degree: 1,
+                rms_rel_residual: 0.0,
+            },
+            mrd: None,
+            input_bytes: 1e6,
+            output_bytes: 5e5,
+            min_memory: mem,
+            allowed: None,
+        }
+    }
+
+    fn res(speed: f64, avail: f64, memory: u64, arch: Arch) -> ResourceInfo {
+        ResourceInfo {
+            host: HostId(0),
+            speed,
+            availability: avail,
+            cache_bytes: 1 << 20,
+            cache_block: 64,
+            memory,
+            miss_penalty: DEFAULT_MISS_PENALTY,
+            arch,
+        }
+    }
+
+    #[test]
+    fn ecost_scales_with_effective_speed() {
+        let m = model(1e6, 0);
+        let fast = res(1e9, 1.0, 1 << 30, Arch::Ia32);
+        let slow = res(1e9, 0.25, 1 << 30, Arch::Ia32);
+        assert!((m.ecost(&fast) - 0.1).abs() < 1e-9);
+        assert!((m.ecost(&slow) - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_combines_weighted_terms() {
+        let m = model(1e6, 0);
+        let r = res(1e9, 1.0, 1 << 30, Arch::Ia32);
+        let v = rank(&m, &r, 2.0, RankWeights { w1: 1.0, w2: 0.5 });
+        assert!((v - (0.1 + 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn insufficient_memory_ranks_infinite() {
+        let m = model(1e6, 1 << 34);
+        let r = res(1e9, 1.0, 1 << 30, Arch::Ia32);
+        assert!(rank(&m, &r, 0.0, RankWeights::default()).is_infinite());
+    }
+
+    #[test]
+    fn arch_restriction_ranks_infinite() {
+        let mut m = model(1e6, 0);
+        m.allowed = Some(vec![Arch::Ia64]);
+        let r32 = res(1e9, 1.0, 1 << 30, Arch::Ia32);
+        let r64 = res(1e9, 1.0, 1 << 30, Arch::Ia64);
+        assert!(rank(&m, &r32, 0.0, RankWeights::default()).is_infinite());
+        assert!(rank(&m, &r64, 0.0, RankWeights::default()).is_finite());
+    }
+
+    #[test]
+    fn matrix_shape_and_contents() {
+        let m1 = model(1e6, 0);
+        let m2 = model(2e6, 0);
+        let comps: Vec<&dyn ComponentModel> = vec![&m1, &m2];
+        let resources = vec![
+            res(1e9, 1.0, 1 << 30, Arch::Ia32),
+            res(2e9, 1.0, 1 << 30, Arch::Ia32),
+        ];
+        let pm = PerfMatrix::build(&comps, &resources, |i, j| (i + j) as f64, RankWeights::default());
+        assert_eq!(pm.n_components(), 2);
+        assert_eq!(pm.n_resources(), 2);
+        // Component 0 on resource 0: ecost 0.1 + dcost 0.
+        assert!((pm.ranks[0][0] - 0.1).abs() < 1e-9);
+        // Component 1 on resource 1: ecost 0.1 + dcost 2.
+        assert!((pm.ranks[1][1] - 2.1).abs() < 1e-9);
+        assert!((pm.ecosts[1][0] - 0.2).abs() < 1e-9);
+        assert_eq!(pm.dcosts[0][1], 1.0);
+    }
+
+    #[test]
+    fn mrd_term_raises_ecost_on_small_cache() {
+        use crate::mrd::{traces, MrdHistogram, MrdModel};
+        let obs: Vec<(f64, MrdHistogram)> = [64u64, 96, 128, 160]
+            .iter()
+            .map(|&n| (n as f64, MrdHistogram::from_trace(&traces::stream(n, 4))))
+            .collect();
+        let mrd = MrdModel::fit(&obs, 1, 1).unwrap();
+        let mut m = model(1e3, 0);
+        m.problem_size = 4096.0;
+        m.mrd = Some(mrd);
+        let mut small = res(1e9, 1.0, 1 << 30, Arch::Ia32);
+        small.cache_bytes = 64 * 512; // 512 blocks — smaller than the stream
+        small.miss_penalty = 1e-6;
+        let mut big = small.clone();
+        big.cache_bytes = 64 * (1 << 20); // holds everything
+        assert!(
+            m.ecost(&small) > m.ecost(&big),
+            "small-cache ecost {} should exceed big-cache {}",
+            m.ecost(&small),
+            m.ecost(&big)
+        );
+    }
+}

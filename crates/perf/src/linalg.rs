@@ -1,0 +1,178 @@
+//! Small dense linear algebra used by the modeling code: Gaussian
+//! elimination with partial pivoting and least-squares polynomial fitting
+//! via the normal equations. Problem sizes here are tiny (fit degrees ≤ 4),
+//! so numerical refinement beyond partial pivoting is unnecessary.
+
+/// Solve the square system `A x = b` in place by Gaussian elimination with
+/// partial pivoting. `a` is row-major `n × n`; `b` has length `n`.
+/// Returns `None` if the matrix is (numerically) singular.
+pub fn solve(a: &mut [f64], b: &mut [f64], n: usize) -> Option<Vec<f64>> {
+    assert_eq!(a.len(), n * n, "matrix shape");
+    assert_eq!(b.len(), n, "rhs shape");
+    for col in 0..n {
+        // Partial pivot.
+        let mut piv = col;
+        let mut best = a[col * n + col].abs();
+        for r in col + 1..n {
+            let v = a[r * n + col].abs();
+            if v > best {
+                best = v;
+                piv = r;
+            }
+        }
+        if best < 1e-300 {
+            return None;
+        }
+        if piv != col {
+            for c in 0..n {
+                a.swap(col * n + c, piv * n + c);
+            }
+            b.swap(col, piv);
+        }
+        // Eliminate below.
+        let d = a[col * n + col];
+        for r in col + 1..n {
+            let f = a[r * n + col] / d;
+            if f == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                a[r * n + c] -= f * a[col * n + c];
+            }
+            b[r] -= f * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut s = b[col];
+        for c in col + 1..n {
+            s -= a[col * n + c] * x[c];
+        }
+        x[col] = s / a[col * n + col];
+    }
+    Some(x)
+}
+
+/// Least-squares fit of a degree-`deg` polynomial to `(x, y)` samples via
+/// the normal equations. Returns coefficients `c0..c_deg` (lowest power
+/// first), or `None` if the system is singular (e.g. too few distinct xs).
+pub fn polyfit(xs: &[f64], ys: &[f64], deg: usize) -> Option<Vec<f64>> {
+    assert_eq!(xs.len(), ys.len(), "sample shape");
+    let m = deg + 1;
+    if xs.len() < m {
+        return None;
+    }
+    // Normal equations: (VᵀV) c = Vᵀ y with Vandermonde V.
+    // Scale x by its max magnitude to keep powers well conditioned.
+    let scale = xs.iter().fold(0.0f64, |a, &x| a.max(x.abs())).max(1.0);
+    let mut ata = vec![0.0; m * m];
+    let mut aty = vec![0.0; m];
+    for (&x, &y) in xs.iter().zip(ys) {
+        let xs_ = x / scale;
+        let mut pow = vec![1.0; m];
+        for k in 1..m {
+            pow[k] = pow[k - 1] * xs_;
+        }
+        for i in 0..m {
+            aty[i] += pow[i] * y;
+            for j in 0..m {
+                ata[i * m + j] += pow[i] * pow[j];
+            }
+        }
+    }
+    let c_scaled = solve(&mut ata, &mut aty, m)?;
+    // Undo the scaling: c_k = c_scaled_k / scale^k.
+    let mut c = Vec::with_capacity(m);
+    let mut s = 1.0;
+    for ck in &c_scaled {
+        c.push(ck / s);
+        s *= scale;
+    }
+    Some(c)
+}
+
+/// Evaluate a polynomial with coefficients `c` (lowest power first) at `x`.
+pub fn polyval(c: &[f64], x: f64) -> f64 {
+    c.iter().rev().fold(0.0, |acc, &ck| acc * x + ck)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_identity() {
+        let mut a = vec![1.0, 0.0, 0.0, 1.0];
+        let mut b = vec![3.0, 4.0];
+        let x = solve(&mut a, &mut b, 2).unwrap();
+        assert_eq!(x, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let mut a = vec![0.0, 1.0, 1.0, 0.0];
+        let mut b = vec![2.0, 5.0];
+        let x = solve(&mut a, &mut b, 2).unwrap();
+        assert!((x[0] - 5.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_singular_returns_none() {
+        let mut a = vec![1.0, 2.0, 2.0, 4.0];
+        let mut b = vec![1.0, 2.0];
+        assert!(solve(&mut a, &mut b, 2).is_none());
+    }
+
+    #[test]
+    fn solve_3x3() {
+        // A = [[2,1,1],[1,3,2],[1,0,0]], b = [4,5,6] -> x = [6,15,-23]
+        let mut a = vec![2.0, 1.0, 1.0, 1.0, 3.0, 2.0, 1.0, 0.0, 0.0];
+        let mut b = vec![4.0, 5.0, 6.0];
+        let x = solve(&mut a, &mut b, 3).unwrap();
+        assert!((x[0] - 6.0).abs() < 1e-9);
+        assert!((x[1] - 15.0).abs() < 1e-9);
+        assert!((x[2] + 23.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn polyfit_exact_cubic() {
+        let xs: Vec<f64> = (1..=8).map(|i| i as f64 * 100.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 2.0 + 3.0 * x + 0.5 * x * x * x).collect();
+        let c = polyfit(&xs, &ys, 3).unwrap();
+        assert!((c[0] - 2.0).abs() < 1e-4, "c0 = {}", c[0]);
+        assert!((c[1] - 3.0).abs() < 1e-6, "c1 = {}", c[1]);
+        assert!(c[2].abs() < 1e-6, "c2 = {}", c[2]);
+        assert!((c[3] - 0.5).abs() < 1e-9, "c3 = {}", c[3]);
+        // Extrapolation well beyond the sample range stays accurate.
+        let x = 5000.0;
+        let want = 2.0 + 3.0 * x + 0.5 * x * x * x;
+        assert!((polyval(&c, x) - want).abs() / want < 1e-9);
+    }
+
+    #[test]
+    fn polyfit_overdetermined_least_squares() {
+        // Noisy linear data: fit must land near the true slope.
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| 5.0 * x + 1.0 + if i % 2 == 0 { 0.1 } else { -0.1 })
+            .collect();
+        let c = polyfit(&xs, &ys, 1).unwrap();
+        assert!((c[1] - 5.0).abs() < 1e-2);
+        assert!((c[0] - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn polyfit_insufficient_samples() {
+        assert!(polyfit(&[1.0, 2.0], &[1.0, 2.0], 3).is_none());
+    }
+
+    #[test]
+    fn polyval_empty_is_zero() {
+        assert_eq!(polyval(&[], 3.0), 0.0);
+    }
+}

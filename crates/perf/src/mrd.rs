@@ -1,0 +1,532 @@
+//! Memory reuse distance (MRD) analysis and cache-miss prediction (§3.2).
+//!
+//! *"We collect histograms of memory reuse distance (MRD) — the number of
+//! unique memory blocks accessed between a pair of references to the same
+//! block ... Using MRD data collected on several small-size input problems,
+//! we model the behavior ... and predict the fraction of hits and misses
+//! for a given problem size and cache configuration."*
+//!
+//! Reuse distances are computed with the classical O(T log T) Fenwick-tree
+//! (Bennett–Kruskal) algorithm; histograms use log₂-spaced bins; scaling
+//! models fit each bin's population fraction as a function of problem size
+//! so a histogram — and hence a miss count for any fully-associative LRU
+//! cache size — can be predicted at sizes never traced.
+
+use crate::linalg::{polyfit, polyval};
+use std::collections::HashMap;
+
+/// Binary indexed tree over trace positions, counting "most recent access"
+/// marks.
+struct Fenwick {
+    tree: Vec<u64>,
+}
+
+impl Fenwick {
+    fn new(n: usize) -> Self {
+        Fenwick {
+            tree: vec![0; n + 1],
+        }
+    }
+    fn add(&mut self, mut i: usize, delta: i64) {
+        i += 1;
+        while i < self.tree.len() {
+            self.tree[i] = (self.tree[i] as i64 + delta) as u64;
+            i += i & i.wrapping_neg();
+        }
+    }
+    /// Sum of marks at positions `0..=i`.
+    fn prefix(&self, mut i: usize) -> u64 {
+        i += 1;
+        let mut s = 0;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+}
+
+/// Per-access reuse distances for a block-address trace.
+///
+/// `None` marks a cold (first) access; `Some(d)` means `d` *other* distinct
+/// blocks were touched since the previous access to the same block. A
+/// fully-associative LRU cache of `c` blocks hits the access iff `d < c`.
+pub fn reuse_distances(trace: &[u64]) -> Vec<Option<u64>> {
+    let t = trace.len();
+    let mut fen = Fenwick::new(t);
+    let mut last: HashMap<u64, usize> = HashMap::new();
+    let mut out = Vec::with_capacity(t);
+    for (i, &block) in trace.iter().enumerate() {
+        match last.get(&block) {
+            Some(&p) => {
+                // Distinct blocks whose most recent access lies in (p, i).
+                let marks_after_p = fen.prefix(i.saturating_sub(1)) - fen.prefix(p);
+                out.push(Some(marks_after_p));
+                fen.add(p, -1);
+            }
+            None => out.push(None),
+        }
+        fen.add(i, 1);
+        last.insert(block, i);
+    }
+    out
+}
+
+/// Exact fully-associative LRU simulation: `(hits, misses)` for a cache of
+/// `capacity` blocks. Used to validate histogram-based predictions.
+pub fn simulate_lru(trace: &[u64], capacity: u64) -> (u64, u64) {
+    let (mut hits, mut misses) = (0, 0);
+    for d in reuse_distances(trace) {
+        match d {
+            Some(d) if d < capacity => hits += 1,
+            _ => misses += 1,
+        }
+    }
+    (hits, misses)
+}
+
+/// Number of log₂ histogram bins (distances up to 2⁶³).
+pub const MRD_BINS: usize = 65;
+
+/// Log₂-spaced reuse-distance histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MrdHistogram {
+    /// `bins[k]` counts accesses with distance in `[lower(k), lower(k+1))`,
+    /// where `lower(0) = 0`, `lower(k) = 2^(k-1)`.
+    pub bins: Vec<u64>,
+    /// Cold (first-touch) accesses.
+    pub cold: u64,
+    /// Total accesses (Σ bins + cold).
+    pub total: u64,
+}
+
+/// Bin index for a distance: 0 for d = 0, else `floor(log2(d)) + 1`.
+pub fn bin_of(d: u64) -> usize {
+    if d == 0 {
+        0
+    } else {
+        64 - d.leading_zeros() as usize
+    }
+}
+
+/// Inclusive lower bound of a bin.
+pub fn bin_lower(k: usize) -> u64 {
+    if k == 0 {
+        0
+    } else {
+        1u64 << (k - 1)
+    }
+}
+
+/// Exclusive upper bound of a bin.
+pub fn bin_upper(k: usize) -> u64 {
+    if k == 0 {
+        1
+    } else if k >= 64 {
+        u64::MAX
+    } else {
+        1u64 << k
+    }
+}
+
+impl MrdHistogram {
+    /// Build the histogram of a block-address trace.
+    pub fn from_trace(trace: &[u64]) -> Self {
+        let mut bins = vec![0u64; MRD_BINS];
+        let mut cold = 0;
+        for d in reuse_distances(trace) {
+            match d {
+                Some(d) => bins[bin_of(d)] += 1,
+                None => cold += 1,
+            }
+        }
+        MrdHistogram {
+            bins,
+            cold,
+            total: trace.len() as u64,
+        }
+    }
+
+    /// Predict misses in a fully-associative LRU cache of `capacity`
+    /// blocks: cold misses plus all accesses whose distance is ≥ capacity,
+    /// interpolating uniformly inside the straddling bin.
+    pub fn predict_misses(&self, capacity: u64) -> f64 {
+        let mut m = self.cold as f64;
+        for (k, &cnt) in self.bins.iter().enumerate() {
+            if cnt == 0 {
+                continue;
+            }
+            let lo = bin_lower(k);
+            let hi = bin_upper(k);
+            if lo >= capacity {
+                m += cnt as f64;
+            } else if hi > capacity {
+                // Bin straddles the capacity: assume uniform distances.
+                let width = (hi - lo) as f64;
+                let missing = (hi - capacity) as f64;
+                m += cnt as f64 * missing / width;
+            }
+        }
+        m
+    }
+
+    /// Miss *ratio* for a cache of `capacity` blocks.
+    pub fn miss_ratio(&self, capacity: u64) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.predict_misses(capacity) / self.total as f64
+        }
+    }
+}
+
+/// Number of quantile curves in the scaling model.
+pub const MRD_QUANTILES: usize = 128;
+
+/// Scaling model: predicts reuse-distance distributions — and hence miss
+/// counts — at problem sizes never traced, from traces collected at
+/// several small sizes.
+///
+/// The paper models each memory reference's reuse distance as a function
+/// of problem size. Our trace-level analog models the distance
+/// *distribution* by its quantiles: for each quantile `q`, the distance
+/// `d_q(n)` is fitted with a least-squares polynomial in `n`. This handles
+/// both pattern families found in dense kernels — constant distances
+/// (tile-local reuse: `d_q(n)` is flat) and footprint-scaled distances
+/// (streaming sweeps: `d_q(n)` grows with `n`) — where absolute-bin
+/// fraction fitting cannot extrapolate the latter. The cold-miss fraction
+/// and total access count are fitted the same way.
+#[derive(Debug, Clone)]
+pub struct MrdModel {
+    /// Coefficients of `total_accesses(n)`.
+    total_coeffs: Vec<f64>,
+    /// Coefficients of `cold_fraction(n)`.
+    cold_coeffs: Vec<f64>,
+    /// Per-quantile coefficients of `distance_q(n)`.
+    quantile_coeffs: Vec<Vec<f64>>,
+}
+
+/// Extract the distance value at each of [`MRD_QUANTILES`] quantiles from a
+/// histogram (bin-uniform interpolation). Returns `None` if the histogram
+/// has no reuses at all.
+fn histogram_quantiles(h: &MrdHistogram) -> Option<Vec<f64>> {
+    let reuses: u64 = h.bins.iter().sum();
+    if reuses == 0 {
+        return None;
+    }
+    let mut qs = Vec::with_capacity(MRD_QUANTILES);
+    let mut bin = 0usize;
+    let mut below: u64 = 0; // reuses in bins < bin
+    for i in 0..MRD_QUANTILES {
+        let target = (i as f64 + 0.5) / MRD_QUANTILES as f64 * reuses as f64;
+        while bin < MRD_BINS && (below + h.bins[bin]) as f64 <= target {
+            below += h.bins[bin];
+            bin += 1;
+        }
+        if bin >= MRD_BINS {
+            qs.push(bin_lower(MRD_BINS - 1) as f64);
+            continue;
+        }
+        // Interpolate uniformly inside the bin.
+        let into = (target - below as f64) / h.bins[bin].max(1) as f64;
+        let lo = bin_lower(bin) as f64;
+        let hi = bin_upper(bin) as f64;
+        qs.push(lo + into * (hi - lo));
+    }
+    Some(qs)
+}
+
+impl MrdModel {
+    /// Fit from `(problem size, histogram)` observations.
+    ///
+    /// `dist_degree` is the polynomial degree for the per-quantile distance
+    /// curves and the cold fraction (1 is usually enough); `total_degree`
+    /// for the access count (match the kernel's complexity, e.g. 3 for
+    /// O(n³) kernels).
+    pub fn fit(
+        observations: &[(f64, MrdHistogram)],
+        dist_degree: usize,
+        total_degree: usize,
+    ) -> Option<Self> {
+        if observations.len() < dist_degree.max(total_degree) + 1 {
+            return None;
+        }
+        let xs: Vec<f64> = observations.iter().map(|o| o.0).collect();
+        let totals: Vec<f64> = observations.iter().map(|o| o.1.total as f64).collect();
+        let total_coeffs = polyfit(&xs, &totals, total_degree)?;
+        let colds: Vec<f64> = observations
+            .iter()
+            .map(|o| o.1.cold as f64 / (o.1.total as f64).max(1.0))
+            .collect();
+        let cold_coeffs = polyfit(&xs, &colds, dist_degree)?;
+        let per_obs_quantiles: Vec<Vec<f64>> = observations
+            .iter()
+            .map(|o| {
+                histogram_quantiles(&o.1).unwrap_or_else(|| vec![0.0; MRD_QUANTILES])
+            })
+            .collect();
+        let mut quantile_coeffs = Vec::with_capacity(MRD_QUANTILES);
+        for q in 0..MRD_QUANTILES {
+            let ds: Vec<f64> = per_obs_quantiles.iter().map(|v| v[q]).collect();
+            quantile_coeffs.push(polyfit(&xs, &ds, dist_degree)?);
+        }
+        Some(MrdModel {
+            total_coeffs,
+            cold_coeffs,
+            quantile_coeffs,
+        })
+    }
+
+    /// Predicted total access count at size `n`.
+    pub fn total_accesses(&self, n: f64) -> f64 {
+        polyval(&self.total_coeffs, n).max(0.0)
+    }
+
+    /// Predicted cold-miss fraction at size `n`.
+    pub fn cold_fraction(&self, n: f64) -> f64 {
+        polyval(&self.cold_coeffs, n).clamp(0.0, 1.0)
+    }
+
+    /// Predicted reuse-distance quantile values at size `n`.
+    pub fn quantiles(&self, n: f64) -> Vec<f64> {
+        self.quantile_coeffs
+            .iter()
+            .map(|c| polyval(c, n).max(0.0))
+            .collect()
+    }
+
+    /// Predicted histogram at size `n`, reconstructed from the quantile
+    /// curves (each quantile carries an equal share of the reuses).
+    pub fn predict_histogram(&self, n: f64) -> MrdHistogram {
+        let total = self.total_accesses(n);
+        let cold = (self.cold_fraction(n) * total).round() as u64;
+        let reuses = total - cold as f64;
+        let per_q = (reuses / MRD_QUANTILES as f64).max(0.0);
+        let mut bins = vec![0u64; MRD_BINS];
+        for d in self.quantiles(n) {
+            bins[bin_of(d.round() as u64)] += per_q.round() as u64;
+        }
+        MrdHistogram {
+            bins,
+            cold,
+            total: total.round() as u64,
+        }
+    }
+
+    /// Predicted miss count at problem size `n` on a fully-associative LRU
+    /// cache holding `capacity` blocks: cold misses plus reuses whose
+    /// predicted quantile distance is at least the capacity.
+    pub fn predict_misses(&self, n: f64, capacity: u64) -> f64 {
+        let total = self.total_accesses(n);
+        let cold = self.cold_fraction(n) * total;
+        let reuses = (total - cold).max(0.0);
+        let missing = self
+            .quantiles(n)
+            .iter()
+            .filter(|&&d| d >= capacity as f64)
+            .count();
+        cold + reuses * missing as f64 / MRD_QUANTILES as f64
+    }
+}
+
+/// Synthetic trace generators (stand-ins for the paper's instrumented
+/// binaries; see DESIGN.md substitution table).
+pub mod traces {
+    /// Sequential sweeps over `n_blocks` blocks, `passes` times: every
+    /// reuse distance equals `n_blocks - 1` — the classic cache-busting
+    /// streaming pattern.
+    pub fn stream(n_blocks: u64, passes: u64) -> Vec<u64> {
+        let mut t = Vec::with_capacity((n_blocks * passes) as usize);
+        for _ in 0..passes {
+            t.extend(0..n_blocks);
+        }
+        t
+    }
+
+    /// Blocked (tiled) sweep: `passes` passes over `n_blocks` blocks in
+    /// tiles of `tile` blocks, re-visiting each tile `reps` times before
+    /// moving on. Intra-tile reuse distances stay < `tile`.
+    pub fn blocked(n_blocks: u64, tile: u64, reps: u64, passes: u64) -> Vec<u64> {
+        let mut t = Vec::new();
+        for _ in 0..passes {
+            let mut start = 0;
+            while start < n_blocks {
+                let end = (start + tile).min(n_blocks);
+                for _ in 0..reps {
+                    t.extend(start..end);
+                }
+                start = end;
+            }
+        }
+        t
+    }
+
+    /// Row-sweep pattern of a right-looking dense factorization on an
+    /// `n × n` grid of blocks: for each pivot step k, touch row k then the
+    /// trailing submatrix column by column. O(n³) accesses with a mix of
+    /// short and O(n²) reuse distances — qualitatively the MRD signature
+    /// the paper models for ScaLAPACK QR.
+    pub fn dense_factor(n: u64) -> Vec<u64> {
+        let mut t = Vec::new();
+        let blk = |i: u64, j: u64| i * n + j;
+        for k in 0..n {
+            for j in k..n {
+                t.push(blk(k, j));
+            }
+            for j in k..n {
+                for i in k..n {
+                    t.push(blk(i, j));
+                    t.push(blk(k, j));
+                }
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances_of_simple_trace() {
+        // a b a b b c a
+        let trace = [0, 1, 0, 1, 1, 2, 0];
+        let d = reuse_distances(&trace);
+        assert_eq!(
+            d,
+            vec![
+                None,
+                None,
+                Some(1),
+                Some(1),
+                Some(0),
+                None,
+                Some(2)
+            ]
+        );
+    }
+
+    #[test]
+    fn stream_trace_distances() {
+        let t = traces::stream(4, 3);
+        let d = reuse_distances(&t);
+        // First pass cold, then every reuse distance = 3.
+        assert_eq!(d.iter().filter(|x| x.is_none()).count(), 4);
+        for x in d.iter().flatten() {
+            assert_eq!(*x, 3);
+        }
+    }
+
+    #[test]
+    fn lru_sim_matches_distance_rule() {
+        let t = traces::stream(8, 4);
+        // Cache of 8 blocks: only cold misses.
+        let (h, m) = simulate_lru(&t, 8);
+        assert_eq!(m, 8);
+        assert_eq!(h, 24);
+        // Cache of 4: everything misses (distance 7 >= 4).
+        let (h2, m2) = simulate_lru(&t, 4);
+        assert_eq!(h2, 0);
+        assert_eq!(m2, 32);
+    }
+
+    #[test]
+    fn histogram_counts_and_prediction_match_exact_lru_at_bin_edges() {
+        let t = traces::blocked(64, 8, 4, 2);
+        let hist = MrdHistogram::from_trace(&t);
+        assert_eq!(hist.total as usize, t.len());
+        // At power-of-two capacities the histogram prediction is exact.
+        for cap in [1u64, 2, 4, 8, 16, 32, 64, 128] {
+            let (_, m) = simulate_lru(&t, cap);
+            let pred = hist.predict_misses(cap);
+            assert!(
+                (pred - m as f64).abs() < 1e-9,
+                "cap {cap}: predicted {pred}, exact {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn bin_bounds_are_consistent() {
+        for d in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, 1 << 40] {
+            let k = bin_of(d);
+            assert!(bin_lower(k) <= d && d < bin_upper(k), "d = {d}, bin {k}");
+        }
+    }
+
+    #[test]
+    fn blocked_pattern_hits_small_cache() {
+        // Tile of 8 with 4 repetitions: a cache of 8 blocks captures all
+        // intra-tile reuse.
+        let t = traces::blocked(1024, 8, 4, 1);
+        let hist = MrdHistogram::from_trace(&t);
+        let miss_small = hist.miss_ratio(8);
+        let miss_tiny = hist.miss_ratio(2);
+        assert!(miss_small < 0.3, "tile-captured ratio {miss_small}");
+        assert!(miss_tiny > miss_small);
+    }
+
+    #[test]
+    fn model_predicts_streaming_misses_at_larger_size() {
+        // Streaming over n blocks, 4 passes: misses(cache c) = 4n when
+        // n > c (all reuses at distance n-1), n when n <= c.
+        let obs: Vec<(f64, MrdHistogram)> = [64u64, 96, 128, 160]
+            .iter()
+            .map(|&n| (n as f64, MrdHistogram::from_trace(&traces::stream(n, 4))))
+            .collect();
+        let model = MrdModel::fit(&obs, 1, 1).unwrap();
+        let n = 4096.0;
+        let misses = model.predict_misses(n, 1024);
+        let want = 4.0 * n;
+        assert!(
+            (misses - want).abs() / want < 0.35,
+            "predicted {misses}, want ~{want}"
+        );
+        // With an enormous cache only cold misses remain.
+        let misses_big = model.predict_misses(n, 1 << 40);
+        assert!(
+            (misses_big - n).abs() / n < 0.35,
+            "predicted {misses_big}, want ~{n}"
+        );
+    }
+
+    #[test]
+    fn model_total_access_scaling() {
+        let obs: Vec<(f64, MrdHistogram)> = [8u64, 12, 16, 20, 24]
+            .iter()
+            .map(|&n| {
+                (
+                    n as f64,
+                    MrdHistogram::from_trace(&traces::dense_factor(n)),
+                )
+            })
+            .collect();
+        let model = MrdModel::fit(&obs, 1, 3).unwrap();
+        // dense_factor touches O(n^3) blocks; check cubic-ish growth.
+        let t32 = model.total_accesses(32.0);
+        let t64 = model.total_accesses(64.0);
+        let ratio = t64 / t32;
+        assert!(
+            ratio > 6.0 && ratio < 10.0,
+            "expected ~8x growth, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn model_fit_requires_enough_observations() {
+        let obs = vec![(8.0, MrdHistogram::from_trace(&traces::stream(8, 1)))];
+        assert!(MrdModel::fit(&obs, 1, 1).is_none());
+    }
+
+    #[test]
+    fn dense_factor_miss_ratio_falls_with_cache_size() {
+        let t = traces::dense_factor(24);
+        let hist = MrdHistogram::from_trace(&t);
+        let r_small = hist.miss_ratio(16);
+        let r_mid = hist.miss_ratio(64);
+        let r_big = hist.miss_ratio(1024);
+        assert!(r_small >= r_mid && r_mid >= r_big);
+        assert!(r_big < r_small);
+    }
+}

@@ -1,0 +1,154 @@
+//! Floating-point operation-count models (§3.2).
+//!
+//! *"To understand the floating point computations performed by an
+//! application, we use hardware performance counters to collect operation
+//! counts from several executions of the program with different, small-size
+//! input problems. We then apply least squares curve-fitting on the
+//! collected data."*
+//!
+//! Here the "hardware counters" are the exact flop counts our instrumented
+//! kernels report for small inputs; the model extrapolates to production
+//! problem sizes.
+
+use crate::linalg::{polyfit, polyval};
+
+/// A fitted `flops(n)` model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpCountModel {
+    /// Polynomial coefficients, lowest power first.
+    pub coeffs: Vec<f64>,
+    /// Degree the model was fitted with.
+    pub degree: usize,
+    /// Root-mean-square relative residual over the training samples.
+    pub rms_rel_residual: f64,
+}
+
+/// Errors from model fitting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FitError {
+    /// Fewer samples than coefficients.
+    TooFewSamples,
+    /// Normal equations singular (degenerate sample set).
+    Singular,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::TooFewSamples => write!(f, "too few samples for requested degree"),
+            FitError::Singular => write!(f, "degenerate sample set"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+impl OpCountModel {
+    /// Fit a degree-`degree` polynomial to `(problem size, observed flops)`
+    /// samples by least squares.
+    pub fn fit(samples: &[(f64, f64)], degree: usize) -> Result<Self, FitError> {
+        if samples.len() < degree + 1 {
+            return Err(FitError::TooFewSamples);
+        }
+        let xs: Vec<f64> = samples.iter().map(|s| s.0).collect();
+        let ys: Vec<f64> = samples.iter().map(|s| s.1).collect();
+        let coeffs = polyfit(&xs, &ys, degree).ok_or(FitError::Singular)?;
+        let mut rel2 = 0.0;
+        for &(x, y) in samples {
+            let p = polyval(&coeffs, x);
+            let denom = y.abs().max(1.0);
+            rel2 += ((p - y) / denom).powi(2);
+        }
+        Ok(OpCountModel {
+            coeffs,
+            degree,
+            rms_rel_residual: (rel2 / samples.len() as f64).sqrt(),
+        })
+    }
+
+    /// Fit trying degrees `1..=max_degree` and keep the lowest degree whose
+    /// training residual is below `tol` (falling back to `max_degree`).
+    /// Mirrors the GrADS tooling's semi-automatic model construction: it
+    /// finds that (for example) QR is cubic without being told.
+    pub fn fit_auto(samples: &[(f64, f64)], max_degree: usize, tol: f64) -> Result<Self, FitError> {
+        let mut last: Option<OpCountModel> = None;
+        for d in 1..=max_degree {
+            match Self::fit(samples, d) {
+                Ok(m) => {
+                    if m.rms_rel_residual <= tol {
+                        return Ok(m);
+                    }
+                    last = Some(m);
+                }
+                Err(FitError::TooFewSamples) => break,
+                Err(e) => return Err(e),
+            }
+        }
+        last.ok_or(FitError::TooFewSamples)
+    }
+
+    /// Predicted flop count at problem size `n` (clamped non-negative).
+    pub fn predict(&self, n: f64) -> f64 {
+        polyval(&self.coeffs, n).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact flop count of an n×n Householder QR: 2n³ fits 4/3·n³ + O(n²)
+    /// closely enough for this test's purpose.
+    fn qr_flops(n: f64) -> f64 {
+        4.0 / 3.0 * n * n * n + 3.0 * n * n
+    }
+
+    #[test]
+    fn fits_cubic_kernel_and_extrapolates() {
+        let samples: Vec<(f64, f64)> =
+            (4..=12).map(|k| (k as f64 * 50.0, qr_flops(k as f64 * 50.0))).collect();
+        let m = OpCountModel::fit(&samples, 3).unwrap();
+        let n = 8000.0;
+        let rel = (m.predict(n) - qr_flops(n)).abs() / qr_flops(n);
+        assert!(rel < 1e-6, "relative extrapolation error {rel}");
+    }
+
+    #[test]
+    fn auto_fit_finds_cubic() {
+        let samples: Vec<(f64, f64)> =
+            (4..=12).map(|k| (k as f64 * 50.0, qr_flops(k as f64 * 50.0))).collect();
+        let m = OpCountModel::fit_auto(&samples, 4, 1e-6).unwrap();
+        assert_eq!(m.degree, 3);
+    }
+
+    #[test]
+    fn auto_fit_finds_linear() {
+        let samples: Vec<(f64, f64)> = (1..=10).map(|k| (k as f64, 7.0 * k as f64)).collect();
+        let m = OpCountModel::fit_auto(&samples, 4, 1e-6).unwrap();
+        assert_eq!(m.degree, 1);
+    }
+
+    #[test]
+    fn too_few_samples_rejected() {
+        assert_eq!(
+            OpCountModel::fit(&[(1.0, 1.0)], 3),
+            Err(FitError::TooFewSamples)
+        );
+    }
+
+    #[test]
+    fn degenerate_samples_rejected() {
+        let samples = vec![(5.0, 1.0); 10];
+        assert_eq!(OpCountModel::fit(&samples, 2), Err(FitError::Singular));
+    }
+
+    #[test]
+    fn prediction_clamped_nonnegative() {
+        let m = OpCountModel {
+            coeffs: vec![-100.0, 1.0],
+            degree: 1,
+            rms_rel_residual: 0.0,
+        };
+        assert_eq!(m.predict(0.0), 0.0);
+    }
+}

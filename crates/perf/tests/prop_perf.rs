@@ -1,0 +1,107 @@
+//! Property-based tests of the performance-modeling substrate: reuse
+//! distances against a naive LRU-stack oracle, histogram consistency, and
+//! least-squares fitting.
+
+use grads_perf::linalg::{polyfit, polyval};
+use grads_perf::mrd::{bin_lower, bin_of, bin_upper};
+use grads_perf::{reuse_distances, simulate_lru, MrdHistogram};
+use proptest::prelude::*;
+
+/// Naive O(T²) reuse-distance oracle using an explicit LRU stack.
+fn naive_distances(trace: &[u64]) -> Vec<Option<u64>> {
+    let mut stack: Vec<u64> = Vec::new();
+    let mut out = Vec::with_capacity(trace.len());
+    for &b in trace {
+        match stack.iter().position(|&x| x == b) {
+            Some(pos) => {
+                // Depth from the top (#distinct blocks touched since).
+                let d = (stack.len() - 1 - pos) as u64;
+                out.push(Some(d));
+                stack.remove(pos);
+            }
+            None => out.push(None),
+        }
+        stack.push(b);
+    }
+    out
+}
+
+fn trace() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..24, 0..200)
+}
+
+proptest! {
+    /// The Fenwick algorithm agrees with the naive LRU-stack oracle.
+    #[test]
+    fn distances_match_oracle(t in trace()) {
+        prop_assert_eq!(reuse_distances(&t), naive_distances(&t));
+    }
+
+    /// Exact LRU simulation: hits + misses = accesses; misses
+    /// monotonically non-increasing in capacity.
+    #[test]
+    fn lru_sim_monotone(t in trace()) {
+        let mut last = u64::MAX;
+        for cap in [1u64, 2, 4, 8, 16, 32] {
+            let (h, m) = simulate_lru(&t, cap);
+            prop_assert_eq!(h + m, t.len() as u64);
+            prop_assert!(m <= last);
+            last = m;
+        }
+    }
+
+    /// The histogram accounts for every access, and its miss prediction
+    /// matches exact LRU at power-of-two capacities (bin edges).
+    #[test]
+    fn histogram_consistent(t in trace()) {
+        let hist = MrdHistogram::from_trace(&t);
+        let binned: u64 = hist.bins.iter().sum();
+        prop_assert_eq!(binned + hist.cold, t.len() as u64);
+        for cap in [1u64, 2, 4, 8, 16, 32, 64] {
+            let (_, m) = simulate_lru(&t, cap);
+            let pred = hist.predict_misses(cap);
+            prop_assert!((pred - m as f64).abs() < 1e-9,
+                "cap {}: predicted {} exact {}", cap, pred, m);
+        }
+    }
+
+    /// Miss prediction is monotone in capacity for arbitrary capacities.
+    #[test]
+    fn prediction_monotone_in_capacity(t in trace(), caps in proptest::collection::vec(1u64..128, 2..10)) {
+        let hist = MrdHistogram::from_trace(&t);
+        let mut cs = caps.clone();
+        cs.sort_unstable();
+        let mut last = f64::INFINITY;
+        for c in cs {
+            let p = hist.predict_misses(c);
+            prop_assert!(p <= last + 1e-9);
+            last = p;
+        }
+    }
+
+    /// Every distance lands in a bin that actually contains it.
+    #[test]
+    fn bins_contain_their_values(d in 0u64..u64::MAX / 2) {
+        let k = bin_of(d);
+        prop_assert!(bin_lower(k) <= d);
+        prop_assert!(d < bin_upper(k));
+    }
+
+    /// polyfit recovers exact low-degree polynomials from clean samples.
+    #[test]
+    fn polyfit_recovers_exact(
+        c0 in -100.0f64..100.0,
+        c1 in -10.0f64..10.0,
+        c2 in -1.0f64..1.0,
+    ) {
+        let xs: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| c0 + c1 * x + c2 * x * x).collect();
+        let c = polyfit(&xs, &ys, 2).expect("well-posed fit");
+        for &x in &[0.5f64, 15.0, 40.0] {
+            let want = c0 + c1 * x + c2 * x * x;
+            let got = polyval(&c, x);
+            prop_assert!((got - want).abs() <= 1e-6 * (1.0 + want.abs()),
+                "x={}: got {} want {}", x, got, want);
+        }
+    }
+}

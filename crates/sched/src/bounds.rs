@@ -1,0 +1,192 @@
+//! Makespan lower bounds — certificates for heuristic schedule quality.
+//!
+//! The mapping problem is NP-complete (§3.1, citing Garey & Johnson), so
+//! the heuristics carry no guarantees; these bounds let tests and
+//! harnesses certify how far a schedule can possibly be from optimal:
+//!
+//! * **critical-path bound** — the longest dependence chain, with every
+//!   component charged its best-case execution cost and transfers free;
+//! * **area bound** — total best-case work divided by the number of
+//!   resources (perfect parallelism, free transfers).
+//!
+//! Any valid schedule's makespan is at least the larger of the two.
+
+use crate::dag::Workflow;
+use grads_perf::ResourceInfo;
+
+/// Best-case (minimum over eligible resources) execution cost of each
+/// component. Components eligible nowhere get `f64::INFINITY`.
+pub fn best_ecosts(wf: &Workflow, resources: &[ResourceInfo]) -> Vec<f64> {
+    (0..wf.len())
+        .map(|c| {
+            let model = &wf.components[c].model;
+            resources
+                .iter()
+                .filter(|r| {
+                    r.memory >= model.min_memory()
+                        && model
+                            .allowed_archs()
+                            .map(|a| a.contains(&r.arch))
+                            .unwrap_or(true)
+                })
+                .map(|r| model.ecost(r))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect()
+}
+
+/// Critical-path lower bound: longest chain of best-case costs.
+pub fn critical_path_bound(wf: &Workflow, resources: &[ResourceInfo]) -> f64 {
+    let best = best_ecosts(wf, resources);
+    let order = wf.topo_order().expect("valid workflow");
+    let mut longest = vec![0.0f64; wf.len()];
+    let mut out = 0.0f64;
+    for &c in &order {
+        let mut start = 0.0f64;
+        for e in wf.preds(c) {
+            start = start.max(longest[e.from]);
+        }
+        longest[c] = start + best[c];
+        out = out.max(longest[c]);
+    }
+    out
+}
+
+/// Area lower bound: total best-case work over the resource count.
+pub fn area_bound(wf: &Workflow, resources: &[ResourceInfo]) -> f64 {
+    if resources.is_empty() {
+        return f64::INFINITY;
+    }
+    let total: f64 = best_ecosts(wf, resources).iter().sum();
+    total / resources.len() as f64
+}
+
+/// The combined lower bound: no schedule can beat this makespan.
+pub fn makespan_lower_bound(wf: &Workflow, resources: &[ResourceInfo]) -> f64 {
+    critical_path_bound(wf, resources).max(area_bound(wf, resources))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::testutil::flat_model;
+    use crate::workflow::WorkflowScheduler;
+    use grads_nws::NwsService;
+    use grads_sim::prelude::*;
+    use grads_sim::topology::{GridBuilder, HostSpec};
+
+    fn setup(nfast: usize, nslow: usize) -> (Grid, Vec<ResourceInfo>) {
+        let mut b = GridBuilder::new();
+        let f = b.cluster("F");
+        b.local_link(f, 1e8, 1e-4);
+        b.add_hosts(f, nfast, &HostSpec::with_speed(2e9));
+        let s = b.cluster("S");
+        b.local_link(s, 1e8, 1e-4);
+        b.add_hosts(s, nslow, &HostSpec::with_speed(5e8));
+        b.connect(f, s, 1e7, 0.01);
+        let grid = b.build().unwrap();
+        let nws = NwsService::new();
+        let res = (0..grid.hosts().len() as u32)
+            .map(|i| ResourceInfo::from_grid(&grid, &nws, HostId(i)))
+            .collect();
+        (grid, res)
+    }
+
+    fn chain(n: usize, flops: f64) -> Workflow {
+        let mut wf = Workflow::new();
+        for i in 0..n {
+            wf.add_component(&format!("c{i}"), flat_model(flops, 1e5, 1e5));
+        }
+        for i in 1..n {
+            wf.add_edge(i - 1, i, 1e5);
+        }
+        wf
+    }
+
+    fn fan(width: usize, flops: f64) -> Workflow {
+        let mut wf = Workflow::new();
+        for i in 0..width {
+            wf.add_component(&format!("f{i}"), flat_model(flops, 0.0, 0.0));
+        }
+        wf
+    }
+
+    #[test]
+    fn chain_bound_is_critical_path() {
+        let (_, res) = setup(2, 4);
+        let wf = chain(5, 2e9); // 1 s each on the 2 GHz hosts
+        let lb = makespan_lower_bound(&wf, &res);
+        assert!((lb - 5.0).abs() < 1e-9, "lb = {lb}");
+    }
+
+    #[test]
+    fn wide_fan_bound_is_area() {
+        let (_, res) = setup(2, 4);
+        // 60 independent 1-s tasks over 6 hosts: area bound = 10 s;
+        // critical path = 1 s.
+        let wf = fan(60, 2e9);
+        let lb = makespan_lower_bound(&wf, &res);
+        assert!((lb - 10.0).abs() < 1e-9, "lb = {lb}");
+        assert!((critical_path_bound(&wf, &res) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn schedules_respect_the_bound() {
+        let (grid, res) = setup(2, 4);
+        let nws = NwsService::new();
+        for wf in [chain(6, 3e9), fan(24, 4e9), {
+            let mut w = chain(3, 2e9);
+            for i in 0..8 {
+                let c = w.add_component(&format!("x{i}"), flat_model(6e9, 1e6, 1e5));
+                w.add_edge(1, c, 1e6);
+            }
+            w
+        }] {
+            let lb = makespan_lower_bound(&wf, &res);
+            let (best, per) = WorkflowScheduler::default().schedule(&wf, &grid, &nws, &res);
+            assert!(
+                best.makespan >= lb - 1e-9,
+                "makespan {} below bound {lb}",
+                best.makespan
+            );
+            for (name, mk) in per {
+                assert!(mk >= lb - 1e-9, "{name} {mk} below bound {lb}");
+            }
+            // Heuristics should also be *near* the bound on these easy
+            // instances (within 3x).
+            assert!(
+                best.makespan <= lb * 3.0,
+                "makespan {} too far above bound {lb}",
+                best.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn arch_restriction_raises_the_bound() {
+        use grads_perf::{FittedModel, OpCountModel};
+        use std::sync::Arc;
+        let (_, res) = setup(2, 4);
+        let mut wf = Workflow::new();
+        // Pinned to the slow cluster's arch? Both clusters are Ia32 here,
+        // so pin via memory instead: require more than the default 1 GiB.
+        wf.add_component(
+            "greedy",
+            Arc::new(FittedModel {
+                problem_size: 1.0,
+                ops: OpCountModel {
+                    coeffs: vec![2e9],
+                    degree: 0,
+                    rms_rel_residual: 0.0,
+                },
+                mrd: None,
+                input_bytes: 0.0,
+                output_bytes: 0.0,
+                min_memory: u64::MAX,
+                allowed: None,
+            }),
+        );
+        // Eligible nowhere: the bound is infinite (unschedulable).
+        assert!(makespan_lower_bound(&wf, &res).is_infinite());
+    }
+}

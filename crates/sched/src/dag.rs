@@ -1,0 +1,242 @@
+//! Workflow DAGs (§3).
+//!
+//! *"A workflow application consists of a collection of components that
+//! need to be executed in a partial order determined by control and data
+//! dependences."* Components carry the §3.2 performance models; edges carry
+//! the data volumes that drive `dcost`.
+
+use grads_perf::ComponentModel;
+use std::sync::Arc;
+
+/// One workflow component.
+pub struct WfComponent {
+    /// Human-readable name (e.g. the EMAN stage name).
+    pub name: String,
+    /// Its performance model.
+    pub model: Arc<dyn ComponentModel>,
+}
+
+/// A data dependence between two components.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WfEdge {
+    /// Producer component index.
+    pub from: usize,
+    /// Consumer component index.
+    pub to: usize,
+    /// Data volume transferred, bytes.
+    pub bytes: f64,
+}
+
+/// Errors from DAG construction/validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// The graph contains a cycle (not a workflow).
+    Cyclic,
+    /// An edge references a nonexistent component.
+    BadEdge(usize, usize),
+}
+
+impl std::fmt::Display for DagError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DagError::Cyclic => write!(f, "workflow graph contains a cycle"),
+            DagError::BadEdge(a, b) => write!(f, "edge ({a} -> {b}) references missing component"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+/// A workflow application: components plus data-dependence edges.
+#[derive(Default)]
+pub struct Workflow {
+    /// Components, indexable by id.
+    pub components: Vec<WfComponent>,
+    /// Dependence edges.
+    pub edges: Vec<WfEdge>,
+}
+
+impl Workflow {
+    /// Empty workflow.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a component; returns its index.
+    pub fn add_component(&mut self, name: &str, model: Arc<dyn ComponentModel>) -> usize {
+        self.components.push(WfComponent {
+            name: name.to_string(),
+            model,
+        });
+        self.components.len() - 1
+    }
+
+    /// Add a data dependence.
+    pub fn add_edge(&mut self, from: usize, to: usize, bytes: f64) {
+        self.edges.push(WfEdge { from, to, bytes });
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// True if the workflow has no components.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// In-edges of component `c`.
+    pub fn preds(&self, c: usize) -> impl Iterator<Item = &WfEdge> {
+        self.edges.iter().filter(move |e| e.to == c)
+    }
+
+    /// Out-edges of component `c`.
+    pub fn succs(&self, c: usize) -> impl Iterator<Item = &WfEdge> {
+        self.edges.iter().filter(move |e| e.from == c)
+    }
+
+    /// Validate edges and acyclicity; returns a topological order.
+    pub fn topo_order(&self) -> Result<Vec<usize>, DagError> {
+        let n = self.len();
+        for e in &self.edges {
+            if e.from >= n || e.to >= n {
+                return Err(DagError::BadEdge(e.from, e.to));
+            }
+        }
+        let mut indeg = vec![0usize; n];
+        for e in &self.edges {
+            indeg[e.to] += 1;
+        }
+        let mut queue: std::collections::VecDeque<usize> = (0..n)
+            .filter(|&c| indeg[c] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(c) = queue.pop_front() {
+            order.push(c);
+            for e in &self.edges {
+                if e.from == c {
+                    indeg[e.to] -= 1;
+                    if indeg[e.to] == 0 {
+                        queue.push_back(e.to);
+                    }
+                }
+            }
+        }
+        if order.len() != n {
+            return Err(DagError::Cyclic);
+        }
+        Ok(order)
+    }
+
+    /// Partition components into dependence levels: level 0 has no
+    /// predecessors, level k+1 depends only on levels ≤ k. The workflow
+    /// scheduler maps one level at a time (dependences into already-placed
+    /// components then supply the `dcost`/arrival terms).
+    pub fn levels(&self) -> Result<Vec<Vec<usize>>, DagError> {
+        let order = self.topo_order()?;
+        let mut depth = vec![0usize; self.len()];
+        for &c in &order {
+            for e in self.preds(c) {
+                depth[c] = depth[c].max(depth[e.from] + 1);
+            }
+        }
+        let max_d = depth.iter().copied().max().unwrap_or(0);
+        let mut levels = vec![Vec::new(); if self.is_empty() { 0 } else { max_d + 1 }];
+        for (c, &d) in depth.iter().enumerate() {
+            levels[d].push(c);
+        }
+        Ok(levels)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use grads_perf::{OpCountModel, FittedModel};
+
+    /// A component model with a fixed flop count and data volumes.
+    pub fn flat_model(flops: f64, in_bytes: f64, out_bytes: f64) -> Arc<dyn ComponentModel> {
+        Arc::new(FittedModel {
+            problem_size: 1.0,
+            ops: OpCountModel {
+                coeffs: vec![flops],
+                degree: 0,
+                rms_rel_residual: 0.0,
+            },
+            mrd: None,
+            input_bytes: in_bytes,
+            output_bytes: out_bytes,
+            min_memory: 0,
+            allowed: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::flat_model;
+    use super::*;
+
+    fn chain(n: usize) -> Workflow {
+        let mut wf = Workflow::new();
+        for i in 0..n {
+            wf.add_component(&format!("c{i}"), flat_model(1e9, 1e6, 1e6));
+        }
+        for i in 1..n {
+            wf.add_edge(i - 1, i, 1e6);
+        }
+        wf
+    }
+
+    #[test]
+    fn topo_order_of_chain() {
+        let wf = chain(4);
+        assert_eq!(wf.topo_order().unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut wf = chain(3);
+        wf.add_edge(2, 0, 1.0);
+        assert_eq!(wf.topo_order(), Err(DagError::Cyclic));
+    }
+
+    #[test]
+    fn bad_edge_detected() {
+        let mut wf = chain(2);
+        wf.add_edge(0, 9, 1.0);
+        assert_eq!(wf.topo_order(), Err(DagError::BadEdge(0, 9)));
+    }
+
+    #[test]
+    fn levels_of_diamond() {
+        // 0 -> {1, 2} -> 3
+        let mut wf = Workflow::new();
+        for i in 0..4 {
+            wf.add_component(&format!("c{i}"), flat_model(1.0, 0.0, 0.0));
+        }
+        wf.add_edge(0, 1, 1.0);
+        wf.add_edge(0, 2, 1.0);
+        wf.add_edge(1, 3, 1.0);
+        wf.add_edge(2, 3, 1.0);
+        let levels = wf.levels().unwrap();
+        assert_eq!(levels, vec![vec![0], vec![1, 2], vec![3]]);
+    }
+
+    #[test]
+    fn empty_workflow() {
+        let wf = Workflow::new();
+        assert!(wf.is_empty());
+        assert!(wf.levels().unwrap().is_empty());
+    }
+
+    #[test]
+    fn preds_and_succs() {
+        let wf = chain(3);
+        assert_eq!(wf.preds(1).count(), 1);
+        assert_eq!(wf.succs(1).count(), 1);
+        assert_eq!(wf.preds(0).count(), 0);
+        assert_eq!(wf.succs(2).count(), 0);
+    }
+}

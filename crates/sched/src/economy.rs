@@ -1,0 +1,308 @@
+//! Grid economies — the paper's §5 future-work capability ("Grid
+//! economies for allocating resources"), after the G-commerce work it
+//! cites (\[24\]: Wolski, Plank, Brevik & Bryan, *"G-commerce: Market
+//! formulations controlling resource allocation on the computational
+//! grid"*).
+//!
+//! Two market formulations are implemented, matching G-commerce's
+//! comparison:
+//!
+//! * a **commodities market**: one price per resource type, adjusted by
+//!   tâtonnement (excess demand raises the price, excess supply lowers
+//!   it) until the market approximately clears; consumers then receive
+//!   allocations proportional to their demand at the equilibrium price;
+//! * **auctions**: capacity is sold slot by slot to the highest bidder at
+//!   the second-highest price.
+//!
+//! G-commerce's finding — commodities markets reach smoother, more
+//! predictable prices than auctions while clearing comparably — is
+//! reproduced by the tests and the price-stability metric.
+
+/// A resource seller: `capacity` divisible CPU slots.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Producer {
+    /// Slots offered.
+    pub capacity: f64,
+}
+
+/// A resource buyer with a budget and a maximum useful demand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Consumer {
+    /// Money available per market round.
+    pub budget: f64,
+    /// Slots beyond this are useless to the job.
+    pub max_demand: f64,
+}
+
+/// Demand of one consumer at a price: budget-limited and need-capped.
+pub fn demand_at(c: &Consumer, price: f64) -> f64 {
+    (c.budget / price.max(1e-12)).min(c.max_demand)
+}
+
+/// Result of running a commodities market to (approximate) equilibrium.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Equilibrium {
+    /// Clearing price.
+    pub price: f64,
+    /// Residual excess demand (demand − supply) at that price.
+    pub excess: f64,
+    /// Tâtonnement iterations used.
+    pub iterations: usize,
+    /// Whether |excess| fell below the tolerance.
+    pub converged: bool,
+    /// Per-consumer allocations (slots), demand-proportional if the
+    /// market is over-subscribed at the clearing price.
+    pub allocations: Vec<f64>,
+    /// Price trajectory (for stability analysis).
+    pub price_history: Vec<f64>,
+}
+
+/// A single-commodity market with tâtonnement price adjustment.
+#[derive(Debug, Clone)]
+pub struct CommodityMarket {
+    /// Current price.
+    pub price: f64,
+    /// Adjustment gain: `p ← p · (1 + λ · excess/supply)`.
+    pub lambda: f64,
+}
+
+impl Default for CommodityMarket {
+    fn default() -> Self {
+        CommodityMarket {
+            price: 1.0,
+            lambda: 0.5,
+        }
+    }
+}
+
+impl CommodityMarket {
+    /// Total offered capacity.
+    pub fn supply(producers: &[Producer]) -> f64 {
+        producers.iter().map(|p| p.capacity).sum()
+    }
+
+    /// Aggregate demand at a price.
+    pub fn demand(consumers: &[Consumer], price: f64) -> f64 {
+        consumers.iter().map(|c| demand_at(c, price)).sum()
+    }
+
+    /// Iterate price adjustment until the excess demand is within
+    /// `tol · supply` or `max_iters` rounds pass, then allocate.
+    pub fn clear(
+        &mut self,
+        producers: &[Producer],
+        consumers: &[Consumer],
+        max_iters: usize,
+        tol: f64,
+    ) -> Equilibrium {
+        let supply = Self::supply(producers).max(1e-12);
+        let mut history = Vec::with_capacity(max_iters + 1);
+        history.push(self.price);
+        let mut iterations = 0;
+        let mut excess = Self::demand(consumers, self.price) - supply;
+        while iterations < max_iters && excess.abs() > tol * supply {
+            let step = (self.lambda * excess / supply).clamp(-0.5, 0.5);
+            self.price = (self.price * (1.0 + step)).max(1e-9);
+            history.push(self.price);
+            iterations += 1;
+            excess = Self::demand(consumers, self.price) - supply;
+        }
+        // Allocate: everyone gets their demand, scaled down uniformly if
+        // the market is still over-subscribed.
+        let total = Self::demand(consumers, self.price);
+        let scale = if total > supply { supply / total } else { 1.0 };
+        let allocations = consumers
+            .iter()
+            .map(|c| demand_at(c, self.price) * scale)
+            .collect();
+        Equilibrium {
+            price: self.price,
+            excess,
+            iterations,
+            converged: excess.abs() <= tol * supply,
+            allocations,
+            price_history: history,
+        }
+    }
+}
+
+/// Result of an auction round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuctionOutcome {
+    /// Per-consumer allocations (slots).
+    pub allocations: Vec<f64>,
+    /// Price paid for each slot sold, in sale order.
+    pub slot_prices: Vec<f64>,
+}
+
+/// Second-price sealed-bid auction, one slot at a time: each consumer bids
+/// its per-slot valuation (remaining budget over remaining useful demand);
+/// the winner pays the runner-up's bid.
+pub fn auction_allocate(producers: &[Producer], consumers: &[Consumer]) -> AuctionOutcome {
+    let mut capacity = CommodityMarket::supply(producers);
+    let mut remaining_budget: Vec<f64> = consumers.iter().map(|c| c.budget).collect();
+    let mut remaining_need: Vec<f64> = consumers.iter().map(|c| c.max_demand).collect();
+    let mut allocations = vec![0.0; consumers.len()];
+    let mut slot_prices = Vec::new();
+    while capacity >= 1.0 {
+        // Bids: value of one more slot to each consumer.
+        let mut bids: Vec<(usize, f64)> = remaining_budget
+            .iter()
+            .zip(&remaining_need)
+            .enumerate()
+            .filter(|(_, (&b, &n))| n >= 1.0 && b > 0.0)
+            .map(|(i, (&b, &n))| (i, b / n.max(1.0)))
+            .collect();
+        if bids.is_empty() {
+            break;
+        }
+        bids.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        let (winner, top) = bids[0];
+        let price = bids.get(1).map(|&(_, p)| p).unwrap_or(top * 0.5).min(top);
+        let price = price.min(remaining_budget[winner]);
+        allocations[winner] += 1.0;
+        remaining_budget[winner] -= price;
+        remaining_need[winner] -= 1.0;
+        capacity -= 1.0;
+        slot_prices.push(price);
+    }
+    AuctionOutcome {
+        allocations,
+        slot_prices,
+    }
+}
+
+/// Relative standard deviation of a price series — the G-commerce price
+/// stability metric (lower = smoother).
+pub fn price_volatility(prices: &[f64]) -> f64 {
+    if prices.len() < 2 {
+        return 0.0;
+    }
+    let n = prices.len() as f64;
+    let mean = prices.iter().sum::<f64>() / n;
+    let var = prices.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / n;
+    var.sqrt() / mean.max(1e-12)
+}
+
+/// Jain's fairness index over allocations (1 = perfectly fair).
+pub fn jain_fairness(alloc: &[f64]) -> f64 {
+    let n = alloc.len() as f64;
+    let s: f64 = alloc.iter().sum();
+    let s2: f64 = alloc.iter().map(|a| a * a).sum();
+    if s2 <= 0.0 {
+        return 1.0;
+    }
+    s * s / (n * s2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn producers(caps: &[f64]) -> Vec<Producer> {
+        caps.iter().map(|&c| Producer { capacity: c }).collect()
+    }
+
+    fn consumers(specs: &[(f64, f64)]) -> Vec<Consumer> {
+        specs
+            .iter()
+            .map(|&(budget, max_demand)| Consumer { budget, max_demand })
+            .collect()
+    }
+
+    #[test]
+    fn market_converges_and_clears() {
+        let p = producers(&[40.0, 60.0]);
+        let c = consumers(&[(100.0, 80.0), (50.0, 60.0), (25.0, 30.0)]);
+        let mut m = CommodityMarket::default();
+        let eq = m.clear(&p, &c, 500, 0.01);
+        assert!(eq.converged, "{eq:?}");
+        let total: f64 = eq.allocations.iter().sum();
+        assert!((total - 100.0).abs() <= 2.0, "market clears: {total}");
+        // Richer consumers obtain more.
+        assert!(eq.allocations[0] > eq.allocations[1]);
+        assert!(eq.allocations[1] > eq.allocations[2]);
+    }
+
+    #[test]
+    fn scarcity_raises_the_price() {
+        let c = consumers(&[(100.0, 1000.0), (100.0, 1000.0)]);
+        let mut m_plenty = CommodityMarket::default();
+        let eq_plenty = m_plenty.clear(&producers(&[400.0]), &c, 500, 0.01);
+        let mut m_scarce = CommodityMarket::default();
+        let eq_scarce = m_scarce.clear(&producers(&[40.0]), &c, 500, 0.01);
+        assert!(
+            eq_scarce.price > eq_plenty.price * 5.0,
+            "scarce {} vs plenty {}",
+            eq_scarce.price,
+            eq_plenty.price
+        );
+    }
+
+    #[test]
+    fn unsaturated_market_gives_everyone_their_demand() {
+        let p = producers(&[1000.0]);
+        let c = consumers(&[(10.0, 5.0), (10.0, 3.0)]);
+        let mut m = CommodityMarket::default();
+        let eq = m.clear(&p, &c, 500, 0.01);
+        // Price floors out; everyone is capped by need, not money.
+        assert!((eq.allocations[0] - 5.0).abs() < 1e-6);
+        assert!((eq.allocations[1] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn auction_sells_to_the_highest_valuations() {
+        let p = producers(&[3.0]);
+        let c = consumers(&[(90.0, 3.0), (10.0, 3.0)]);
+        let out = auction_allocate(&p, &c);
+        assert!(out.allocations[0] >= 2.0, "{:?}", out.allocations);
+        let sold: f64 = out.allocations.iter().sum();
+        assert!((sold - 3.0).abs() < 1e-9);
+        assert_eq!(out.slot_prices.len(), 3);
+    }
+
+    #[test]
+    fn auction_respects_budgets_and_needs() {
+        let p = producers(&[10.0]);
+        let c = consumers(&[(5.0, 2.0), (5.0, 2.0)]);
+        let out = auction_allocate(&p, &c);
+        for (i, &a) in out.allocations.iter().enumerate() {
+            assert!(a <= 2.0 + 1e-9, "consumer {i} over-allocated: {a}");
+        }
+        let sold: f64 = out.allocations.iter().sum();
+        assert!(sold <= 4.0 + 1e-9, "needs cap total sales: {sold}");
+    }
+
+    #[test]
+    fn commodity_prices_smoother_than_auction_prices() {
+        // The G-commerce comparison: tâtonnement converges to a stable
+        // price; sequential auction prices jump around as budgets drain.
+        let p = producers(&[50.0]);
+        let c = consumers(&[
+            (100.0, 40.0),
+            (60.0, 30.0),
+            (30.0, 25.0),
+            (10.0, 20.0),
+        ]);
+        let mut m = CommodityMarket::default();
+        let eq = m.clear(&p, &c, 500, 0.01);
+        assert!(eq.converged);
+        // Post-convergence prices: the last few tâtonnement steps.
+        let tail = &eq.price_history[eq.price_history.len().saturating_sub(3)..];
+        let auction = auction_allocate(&p, &c);
+        let v_market = price_volatility(tail);
+        let v_auction = price_volatility(&auction.slot_prices);
+        assert!(
+            v_market < v_auction,
+            "market tail volatility {v_market} vs auction {v_auction}"
+        );
+    }
+
+    #[test]
+    fn fairness_metric_sane() {
+        assert!((jain_fairness(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        let skew = jain_fairness(&[10.0, 0.0, 0.0]);
+        assert!((skew - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), 1.0);
+    }
+}

@@ -1,0 +1,251 @@
+//! Batch mapping heuristics: min-min, max-min, sufferage (§3.1).
+//!
+//! *"We apply three heuristics to obtain three mappings and then select the
+//! schedule with the minimum makespan. The heuristics that we apply are the
+//! min-min, the max-min, and the sufferage heuristics."* (citing Casanova
+//! et al. HCW 2000 and Braun et al. JPDC 2001)
+//!
+//! All three operate on a *completion-time* matrix for a set of independent
+//! tasks (one dependence level of the workflow): `ct(t, m) = max(ready[m],
+//! arrival[t][m]) + cost[t][m]`, where `ready` tracks machine occupancy and
+//! `arrival` is when the task's input data can be on machine `m`.
+
+/// The mapping heuristics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Heuristic {
+    /// Repeatedly map the task whose best completion time is smallest.
+    MinMin,
+    /// Repeatedly map the task whose best completion time is largest
+    /// (gets long tasks out of the way first).
+    MaxMin,
+    /// Repeatedly map the task that would "suffer" most if denied its best
+    /// machine (largest second-best − best gap).
+    Sufferage,
+}
+
+impl Heuristic {
+    /// All three paper heuristics.
+    pub fn all() -> [Heuristic; 3] {
+        [Heuristic::MinMin, Heuristic::MaxMin, Heuristic::Sufferage]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Heuristic::MinMin => "min-min",
+            Heuristic::MaxMin => "max-min",
+            Heuristic::Sufferage => "sufferage",
+        }
+    }
+}
+
+/// The assignment of one task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Placement {
+    /// Machine (resource index).
+    pub machine: usize,
+    /// Start time.
+    pub start: f64,
+    /// Completion time.
+    pub finish: f64,
+}
+
+/// Map a batch of independent tasks onto machines.
+///
+/// * `cost[t][m]` — execution cost of task `t` on machine `m`
+///   (`f64::INFINITY` marks ineligible pairs);
+/// * `arrival[t][m]` — earliest time `t`'s inputs can be on `m`;
+/// * `ready` — per-machine ready times, updated in place.
+///
+/// Returns one [`Placement`] per task. Panics if some task is ineligible
+/// everywhere (the caller must guarantee schedulability).
+pub fn map_tasks(
+    h: Heuristic,
+    cost: &[Vec<f64>],
+    arrival: &[Vec<f64>],
+    ready: &mut [f64],
+) -> Vec<Placement> {
+    let nt = cost.len();
+    let nm = ready.len();
+    assert!(cost.iter().all(|r| r.len() == nm), "cost shape");
+    assert_eq!(arrival.len(), nt, "arrival shape");
+    let mut placed: Vec<Option<Placement>> = vec![None; nt];
+    let mut remaining: Vec<usize> = (0..nt).collect();
+    while !remaining.is_empty() {
+        // For each unmapped task, find its best and second-best completion
+        // times under the current ready times.
+        let mut pick: Option<(usize, usize, f64, f64)> = None; // (slot in remaining, machine, best_ct, metric)
+        for (slot, &t) in remaining.iter().enumerate() {
+            let mut best: Option<(usize, f64)> = None;
+            let mut second = f64::INFINITY;
+            for m in 0..nm {
+                if cost[t][m].is_infinite() {
+                    continue;
+                }
+                let ct = ready[m].max(arrival[t][m]) + cost[t][m];
+                match best {
+                    Some((_, b)) if ct >= b => second = second.min(ct),
+                    Some((_, b)) => {
+                        second = second.min(b);
+                        best = Some((m, ct));
+                    }
+                    None => best = Some((m, ct)),
+                }
+            }
+            let (bm, bct) = best.unwrap_or_else(|| {
+                panic!("task {t} is ineligible on every machine")
+            });
+            // The selection metric: what this heuristic maximizes or
+            // minimizes across tasks.
+            let metric = match h {
+                Heuristic::MinMin => bct,
+                Heuristic::MaxMin => bct,
+                Heuristic::Sufferage => {
+                    if second.is_finite() {
+                        second - bct
+                    } else {
+                        f64::INFINITY // only one eligible machine: map first
+                    }
+                }
+            };
+            let better = match (&pick, h) {
+                (None, _) => true,
+                (Some((_, _, _, cur)), Heuristic::MinMin) => metric < *cur,
+                (Some((_, _, _, cur)), Heuristic::MaxMin) => metric > *cur,
+                (Some((_, _, _, cur)), Heuristic::Sufferage) => metric > *cur,
+            };
+            if better {
+                pick = Some((slot, bm, bct, metric));
+            }
+        }
+        let (slot, m, ct, _) = pick.expect("non-empty remaining set");
+        let t = remaining.swap_remove(slot);
+        let start = ready[m].max(arrival[t][m]);
+        ready[m] = ct;
+        placed[t] = Some(Placement {
+            machine: m,
+            start,
+            finish: ct,
+        });
+    }
+    placed.into_iter().map(|p| p.expect("all placed")).collect()
+}
+
+/// Makespan of a placement set.
+pub fn makespan(placements: &[Placement]) -> f64 {
+    placements.iter().fold(0.0, |a, p| a.max(p.finish))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zeros(nt: usize, nm: usize) -> Vec<Vec<f64>> {
+        vec![vec![0.0; nm]; nt]
+    }
+
+    #[test]
+    fn single_task_takes_best_machine() {
+        let cost = vec![vec![10.0, 4.0, 7.0]];
+        let arrival = zeros(1, 3);
+        let mut ready = vec![0.0; 3];
+        for h in Heuristic::all() {
+            let p = map_tasks(h, &cost, &arrival, &mut ready.clone());
+            assert_eq!(p[0].machine, 1, "{}", h.name());
+            assert_eq!(p[0].finish, 4.0);
+        }
+        let _ = &mut ready;
+    }
+
+    #[test]
+    fn min_min_prefers_short_tasks_first() {
+        // Two tasks, one machine: min-min runs the short one first.
+        let cost = vec![vec![10.0], vec![1.0]];
+        let arrival = zeros(2, 1);
+        let mut ready = vec![0.0];
+        let p = map_tasks(Heuristic::MinMin, &cost, &arrival, &mut ready);
+        assert!(p[1].start < p[0].start);
+    }
+
+    #[test]
+    fn max_min_prefers_long_tasks_first() {
+        let cost = vec![vec![10.0], vec![1.0]];
+        let arrival = zeros(2, 1);
+        let mut ready = vec![0.0];
+        let p = map_tasks(Heuristic::MaxMin, &cost, &arrival, &mut ready);
+        assert!(p[0].start < p[1].start);
+    }
+
+    #[test]
+    fn sufferage_protects_high_stakes_task() {
+        // Classic sufferage instance (after Casanova et al.): all tasks
+        // like m0 equally (cost 2), but t0 has a decent fallback on m1
+        // (cost 3) while t1 and t2 would suffer badly there (cost 20).
+        // Sufferage reserves m0 for the high-stakes tasks and sends t0 to
+        // m1: makespan 4. Min-min ties on completion time, packs m0 in
+        // task order, and ends at 6.
+        let cost = vec![
+            vec![2.0, 3.0],
+            vec![2.0, 20.0],
+            vec![2.0, 20.0],
+        ];
+        let arrival = zeros(3, 2);
+        let p_suf = map_tasks(Heuristic::Sufferage, &cost, &arrival, &mut [0.0; 2]);
+        let p_min = map_tasks(Heuristic::MinMin, &cost, &arrival, &mut [0.0; 2]);
+        assert_eq!(p_suf[0].machine, 1);
+        assert_eq!(p_suf[1].machine, 0);
+        assert_eq!(p_suf[2].machine, 0);
+        assert_eq!(makespan(&p_suf), 4.0);
+        assert_eq!(makespan(&p_min), 6.0);
+    }
+
+    #[test]
+    fn ineligible_machines_avoided() {
+        let cost = vec![vec![f64::INFINITY, 3.0]];
+        let arrival = zeros(1, 2);
+        let p = map_tasks(Heuristic::MinMin, &cost, &arrival, &mut [0.0; 2]);
+        assert_eq!(p[0].machine, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "ineligible on every machine")]
+    fn fully_ineligible_task_panics() {
+        let cost = vec![vec![f64::INFINITY, f64::INFINITY]];
+        let arrival = zeros(1, 2);
+        map_tasks(Heuristic::MinMin, &cost, &arrival, &mut [0.0; 2]);
+    }
+
+    #[test]
+    fn arrival_times_delay_start() {
+        let cost = vec![vec![1.0]];
+        let arrival = vec![vec![5.0]];
+        let p = map_tasks(Heuristic::MinMin, &cost, &arrival, &mut [0.0]);
+        assert_eq!(p[0].start, 5.0);
+        assert_eq!(p[0].finish, 6.0);
+    }
+
+    #[test]
+    fn ready_times_respected_and_updated() {
+        let cost = vec![vec![2.0, 2.0], vec![2.0, 2.0]];
+        let arrival = zeros(2, 2);
+        let mut ready = vec![0.0, 10.0];
+        let p = map_tasks(Heuristic::MinMin, &cost, &arrival, &mut ready);
+        // Both tasks pile onto machine 0 (even serialized it beats 12).
+        assert_eq!(p[0].machine, 0);
+        assert_eq!(p[1].machine, 0);
+        assert_eq!(ready[0], 4.0);
+        assert_eq!(makespan(&p), 4.0);
+    }
+
+    #[test]
+    fn parallel_batch_spreads_over_machines() {
+        let nt = 8;
+        let nm = 4;
+        let cost = vec![vec![1.0; nm]; nt];
+        let arrival = zeros(nt, nm);
+        for h in Heuristic::all() {
+            let p = map_tasks(h, &cost, &arrival, &mut vec![0.0; nm]);
+            assert_eq!(makespan(&p), 2.0, "{}", h.name());
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # grads-sched — workflow and MPI-application scheduling
+//!
+//! Reproduces §3 of the paper:
+//!
+//! * [`dag`] — workflow DAGs with per-component performance models;
+//! * [`heuristics`] — min-min, max-min, sufferage batch mapping;
+//! * [`workflow`] — the GrADS workflow scheduler (rank matrix per
+//!   dependence level, three heuristics, keep the best makespan) plus
+//!   random / round-robin / greedy baselines and HEFT;
+//! * [`mpi_sched`] — processor-set selection for tightly-coupled MPI
+//!   applications (the §4.1 QR experiment's initial schedule).
+
+pub mod bounds;
+pub mod dag;
+pub mod economy;
+pub mod heuristics;
+pub mod mpi_sched;
+pub mod workflow;
+
+pub use bounds::{area_bound, best_ecosts, critical_path_bound, makespan_lower_bound};
+pub use economy::{auction_allocate, jain_fairness, price_volatility, CommodityMarket, Consumer, Equilibrium, Producer};
+pub use dag::{DagError, WfComponent, WfEdge, Workflow};
+pub use heuristics::{makespan, map_tasks, Heuristic, Placement};
+pub use mpi_sched::{candidate_sets, select_mpi_resources, MpiPredictor, ResourceChoice};
+pub use workflow::{
+    evaluate_placement, schedule_greedy_ecost, schedule_heft, schedule_random,
+    schedule_round_robin, Schedule, WorkflowScheduler,
+};

@@ -1,0 +1,134 @@
+//! Property-based tests of the scheduling layer: on random workflows and
+//! resource sets, every strategy must produce valid placements whose
+//! makespans respect the analytic lower bound.
+
+use grads_nws::NwsService;
+use grads_perf::{FittedModel, OpCountModel, ResourceInfo};
+use grads_sched::{
+    makespan_lower_bound, schedule_greedy_ecost, schedule_heft, schedule_random,
+    schedule_round_robin, Workflow, WorkflowScheduler,
+};
+use grads_sim::prelude::*;
+use grads_sim::topology::GridBuilder;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+struct Instance {
+    speeds: Vec<f64>,
+    comps: Vec<f64>,
+    edges: Vec<(usize, usize, f64)>,
+}
+
+fn instance() -> impl Strategy<Value = Instance> {
+    (
+        proptest::collection::vec(1e8f64..4e9, 2..8),
+        proptest::collection::vec(1e8f64..5e10, 1..12),
+    )
+        .prop_flat_map(|(speeds, comps)| {
+            let n = comps.len();
+            let edges = proptest::collection::vec(
+                ((0..n), (0..n), 1e3f64..1e8),
+                0..(2 * n),
+            );
+            (Just(speeds), Just(comps), edges).prop_map(|(speeds, comps, raw)| {
+                // Keep only forward edges (guarantees a DAG).
+                let edges = raw
+                    .into_iter()
+                    .filter(|&(a, b, _)| a < b)
+                    .collect();
+                Instance {
+                    speeds,
+                    comps,
+                    edges,
+                }
+            })
+        })
+}
+
+fn build(inst: &Instance) -> (Grid, Vec<ResourceInfo>, Workflow) {
+    let mut b = GridBuilder::new();
+    let c = b.cluster("X");
+    b.local_link(c, 1e8, 1e-4);
+    for &s in &inst.speeds {
+        b.add_host(c, &HostSpec::with_speed(s));
+    }
+    let grid = b.build().unwrap();
+    let nws = NwsService::new();
+    let resources: Vec<ResourceInfo> = (0..grid.hosts().len() as u32)
+        .map(|i| ResourceInfo::from_grid(&grid, &nws, HostId(i)))
+        .collect();
+    let mut wf = Workflow::new();
+    for (i, &flops) in inst.comps.iter().enumerate() {
+        wf.add_component(
+            &format!("c{i}"),
+            Arc::new(FittedModel {
+                problem_size: 1.0,
+                ops: OpCountModel {
+                    coeffs: vec![flops],
+                    degree: 0,
+                    rms_rel_residual: 0.0,
+                },
+                mrd: None,
+                input_bytes: 0.0,
+                output_bytes: 1e5,
+                min_memory: 0,
+                allowed: None,
+            }),
+        );
+    }
+    for &(a, b_, bytes) in &inst.edges {
+        wf.add_edge(a, b_, bytes);
+    }
+    (grid, resources, wf)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every strategy yields in-range placements and a makespan at or
+    /// above the analytic lower bound.
+    #[test]
+    fn all_strategies_valid_and_bounded(inst in instance()) {
+        let (grid, resources, wf) = build(&inst);
+        let nws = NwsService::new();
+        let lb = makespan_lower_bound(&wf, &resources);
+        let (best, per) = WorkflowScheduler::default().schedule(&wf, &grid, &nws, &resources);
+        let schedules = vec![
+            best.clone(),
+            schedule_heft(&wf, &grid, &nws, &resources),
+            schedule_greedy_ecost(&wf, &grid, &nws, &resources),
+            schedule_round_robin(&wf, &grid, &nws, &resources),
+            schedule_random(&wf, &grid, &nws, &resources, 7),
+        ];
+        for s in &schedules {
+            prop_assert_eq!(s.placement.len(), wf.len());
+            for &r in &s.placement {
+                prop_assert!(r < resources.len());
+            }
+            prop_assert!(
+                s.makespan >= lb - 1e-6 * lb.abs().max(1.0),
+                "{}: makespan {} below bound {}", s.strategy, s.makespan, lb
+            );
+        }
+        // The GrADS pick is the min of its three heuristics.
+        for (name, mk) in per {
+            prop_assert!(best.makespan <= mk + 1e-9, "{} beat the pick", name);
+        }
+        // Dependences respected in the evaluated schedule.
+        for e in &wf.edges {
+            prop_assert!(best.start[e.to] >= best.finish[e.from] - 1e-9);
+        }
+    }
+
+    /// Scheduling is deterministic.
+    #[test]
+    fn scheduling_deterministic(inst in instance()) {
+        let (grid, resources, wf) = build(&inst);
+        let nws = NwsService::new();
+        let a = WorkflowScheduler::default().schedule(&wf, &grid, &nws, &resources);
+        let b = WorkflowScheduler::default().schedule(&wf, &grid, &nws, &resources);
+        prop_assert_eq!(a.0.placement, b.0.placement);
+        prop_assert_eq!(a.0.makespan, b.0.makespan);
+    }
+}

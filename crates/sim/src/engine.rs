@@ -1,0 +1,1297 @@
+//! The discrete-event kernel.
+//!
+//! The kernel owns virtual time, the event heap, all resource state (CPU
+//! actions, network flows, injected load) and the process table. Simulated
+//! processes run on real threads but strictly one at a time: the kernel
+//! resumes a process, waits for its next request, and only then considers
+//! the next runnable process or event. Runs are therefore deterministic.
+//!
+//! Resource completion times are maintained lazily: whenever the demand set
+//! churns (an action or flow starts or ends, load changes), all remaining
+//! work is advanced to the current instant, rates are re-derived from the
+//! sharing model, and fresh completion events (tagged with a per-action
+//! generation counter) are pushed; stale events are ignored on pop.
+
+use crate::process::{
+    Ctx, Grant, KillToken, MailKey, Payload, ProcFn, ProcId, Request, SendMode,
+};
+use crate::sharing::{cpu_share, max_min_fair};
+use crate::topology::{Grid, HostId, LinkId};
+use crate::trace::{Trace, TraceKind, TraceRecord};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Once;
+use std::thread::JoinHandle;
+
+/// Outcome of a simulation run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Virtual time when the run ended.
+    pub end_time: f64,
+    /// Names of processes that ran to completion.
+    pub completed: Vec<String>,
+    /// `(name, panic message)` for processes that panicked.
+    pub failed: Vec<(String, String)>,
+    /// Names of processes still blocked when the run ended (deadlocked, or
+    /// cut off by `run_until`).
+    pub unfinished: Vec<String>,
+    /// Names of processes that died with their host (fault injection).
+    pub died: Vec<String>,
+    /// Flops executed per host over the run (indexable by `HostId.0`).
+    pub host_flops: Vec<f64>,
+    /// Bytes carried per link over the run (indexable by `LinkId.0`).
+    pub link_bytes: Vec<f64>,
+    /// Full trace of the run.
+    pub trace: Trace,
+}
+
+impl RunReport {
+    /// Average utilization of a host over the run: flops executed divided
+    /// by single-core capacity × duration (can exceed 1 on multi-core
+    /// hosts).
+    pub fn host_utilization(&self, grid: &Grid, host: HostId) -> f64 {
+        let h = grid.host(host);
+        if self.end_time <= 0.0 {
+            return 0.0;
+        }
+        self.host_flops[host.0 as usize] / (h.speed * self.end_time)
+    }
+
+    /// Average utilization of a link over the run: bytes carried over
+    /// capacity × duration.
+    pub fn link_utilization(&self, grid: &Grid, link: LinkId) -> f64 {
+        let l = grid.link(link);
+        if self.end_time <= 0.0 {
+            return 0.0;
+        }
+        self.link_bytes[link.0 as usize] / (l.bandwidth * self.end_time)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum EventKind {
+    Start(ProcId),
+    HostFail {
+        host: HostId,
+    },
+    CpuDone { id: usize, gen: u64 },
+    FlowActivate { id: usize },
+    FlowDone { id: usize, gen: u64 },
+    SleepDone(ProcId),
+    LoadOn { host: HostId, amount: f64 },
+    LoadOff { host: HostId, amount: f64 },
+}
+
+#[derive(Debug)]
+struct Event {
+    t: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.t == other.t && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    // Reversed so that BinaryHeap pops the earliest (t, seq).
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .t
+            .total_cmp(&self.t)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct CpuAction {
+    host: usize,
+    pid: ProcId,
+    remaining: f64,
+    rate: f64,
+    gen: u64,
+}
+
+enum OnDone {
+    /// Raw transfer: wake this process.
+    Wake(ProcId),
+    /// Eager message: deliver to the mailbox (or a waiting receiver).
+    Deliver { key: MailKey },
+    /// Rendezvous message: deliver to the reserved receiver, wake the sender.
+    Rendezvous { recv: ProcId, send: ProcId },
+}
+
+struct Flow {
+    route: Vec<usize>,
+    remaining: f64,
+    rate: f64,
+    gen: u64,
+    active: bool,
+    payload: Option<Payload>,
+    on_done: OnDone,
+}
+
+struct QueuedSend {
+    sender: ProcId,
+    src: HostId,
+    bytes: f64,
+    payload: Payload,
+}
+
+#[derive(Default)]
+struct Mailbox {
+    arrived: VecDeque<Payload>,
+    queued_sync: VecDeque<QueuedSend>,
+    waiting: VecDeque<ProcId>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PState {
+    Alive,
+    Done,
+    Failed,
+    /// Killed by a host failure (fault injection).
+    Died,
+}
+
+struct ProcSlot {
+    name: String,
+    host: HostId,
+    grant_tx: Sender<Grant>,
+    join: Option<JoinHandle<()>>,
+    state: PState,
+}
+
+/// The grid emulator.
+///
+/// ```
+/// use grads_sim::topology::{GridBuilder, HostSpec};
+/// use grads_sim::engine::Engine;
+///
+/// let mut b = GridBuilder::new();
+/// let c = b.cluster("LOCAL");
+/// let hosts = b.add_hosts(c, 1, &HostSpec::with_speed(100.0));
+/// let mut eng = Engine::new(b.build().unwrap());
+/// eng.spawn("worker", hosts[0], |ctx| {
+///     ctx.compute(250.0); // 2.5 virtual seconds at 100 flop/s
+///     let t = ctx.now();
+///     ctx.trace("done", t);
+/// });
+/// let report = eng.run();
+/// assert!((report.trace.last_value("done").unwrap() - 2.5).abs() < 1e-9);
+/// ```
+pub struct Engine {
+    grid: Grid,
+    now: f64,
+    last_advance: f64,
+    seq: u64,
+    events: BinaryHeap<Event>,
+    procs: Vec<ProcSlot>,
+    cpu: Vec<Option<CpuAction>>,
+    flows: Vec<Option<Flow>>,
+    mailboxes: HashMap<MailKey, Mailbox>,
+    host_load: Vec<f64>,
+    host_alive: Vec<bool>,
+    host_flops: Vec<f64>,
+    link_bytes: Vec<f64>,
+    /// Monotone counter for action/flow completion generations. Must be
+    /// globally unique: slots are reused, and a per-slot counter restarting
+    /// at zero lets a stale completion event fire on a *new* occupant.
+    gen_counter: u64,
+    runnable: VecDeque<(ProcId, Grant)>,
+    running: Option<ProcId>,
+    req_tx: Sender<(ProcId, Request)>,
+    req_rx: Receiver<(ProcId, Request)>,
+    trace: Trace,
+    completed: Vec<String>,
+    failed: Vec<(String, String)>,
+    /// If true (the default), `run` panics when any simulated process
+    /// panicked, so test failures inside processes surface in the harness.
+    pub panic_on_failure: bool,
+}
+
+static QUIET_KILL_HOOK: Once = Once::new();
+
+fn install_quiet_kill_hook() {
+    QUIET_KILL_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<KillToken>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+impl Engine {
+    /// Create an engine over a built topology.
+    pub fn new(grid: Grid) -> Self {
+        install_quiet_kill_hook();
+        let (req_tx, req_rx) = unbounded();
+        let nhosts = grid.hosts().len();
+        let nlinks = grid.links().len();
+        Engine {
+            grid,
+            now: 0.0,
+            last_advance: 0.0,
+            seq: 0,
+            events: BinaryHeap::new(),
+            procs: Vec::new(),
+            cpu: Vec::new(),
+            flows: Vec::new(),
+            mailboxes: HashMap::new(),
+            host_load: vec![0.0; nhosts],
+            host_alive: vec![true; nhosts],
+            host_flops: vec![0.0; nhosts],
+            link_bytes: vec![0.0; nlinks],
+            gen_counter: 1,
+            runnable: VecDeque::new(),
+            running: None,
+            req_tx,
+            req_rx,
+            trace: Trace::default(),
+            completed: Vec::new(),
+            failed: Vec::new(),
+            panic_on_failure: true,
+        }
+    }
+
+    /// The topology this engine emulates.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    fn push_event(&mut self, t: f64, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Event { t, seq, kind });
+    }
+
+    /// Spawn a process starting at virtual time 0.
+    pub fn spawn<F>(&mut self, name: &str, host: HostId, f: F) -> ProcId
+    where
+        F: FnOnce(&mut Ctx) + Send + 'static,
+    {
+        self.spawn_at(0.0, name, host, Box::new(f))
+    }
+
+    /// Spawn a process starting at virtual time `t`.
+    pub fn spawn_delayed<F>(&mut self, t: f64, name: &str, host: HostId, f: F) -> ProcId
+    where
+        F: FnOnce(&mut Ctx) + Send + 'static,
+    {
+        self.spawn_at(t, name, host, Box::new(f))
+    }
+
+    fn spawn_at(&mut self, t: f64, name: &str, host: HostId, f: ProcFn) -> ProcId {
+        let pid = ProcId(self.procs.len() as u32);
+        let (grant_tx, grant_rx) = unbounded();
+        let req_tx = self.req_tx.clone();
+        let mut ctx = Ctx {
+            pid,
+            host,
+            req_tx: req_tx.clone(),
+            grant_rx,
+        };
+        let join = std::thread::Builder::new()
+            .name(format!("sim-{name}"))
+            .spawn(move || {
+                // Gate on the start grant so the process does not run before
+                // its scheduled start time.
+                match ctx.grant_rx.recv() {
+                    Ok(Grant::Unit) => {}
+                    _ => return,
+                }
+                let result = catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
+                match result {
+                    Ok(()) => {
+                        let _ = req_tx.send((pid, Request::Exit));
+                    }
+                    Err(e) => {
+                        if e.downcast_ref::<KillToken>().is_none() {
+                            let _ = req_tx.send((pid, Request::Panic(panic_message(&*e))));
+                        }
+                    }
+                }
+            })
+            .expect("spawn simulated process thread");
+        let alive = self.host_alive[host.0 as usize];
+        self.procs.push(ProcSlot {
+            name: name.to_string(),
+            host,
+            grant_tx,
+            join: Some(join),
+            state: if alive { PState::Alive } else { PState::Died },
+        });
+        if alive {
+            self.push_event(t, EventKind::Start(pid));
+        }
+        pid
+    }
+
+    /// Schedule `amount` units of external CPU load on `host` from `start`
+    /// until `end` (or forever if `end` is `None`).
+    pub fn add_load_window(&mut self, host: HostId, start: f64, end: Option<f64>, amount: f64) {
+        self.push_event(start, EventKind::LoadOn { host, amount });
+        if let Some(e) = end {
+            self.push_event(e, EventKind::LoadOff { host, amount });
+        }
+    }
+
+    /// Schedule a permanent host failure at virtual time `t` (fault
+    /// injection, the paper's §5 fault-tolerance direction). Every process
+    /// on the host dies at that instant; new spawns onto it die
+    /// immediately; in-flight communication to it is lost to the extent
+    /// the protocol would lose it (receivers never resume).
+    pub fn fail_host_at(&mut self, host: HostId, t: f64) {
+        self.push_event(t, EventKind::HostFail { host });
+    }
+
+    /// Run until no events remain (or every process is blocked).
+    pub fn run(self) -> RunReport {
+        self.run_until(f64::INFINITY)
+    }
+
+    /// Run until virtual time `tmax`, no events remain, or every process is
+    /// blocked — whichever comes first. All surviving processes are killed
+    /// and their threads joined before returning.
+    pub fn run_until(mut self, tmax: f64) -> RunReport {
+        loop {
+            if let Some(pid) = self.running.take() {
+                let (rpid, req) = match self.req_rx.recv() {
+                    Ok(x) => x,
+                    Err(_) => break,
+                };
+                debug_assert_eq!(rpid, pid, "request from non-running process");
+                self.handle_request(rpid, req);
+                continue;
+            }
+            if let Some((pid, grant)) = self.runnable.pop_front() {
+                if self.procs[pid.0 as usize].state == PState::Alive {
+                    let _ = self.procs[pid.0 as usize].grant_tx.send(grant);
+                    self.running = Some(pid);
+                }
+                continue;
+            }
+            match self.events.peek() {
+                None => break,
+                Some(ev) if ev.t > tmax => break,
+                Some(_) => {}
+            }
+            let ev = self.events.pop().expect("peeked event");
+            self.advance_to(ev.t);
+            self.apply_event(ev.kind);
+        }
+        self.finish()
+    }
+
+    fn finish(mut self) -> RunReport {
+        let mut unfinished = Vec::new();
+        let mut died = Vec::new();
+        for p in &self.procs {
+            match p.state {
+                PState::Alive => {
+                    unfinished.push(p.name.clone());
+                    let _ = p.grant_tx.send(Grant::Kill);
+                }
+                PState::Died => {
+                    died.push(p.name.clone());
+                    let _ = p.grant_tx.send(Grant::Kill);
+                }
+                _ => {}
+            }
+        }
+        for p in &mut self.procs {
+            if let Some(j) = p.join.take() {
+                let _ = j.join();
+            }
+        }
+        if self.panic_on_failure && !self.failed.is_empty() {
+            panic!("simulated process failures: {:?}", self.failed);
+        }
+        RunReport {
+            end_time: self.now,
+            completed: std::mem::take(&mut self.completed),
+            failed: std::mem::take(&mut self.failed),
+            unfinished,
+            died,
+            host_flops: std::mem::take(&mut self.host_flops),
+            link_bytes: std::mem::take(&mut self.link_bytes),
+            trace: std::mem::take(&mut self.trace),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Time advancement and rate recomputation
+    // ------------------------------------------------------------------
+
+    fn advance_to(&mut self, t: f64) {
+        let dt = t - self.last_advance;
+        if dt > 0.0 {
+            for a in self.cpu.iter_mut().flatten() {
+                let done = (a.rate * dt).min(a.remaining);
+                self.host_flops[a.host] += done;
+                a.remaining -= done;
+            }
+            for f in self.flows.iter_mut().flatten() {
+                if f.active && !f.route.is_empty() {
+                    let moved = (f.rate * dt).min(f.remaining);
+                    for &l in &f.route {
+                        self.link_bytes[l] += moved;
+                    }
+                    f.remaining -= moved;
+                }
+            }
+        }
+        self.last_advance = t;
+        self.now = t;
+    }
+
+    /// Re-derive all CPU and network rates and reschedule completions.
+    fn recompute(&mut self) {
+        let now = self.now;
+        // CPU shares.
+        let nhosts = self.grid.hosts().len();
+        let mut counts = vec![0usize; nhosts];
+        for a in self.cpu.iter().flatten() {
+            counts[a.host] += 1;
+        }
+        let mut cpu_events = Vec::new();
+        for (id, slot) in self.cpu.iter_mut().enumerate() {
+            if let Some(a) = slot {
+                let h = &self.grid.hosts()[a.host];
+                a.rate = cpu_share(h.speed, h.cores, counts[a.host], self.host_load[a.host]);
+                a.gen = self.gen_counter;
+                self.gen_counter += 1;
+                if a.rate > 0.0 {
+                    cpu_events.push((now + a.remaining / a.rate, id, a.gen));
+                }
+            }
+        }
+        for (t, id, gen) in cpu_events {
+            self.push_event(t, EventKind::CpuDone { id, gen });
+        }
+        // Network shares.
+        let caps: Vec<f64> = self.grid.links().iter().map(|l| l.bandwidth).collect();
+        let mut idxs = Vec::new();
+        let mut routes = Vec::new();
+        for (id, slot) in self.flows.iter().enumerate() {
+            if let Some(f) = slot {
+                if f.active && !f.route.is_empty() {
+                    idxs.push(id);
+                    routes.push(f.route.clone());
+                }
+            }
+        }
+        let rates = max_min_fair(&routes, &caps);
+        let mut flow_events = Vec::new();
+        for (k, &id) in idxs.iter().enumerate() {
+            let f = self.flows[id].as_mut().expect("active flow");
+            f.rate = rates[k];
+            f.gen = self.gen_counter;
+            self.gen_counter += 1;
+            if f.rate > 0.0 {
+                flow_events.push((now + f.remaining / f.rate, id, f.gen));
+            }
+        }
+        for (t, id, gen) in flow_events {
+            self.push_event(t, EventKind::FlowDone { id, gen });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Process resumption
+    // ------------------------------------------------------------------
+
+    /// Queue a resumption at the back (woken by an event).
+    fn resume(&mut self, pid: ProcId, grant: Grant) {
+        self.runnable.push_back((pid, grant));
+    }
+
+    /// Queue a resumption at the front (immediate reply to the process that
+    /// just issued a request — it continues before anything else runs).
+    fn resume_first(&mut self, pid: ProcId, grant: Grant) {
+        self.runnable.push_front((pid, grant));
+    }
+
+    fn record(&mut self, pid: Option<ProcId>, kind: TraceKind) {
+        self.trace.records.push(TraceRecord {
+            t: self.now,
+            pid,
+            kind,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Requests
+    // ------------------------------------------------------------------
+
+    fn handle_request(&mut self, pid: ProcId, req: Request) {
+        match req {
+            Request::Now => self.resume_first(pid, Grant::Time(self.now)),
+            Request::Compute { flops } => {
+                if flops <= 0.0 {
+                    self.resume_first(pid, Grant::Unit);
+                } else {
+                    let host = self.procs[pid.0 as usize].host.0 as usize;
+                    self.alloc_cpu(host, pid, flops);
+                    self.recompute();
+                }
+            }
+            Request::Sleep { dt } => {
+                if dt <= 0.0 {
+                    self.resume_first(pid, Grant::Unit);
+                } else {
+                    let t = self.now + dt;
+                    self.push_event(t, EventKind::SleepDone(pid));
+                }
+            }
+            Request::Send {
+                key,
+                dst,
+                bytes,
+                payload,
+                mode,
+            } => self.do_send(pid, key, dst, bytes, payload, mode),
+            Request::Recv { key } => self.do_recv(pid, key),
+            Request::TryRecv { key } => {
+                let p = self
+                    .mailboxes
+                    .entry(key)
+                    .or_default()
+                    .arrived
+                    .pop_front();
+                self.resume_first(pid, Grant::MaybePayload(p));
+            }
+            Request::Transfer { dst, bytes } => {
+                let src = self.procs[pid.0 as usize].host;
+                self.start_flow(src, dst, bytes, None, OnDone::Wake(pid));
+            }
+            Request::Spawn { name, host, f } => {
+                let child = self.spawn_at(self.now, &name, host, f);
+                self.resume_first(pid, Grant::Proc(child));
+            }
+            Request::InjectLoad { host, amount } => {
+                self.host_load[host.0 as usize] += amount;
+                let total = self.host_load[host.0 as usize];
+                self.record(Some(pid), TraceKind::LoadChange { host, total });
+                self.recompute();
+                self.resume_first(pid, Grant::Unit);
+            }
+            Request::RemoveLoad { host, amount } => {
+                let l = &mut self.host_load[host.0 as usize];
+                *l = (*l - amount).max(0.0);
+                let total = *l;
+                self.record(Some(pid), TraceKind::LoadChange { host, total });
+                self.recompute();
+                self.resume_first(pid, Grant::Unit);
+            }
+            Request::Trace { label, value } => {
+                self.record(Some(pid), TraceKind::Custom { label, value });
+                self.resume_first(pid, Grant::Unit);
+            }
+            Request::Exit => {
+                let slot = &mut self.procs[pid.0 as usize];
+                slot.state = PState::Done;
+                let name = slot.name.clone();
+                self.completed.push(name.clone());
+                self.record(Some(pid), TraceKind::ProcExit { name });
+            }
+            Request::Panic(msg) => {
+                let slot = &mut self.procs[pid.0 as usize];
+                slot.state = PState::Failed;
+                let name = slot.name.clone();
+                self.failed.push((name.clone(), msg.clone()));
+                self.record(Some(pid), TraceKind::ProcFail { name, message: msg });
+            }
+        }
+    }
+
+    fn alloc_cpu(&mut self, host: usize, pid: ProcId, flops: f64) {
+        let action = CpuAction {
+            host,
+            pid,
+            remaining: flops,
+            rate: 0.0,
+            gen: 0,
+        };
+        if let Some(i) = self.cpu.iter().position(|s| s.is_none()) {
+            self.cpu[i] = Some(action);
+        } else {
+            self.cpu.push(Some(action));
+        }
+    }
+
+    fn do_send(
+        &mut self,
+        pid: ProcId,
+        key: MailKey,
+        dst: HostId,
+        bytes: f64,
+        payload: Payload,
+        mode: SendMode,
+    ) {
+        let src = self.procs[pid.0 as usize].host;
+        match mode {
+            SendMode::Eager => {
+                self.start_flow(src, dst, bytes, Some(payload), OnDone::Deliver { key });
+                self.resume_first(pid, Grant::Unit);
+            }
+            SendMode::Rendezvous => {
+                let waiting = self.pop_alive_waiting(key);
+                match waiting {
+                    Some(recv) => {
+                        // Deliver to the receiver's actual host (robust if a
+                        // logical destination was remapped by swapping).
+                        let rdst = self.procs[recv.0 as usize].host;
+                        self.start_flow(
+                            src,
+                            rdst,
+                            bytes,
+                            Some(payload),
+                            OnDone::Rendezvous { recv, send: pid },
+                        );
+                    }
+                    None => {
+                        self.mailboxes
+                            .entry(key)
+                            .or_default()
+                            .queued_sync
+                            .push_back(QueuedSend {
+                                sender: pid,
+                                src,
+                                bytes,
+                                payload,
+                            });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pop the first still-alive waiting receiver on a mailbox, discarding
+    /// any that died with their host.
+    fn pop_alive_waiting(&mut self, key: MailKey) -> Option<ProcId> {
+        let mb = self.mailboxes.entry(key).or_default();
+        while let Some(r) = mb.waiting.pop_front() {
+            if self.procs[r.0 as usize].state == PState::Alive {
+                return Some(r);
+            }
+        }
+        None
+    }
+
+    fn do_recv(&mut self, pid: ProcId, key: MailKey) {
+        let mb = self.mailboxes.entry(key).or_default();
+        if let Some(p) = mb.arrived.pop_front() {
+            self.resume_first(pid, Grant::Payload(p));
+            return;
+        }
+        if let Some(qs) = mb.queued_sync.pop_front() {
+            let dst = self.procs[pid.0 as usize].host;
+            self.start_flow(
+                qs.src,
+                dst,
+                qs.bytes,
+                Some(qs.payload),
+                OnDone::Rendezvous {
+                    recv: pid,
+                    send: qs.sender,
+                },
+            );
+            return;
+        }
+        mb.waiting.push_back(pid);
+    }
+
+    fn start_flow(
+        &mut self,
+        src: HostId,
+        dst: HostId,
+        bytes: f64,
+        payload: Option<Payload>,
+        on_done: OnDone,
+    ) {
+        let route = self.grid.route(src, dst);
+        let flow = Flow {
+            route: route.links.iter().map(|l| l.0 as usize).collect(),
+            remaining: bytes.max(0.0),
+            rate: 0.0,
+            gen: 0,
+            active: false,
+            payload,
+            on_done,
+        };
+        let id = if let Some(i) = self.flows.iter().position(|s| s.is_none()) {
+            self.flows[i] = Some(flow);
+            i
+        } else {
+            self.flows.push(Some(flow));
+            self.flows.len() - 1
+        };
+        let t = self.now + route.latency;
+        self.push_event(t, EventKind::FlowActivate { id });
+    }
+
+    // ------------------------------------------------------------------
+    // Events
+    // ------------------------------------------------------------------
+
+    fn apply_event(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::Start(pid) => {
+                let name = self.procs[pid.0 as usize].name.clone();
+                self.record(Some(pid), TraceKind::ProcStart { name });
+                self.resume(pid, Grant::Unit);
+            }
+            EventKind::SleepDone(pid) => self.resume(pid, Grant::Unit),
+            EventKind::CpuDone { id, gen } => {
+                let matches = self.cpu[id]
+                    .as_ref()
+                    .map(|a| a.gen == gen)
+                    .unwrap_or(false);
+                if matches {
+                    let a = self.cpu[id].take().expect("checked above");
+                    self.resume(a.pid, Grant::Unit);
+                    self.recompute();
+                }
+            }
+            EventKind::FlowActivate { id } => {
+                let (empty_route, no_data) = {
+                    let f = self.flows[id].as_mut().expect("flow exists at activate");
+                    f.active = true;
+                    (f.route.is_empty(), f.remaining <= 0.0)
+                };
+                if empty_route || no_data {
+                    self.finish_flow(id);
+                } else {
+                    self.recompute();
+                }
+            }
+            EventKind::FlowDone { id, gen } => {
+                let matches = self.flows[id]
+                    .as_ref()
+                    .map(|f| f.active && f.gen == gen)
+                    .unwrap_or(false);
+                if matches {
+                    self.finish_flow(id);
+                    self.recompute();
+                }
+            }
+            EventKind::HostFail { host } => {
+                let h = host.0 as usize;
+                self.host_alive[h] = false;
+                self.host_load[h] = 0.0;
+                // Kill every process on the host and drop its CPU actions.
+                let pids: Vec<ProcId> = self
+                    .procs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.host == host && p.state == PState::Alive)
+                    .map(|(i, _)| ProcId(i as u32))
+                    .collect();
+                for pid in &pids {
+                    self.procs[pid.0 as usize].state = PState::Died;
+                }
+                for slot in self.cpu.iter_mut() {
+                    if slot.as_ref().map(|a| a.host == h).unwrap_or(false) {
+                        *slot = None;
+                    }
+                }
+                // Drop queued resumptions for dead processes.
+                self.runnable
+                    .retain(|(pid, _)| self.procs[pid.0 as usize].state == PState::Alive);
+                self.record(None, TraceKind::HostFail { host });
+                self.recompute();
+            }
+            EventKind::LoadOn { host, amount } => {
+                self.host_load[host.0 as usize] += amount;
+                let total = self.host_load[host.0 as usize];
+                self.record(None, TraceKind::LoadChange { host, total });
+                self.recompute();
+            }
+            EventKind::LoadOff { host, amount } => {
+                let l = &mut self.host_load[host.0 as usize];
+                *l = (*l - amount).max(0.0);
+                let total = *l;
+                self.record(None, TraceKind::LoadChange { host, total });
+                self.recompute();
+            }
+        }
+    }
+
+    fn finish_flow(&mut self, id: usize) {
+        let f = self.flows[id].take().expect("flow exists at completion");
+        match f.on_done {
+            OnDone::Wake(pid) => self.resume(pid, Grant::Unit),
+            OnDone::Deliver { key } => {
+                let payload = f.payload.expect("eager flow carries a payload");
+                if let Some(r) = self.pop_alive_waiting(key) {
+                    self.resume(r, Grant::Payload(payload));
+                } else {
+                    self.mailboxes
+                        .entry(key)
+                        .or_default()
+                        .arrived
+                        .push_back(payload);
+                }
+            }
+            OnDone::Rendezvous { recv, send } => {
+                let payload = f.payload.expect("rendezvous flow carries a payload");
+                self.resume(recv, Grant::Payload(payload));
+                self.resume(send, Grant::Unit);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::mail_key;
+    use crate::topology::{GridBuilder, HostSpec};
+
+    fn one_host_grid(speed: f64) -> (Grid, HostId) {
+        let mut b = GridBuilder::new();
+        let c = b.cluster("X");
+        let hs = b.add_hosts(c, 1, &HostSpec::with_speed(speed));
+        (b.build().unwrap(), hs[0])
+    }
+
+    fn two_host_grid() -> (Grid, HostId, HostId) {
+        let mut b = GridBuilder::new();
+        let c = b.cluster("X");
+        b.local_link(c, 1e6, 0.01);
+        let hs = b.add_hosts(c, 2, &HostSpec::with_speed(100.0));
+        (b.build().unwrap(), hs[0], hs[1])
+    }
+
+    #[test]
+    fn compute_takes_flops_over_speed() {
+        let (g, h) = one_host_grid(100.0);
+        let mut eng = Engine::new(g);
+        eng.spawn("w", h, |ctx| {
+            ctx.compute(250.0);
+            let t = ctx.now();
+            ctx.trace("t", t);
+        });
+        let r = eng.run();
+        assert!((r.trace.last_value("t").unwrap() - 2.5).abs() < 1e-9);
+        assert_eq!(r.completed, vec!["w".to_string()]);
+        assert!(r.unfinished.is_empty());
+    }
+
+    #[test]
+    fn two_actions_share_single_core() {
+        let (g, h) = one_host_grid(100.0);
+        let mut eng = Engine::new(g);
+        for i in 0..2 {
+            eng.spawn(&format!("w{i}"), h, |ctx| {
+                ctx.compute(100.0);
+                let t = ctx.now();
+                ctx.trace("t", t);
+            });
+        }
+        let r = eng.run();
+        for (_, v) in r.trace.series("t") {
+            assert!((v - 2.0).abs() < 1e-9, "expected 2.0, got {v}");
+        }
+    }
+
+    #[test]
+    fn injected_load_halves_rate() {
+        let (g, h) = one_host_grid(100.0);
+        let mut eng = Engine::new(g);
+        eng.add_load_window(h, 0.0, None, 1.0);
+        eng.spawn("w", h, |ctx| {
+            ctx.compute(100.0);
+            let t = ctx.now();
+            ctx.trace("t", t);
+        });
+        let r = eng.run();
+        assert!((r.trace.last_value("t").unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn load_window_ends() {
+        // 1s at half speed (50 flops done), then full speed for the other 50.
+        let (g, h) = one_host_grid(100.0);
+        let mut eng = Engine::new(g);
+        eng.add_load_window(h, 0.0, Some(1.0), 1.0);
+        eng.spawn("w", h, |ctx| {
+            ctx.compute(100.0);
+            let t = ctx.now();
+            ctx.trace("t", t);
+        });
+        let r = eng.run();
+        assert!((r.trace.last_value("t").unwrap() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dual_core_absorbs_competitor() {
+        let mut b = GridBuilder::new();
+        let c = b.cluster("X");
+        let hs = b.add_hosts(
+            c,
+            1,
+            &HostSpec {
+                speed: 100.0,
+                cores: 2,
+                ..Default::default()
+            },
+        );
+        let g = b.build().unwrap();
+        let mut eng = Engine::new(g);
+        eng.add_load_window(hs[0], 0.0, None, 1.0);
+        eng.spawn("w", hs[0], |ctx| {
+            ctx.compute(100.0);
+            let t = ctx.now();
+            ctx.trace("t", t);
+        });
+        let r = eng.run();
+        assert!((r.trace.last_value("t").unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn message_timing_includes_latency_and_bandwidth() {
+        let (g, a, bhost) = two_host_grid();
+        let mut eng = Engine::new(g);
+        let key = mail_key(&[1]);
+        eng.spawn("recv", bhost, move |ctx| {
+            let p = ctx.recv(key);
+            let v = *p.downcast::<u64>().unwrap();
+            let t = ctx.now();
+            ctx.trace("rt", t);
+            ctx.trace("val", v as f64);
+        });
+        eng.spawn("send", a, move |ctx| {
+            ctx.send(key, bhost, 1e6, Box::new(42u64));
+            let t = ctx.now();
+            ctx.trace("st", t);
+        });
+        let r = eng.run();
+        // Route: two 1 MB/s uplinks, 10 ms each. Latency 0.02 + 1.0 s data.
+        let rt = r.trace.last_value("rt").unwrap();
+        assert!((rt - 1.02).abs() < 1e-6, "rt = {rt}");
+        let st = r.trace.last_value("st").unwrap();
+        assert!((st - 1.02).abs() < 1e-6, "sender blocked until delivery: {st}");
+        assert_eq!(r.trace.last_value("val").unwrap(), 42.0);
+    }
+
+    #[test]
+    fn eager_send_does_not_block() {
+        let (g, a, bhost) = two_host_grid();
+        let mut eng = Engine::new(g);
+        let key = mail_key(&[2]);
+        eng.spawn("send", a, move |ctx| {
+            ctx.isend(key, bhost, 1e6, Box::new(1u8));
+            let t = ctx.now();
+            ctx.trace("st", t);
+        });
+        eng.spawn("recv", bhost, move |ctx| {
+            ctx.sleep(5.0);
+            let _ = ctx.recv(key);
+            let t = ctx.now();
+            ctx.trace("rt", t);
+        });
+        let r = eng.run();
+        assert!(r.trace.last_value("st").unwrap() < 1e-9);
+        // Flow completed at ~1.02 s; receiver picks it up at t=5 instantly.
+        assert!((r.trace.last_value("rt").unwrap() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rendezvous_waits_for_receiver() {
+        let (g, a, bhost) = two_host_grid();
+        let mut eng = Engine::new(g);
+        let key = mail_key(&[3]);
+        eng.spawn("send", a, move |ctx| {
+            ctx.send(key, bhost, 1e6, Box::new(1u8));
+            let t = ctx.now();
+            ctx.trace("st", t);
+        });
+        eng.spawn("recv", bhost, move |ctx| {
+            ctx.sleep(5.0);
+            let _ = ctx.recv(key);
+            let t = ctx.now();
+            ctx.trace("rt", t);
+        });
+        let r = eng.run();
+        // Transfer starts at t=5 when the receive is posted.
+        assert!((r.trace.last_value("rt").unwrap() - 6.02).abs() < 1e-6);
+        assert!((r.trace.last_value("st").unwrap() - 6.02).abs() < 1e-6);
+    }
+
+    #[test]
+    fn same_host_message_is_instant() {
+        let (g, h) = one_host_grid(100.0);
+        let mut eng = Engine::new(g);
+        let key = mail_key(&[4]);
+        eng.spawn("recv", h, move |ctx| {
+            let _ = ctx.recv(key);
+            let t = ctx.now();
+            ctx.trace("rt", t);
+        });
+        eng.spawn("send", h, move |ctx| {
+            ctx.send(key, h, 1e9, Box::new(0u8));
+        });
+        let r = eng.run();
+        assert!(r.trace.last_value("rt").unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_flows_share_bandwidth() {
+        // Two flows from a to b: each uplink carries both, so each gets half.
+        let (g, a, bhost) = two_host_grid();
+        let mut eng = Engine::new(g);
+        for i in 0..2u64 {
+            let key = mail_key(&[10 + i]);
+            eng.spawn(&format!("r{i}"), bhost, move |ctx| {
+                let _ = ctx.recv(key);
+                let t = ctx.now();
+                ctx.trace("rt", t);
+            });
+            eng.spawn(&format!("s{i}"), a, move |ctx| {
+                ctx.isend(key, bhost, 1e6, Box::new(0u8));
+            });
+        }
+        let r = eng.run();
+        for (_, v) in r.trace.series("rt") {
+            assert!((v - 2.02).abs() < 1e-3, "expected ~2.02, got {v}");
+        }
+    }
+
+    #[test]
+    fn try_recv_polls_without_blocking() {
+        let (g, a, bhost) = two_host_grid();
+        let mut eng = Engine::new(g);
+        let key = mail_key(&[20]);
+        eng.spawn("poll", bhost, move |ctx| {
+            assert!(ctx.try_recv(key).is_none());
+            ctx.sleep(3.0);
+            let got = ctx.try_recv(key).is_some();
+            ctx.trace("got", if got { 1.0 } else { 0.0 });
+        });
+        eng.spawn("send", a, move |ctx| {
+            ctx.isend(key, bhost, 1e6, Box::new(0u8));
+        });
+        let r = eng.run();
+        assert_eq!(r.trace.last_value("got").unwrap(), 1.0);
+    }
+
+    #[test]
+    fn transfer_blocks_for_duration() {
+        let (g, a, bhost) = two_host_grid();
+        let mut eng = Engine::new(g);
+        eng.spawn("w", a, move |ctx| {
+            ctx.transfer(bhost, 2e6);
+            let t = ctx.now();
+            ctx.trace("t", t);
+        });
+        let r = eng.run();
+        assert!((r.trace.last_value("t").unwrap() - 2.02).abs() < 1e-6);
+    }
+
+    #[test]
+    fn runtime_spawn_and_load_injection() {
+        let (g, h) = one_host_grid(100.0);
+        let mut eng = Engine::new(g);
+        eng.spawn("driver", h, move |ctx| {
+            ctx.spawn("child", h, |cctx| {
+                cctx.compute(100.0);
+                let t = cctx.now();
+                cctx.trace("child_done", t);
+            });
+            ctx.sleep(0.5);
+            ctx.inject_load(h, 1.0);
+        });
+        let r = eng.run();
+        // Child: 0.5 s at full speed (50 flops), then 50 flops at half
+        // speed = 1.0 s more -> 1.5 s total.
+        assert!((r.trace.last_value("child_done").unwrap() - 1.5).abs() < 1e-9);
+        assert!(r.completed.contains(&"child".to_string()));
+    }
+
+    #[test]
+    fn deadlocked_process_reported_and_killed() {
+        let (g, h) = one_host_grid(100.0);
+        let mut eng = Engine::new(g);
+        let key = mail_key(&[99]);
+        eng.spawn("stuck", h, move |ctx| {
+            let _ = ctx.recv(key); // nobody ever sends
+        });
+        let r = eng.run();
+        assert_eq!(r.unfinished, vec!["stuck".to_string()]);
+        assert!(r.completed.is_empty());
+    }
+
+    #[test]
+    fn run_until_cuts_off() {
+        let (g, h) = one_host_grid(1.0);
+        let mut eng = Engine::new(g);
+        eng.spawn("slow", h, |ctx| {
+            ctx.compute(1e9);
+        });
+        let r = eng.run_until(10.0);
+        assert!(r.end_time <= 10.0);
+        assert_eq!(r.unfinished, vec!["slow".to_string()]);
+    }
+
+    #[test]
+    fn process_panic_is_reported() {
+        let (g, h) = one_host_grid(1.0);
+        let mut eng = Engine::new(g);
+        eng.panic_on_failure = false;
+        eng.spawn("bad", h, |_ctx| {
+            panic!("boom");
+        });
+        let r = eng.run();
+        assert_eq!(r.failed.len(), 1);
+        assert_eq!(r.failed[0].0, "bad");
+        assert!(r.failed[0].1.contains("boom"));
+    }
+
+    #[test]
+    fn host_failure_kills_processes() {
+        let (g, a, bhost) = two_host_grid();
+        let mut eng = Engine::new(g);
+        eng.fail_host_at(a, 1.0);
+        eng.spawn("victim", a, |ctx| {
+            ctx.compute(1e9); // 10 s of work: dies mid-flight
+            ctx.trace("never", 1.0);
+        });
+        eng.spawn("survivor", bhost, |ctx| {
+            ctx.compute(200.0); // 2 s
+            let t = ctx.now();
+            ctx.trace("t", t);
+        });
+        let r = eng.run();
+        assert_eq!(r.died, vec!["victim".to_string()]);
+        assert!(r.trace.series("never").is_empty());
+        assert!((r.trace.last_value("t").unwrap() - 2.0).abs() < 1e-9);
+        assert_eq!(r.completed, vec!["survivor".to_string()]);
+    }
+
+    #[test]
+    fn spawn_on_dead_host_dies_immediately() {
+        let (g, a, bhost) = two_host_grid();
+        let mut eng = Engine::new(g);
+        eng.fail_host_at(a, 0.5);
+        eng.spawn("spawner", bhost, move |ctx| {
+            ctx.sleep(1.0);
+            ctx.spawn("late", a, |c| {
+                c.trace("late_ran", 1.0);
+            });
+            ctx.sleep(1.0);
+        });
+        let r = eng.run();
+        assert!(r.trace.series("late_ran").is_empty());
+        assert!(r.died.contains(&"late".to_string()));
+    }
+
+    #[test]
+    fn receiver_death_leaves_sender_blocked() {
+        // A rendezvous send to a process that died waiting: the sender
+        // blocks forever (like MPI on peer failure) and is reported
+        // unfinished.
+        let (g, a, bhost) = two_host_grid();
+        let mut eng = Engine::new(g);
+        let key = mail_key(&[77]);
+        eng.fail_host_at(bhost, 0.5);
+        eng.spawn("recv", bhost, move |ctx| {
+            let _ = ctx.recv(key);
+        });
+        eng.spawn("send", a, move |ctx| {
+            ctx.sleep(1.0);
+            ctx.send(key, bhost, 1e6, Box::new(1u8));
+            ctx.trace("sent", 1.0);
+        });
+        let r = eng.run();
+        assert!(r.died.contains(&"recv".to_string()));
+        assert!(r.trace.series("sent").is_empty());
+        assert_eq!(r.unfinished, vec!["send".to_string()]);
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let (g, h) = one_host_grid(100.0);
+        let grid = g.clone();
+        let mut eng = Engine::new(g);
+        eng.spawn("w", h, |ctx| {
+            ctx.compute(500.0); // 5 s of the run
+            ctx.sleep(5.0); // idle 5 s
+        });
+        let r = eng.run();
+        assert!((r.host_flops[0] - 500.0).abs() < 1e-6);
+        assert!((r.host_utilization(&grid, h) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn link_byte_accounting() {
+        let (g, a, bhost) = two_host_grid();
+        let grid = g.clone();
+        let mut eng = Engine::new(g);
+        eng.spawn("w", a, move |ctx| {
+            ctx.transfer(bhost, 2e6);
+        });
+        let r = eng.run();
+        let route = grid.route(a, bhost);
+        for &l in &route.links {
+            assert!(
+                (r.link_bytes[l.0 as usize] - 2e6).abs() < 1.0,
+                "link {l:?}: {}",
+                r.link_bytes[l.0 as usize]
+            );
+        }
+        // A link not on the route carried nothing.
+        let other = grid.host(bhost).uplink_tx;
+        assert_eq!(r.link_bytes[other.0 as usize], 0.0);
+    }
+
+    #[test]
+    fn determinism_same_seedless_run_twice() {
+        let build = || {
+            let (g, a, bhost) = two_host_grid();
+            let mut eng = Engine::new(g);
+            for i in 0..4u64 {
+                let key = mail_key(&[i]);
+                eng.spawn(&format!("r{i}"), bhost, move |ctx| {
+                    let _ = ctx.recv(key);
+                    ctx.compute(50.0 * (i + 1) as f64);
+                    let t = ctx.now();
+                    ctx.trace("done", t);
+                });
+                eng.spawn(&format!("s{i}"), a, move |ctx| {
+                    ctx.sleep(0.1 * i as f64);
+                    ctx.send(key, bhost, 1e5 * (i + 1) as f64, Box::new(i));
+                });
+            }
+            eng.run()
+        };
+        let r1 = build();
+        let r2 = build();
+        let s1 = r1.trace.series("done");
+        let s2 = r2.trace.series("done");
+        assert_eq!(s1.len(), s2.len());
+        for (x, y) in s1.iter().zip(&s2) {
+            assert_eq!(x, y);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Simulation trace: a timestamped record of what happened during a run.
+//!
+//! Figure harnesses extract progress series from custom trace points (e.g.
+//! the N-body application emits `("iteration", k)` each step, reproducing
+//! the paper's Figure 4 axes directly).
+
+use crate::process::ProcId;
+use crate::topology::HostId;
+
+/// One timestamped record.
+#[derive(Debug, Clone)]
+pub struct TraceRecord {
+    /// Virtual time of the event, seconds.
+    pub t: f64,
+    /// Process that caused the record, if any.
+    pub pid: Option<ProcId>,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// Kinds of trace records.
+#[derive(Debug, Clone)]
+pub enum TraceKind {
+    /// A process started.
+    ProcStart { name: String },
+    /// A process exited normally.
+    ProcExit { name: String },
+    /// A process failed (panicked); message attached.
+    ProcFail { name: String, message: String },
+    /// Total external load on a host changed.
+    LoadChange { host: HostId, total: f64 },
+    /// A host failed permanently (fault injection).
+    HostFail { host: HostId },
+    /// A custom application-level marker.
+    Custom { label: String, value: f64 },
+}
+
+/// Full trace of a run.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Records in (virtual) chronological order.
+    pub records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// Extract the `(t, value)` series of all custom records with `label`.
+    pub fn series(&self, label: &str) -> Vec<(f64, f64)> {
+        self.records
+            .iter()
+            .filter_map(|r| match &r.kind {
+                TraceKind::Custom { label: l, value } if l == label => Some((r.t, *value)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Extract the `(t, value)` series of custom records with `label`
+    /// emitted by one specific process.
+    pub fn series_of(&self, pid: ProcId, label: &str) -> Vec<(f64, f64)> {
+        self.records
+            .iter()
+            .filter_map(|r| match &r.kind {
+                TraceKind::Custom { label: l, value } if l == label && r.pid == Some(pid) => {
+                    Some((r.t, *value))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Last value of a labelled series, if any record exists.
+    pub fn last_value(&self, label: &str) -> Option<f64> {
+        self.series(label).last().map(|&(_, v)| v)
+    }
+
+    /// Render the trace as CSV (`time,pid,kind,detail,value`) for external
+    /// plotting of figure series.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time,pid,kind,detail,value\n");
+        for r in &self.records {
+            let pid = r.pid.map(|p| p.0.to_string()).unwrap_or_default();
+            let (kind, detail, value) = match &r.kind {
+                TraceKind::ProcStart { name } => ("proc_start", name.clone(), String::new()),
+                TraceKind::ProcExit { name } => ("proc_exit", name.clone(), String::new()),
+                TraceKind::ProcFail { name, message } => {
+                    ("proc_fail", format!("{name}: {message}"), String::new())
+                }
+                TraceKind::LoadChange { host, total } => {
+                    ("load", host.to_string(), format!("{total}"))
+                }
+                TraceKind::HostFail { host } => ("host_fail", host.to_string(), String::new()),
+                TraceKind::Custom { label, value } => {
+                    ("custom", label.clone(), format!("{value}"))
+                }
+            };
+            let detail = detail.replace(',', ";");
+            out.push_str(&format!("{},{},{},{},{}\n", r.t, pid, kind, detail, value));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_filters_by_label_and_pid() {
+        let mut tr = Trace::default();
+        tr.records.push(TraceRecord {
+            t: 1.0,
+            pid: Some(ProcId(0)),
+            kind: TraceKind::Custom {
+                label: "a".into(),
+                value: 10.0,
+            },
+        });
+        tr.records.push(TraceRecord {
+            t: 2.0,
+            pid: Some(ProcId(1)),
+            kind: TraceKind::Custom {
+                label: "a".into(),
+                value: 20.0,
+            },
+        });
+        tr.records.push(TraceRecord {
+            t: 3.0,
+            pid: Some(ProcId(0)),
+            kind: TraceKind::Custom {
+                label: "b".into(),
+                value: 30.0,
+            },
+        });
+        assert_eq!(tr.series("a"), vec![(1.0, 10.0), (2.0, 20.0)]);
+        assert_eq!(tr.series_of(ProcId(0), "a"), vec![(1.0, 10.0)]);
+        assert_eq!(tr.last_value("b"), Some(30.0));
+        assert_eq!(tr.last_value("c"), None);
+    }
+
+    #[test]
+    fn csv_export_has_all_records() {
+        let mut tr = Trace::default();
+        tr.records.push(TraceRecord {
+            t: 1.5,
+            pid: Some(ProcId(3)),
+            kind: TraceKind::Custom {
+                label: "iteration, one".into(),
+                value: 7.0,
+            },
+        });
+        tr.records.push(TraceRecord {
+            t: 2.0,
+            pid: None,
+            kind: TraceKind::HostFail {
+                host: crate::topology::HostId(1),
+            },
+        });
+        let csv = tr.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "time,pid,kind,detail,value");
+        assert!(lines[1].contains("custom"));
+        assert!(lines[1].contains("iteration; one"), "commas escaped: {}", lines[1]);
+        assert!(lines[2].contains("host_fail"));
+    }
+}

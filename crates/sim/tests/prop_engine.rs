@@ -1,0 +1,184 @@
+//! Property-based tests of the kernel itself: randomized workloads must
+//! run deterministically, conserve their accounting, and never lose or
+//! duplicate messages.
+
+use grads_sim::prelude::*;
+use grads_sim::process::mail_key;
+use grads_sim::topology::GridBuilder;
+use proptest::prelude::*;
+
+/// A randomized program: per process, a short script of operations.
+#[derive(Debug, Clone)]
+enum Op {
+    Compute(u32),
+    Sleep(u32),
+    SendTo(u8, u32),
+    RecvFrom(u8),
+}
+
+fn op_strategy(nprocs: u8) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u32..2000).prop_map(Op::Compute),
+        (1u32..50).prop_map(Op::Sleep),
+        ((0..nprocs), 1u32..100_000).prop_map(|(p, b)| Op::SendTo(p, b)),
+        (0..nprocs).prop_map(Op::RecvFrom),
+    ]
+}
+
+/// Scripts with matched send/recv pairs so nothing deadlocks: we build
+/// random scripts, then *derive* the receive schedule from the sends.
+fn workload() -> impl Strategy<Value = (u8, Vec<Vec<Op>>)> {
+    (2u8..5).prop_flat_map(|n| {
+        let scripts = proptest::collection::vec(
+            proptest::collection::vec(op_strategy(n), 0..8),
+            n as usize,
+        );
+        (Just(n), scripts)
+    })
+}
+
+/// Sanitize scripts: drop Recv ops (unmatched) and instead append, for
+/// every send (src → dst), a receive on dst's script. Sends become eager
+/// so senders never block.
+fn sanitize(n: u8, scripts: &[Vec<Op>]) -> Vec<Vec<Op>> {
+    let mut out: Vec<Vec<Op>> = scripts
+        .iter()
+        .map(|s| {
+            s.iter()
+                .filter(|o| !matches!(o, Op::RecvFrom(_)))
+                .cloned()
+                .collect()
+        })
+        .collect();
+    let mut recvs: Vec<Vec<Op>> = vec![Vec::new(); n as usize];
+    for (src, script) in out.iter().enumerate() {
+        for op in script {
+            if let Op::SendTo(dst, _) = op {
+                recvs[*dst as usize].push(Op::RecvFrom(src as u8));
+            }
+        }
+    }
+    for (p, r) in recvs.into_iter().enumerate() {
+        out[p].extend(r);
+    }
+    out
+}
+
+fn run_workload(n: u8, scripts: &[Vec<Op>]) -> (Vec<(f64, f64)>, f64, Vec<f64>) {
+    let mut b = GridBuilder::new();
+    let c = b.cluster("X");
+    b.local_link(c, 1e6, 1e-3);
+    let hosts = b.add_hosts(c, n as usize, &HostSpec::with_speed(1e4));
+    let mut eng = Engine::new(b.build().unwrap());
+    for (p, script) in scripts.iter().enumerate() {
+        let script = script.clone();
+        let hostv = hosts.clone();
+        let me = p;
+        eng.spawn(&format!("p{p}"), hosts[p], move |ctx| {
+            // Per-(src,dst) sequence numbers keep mailbox keys unique.
+            let mut send_seq = vec![0u64; hostv.len()];
+            let mut recv_seq = vec![0u64; hostv.len()];
+            for op in &script {
+                match op {
+                    Op::Compute(f) => ctx.compute(*f as f64),
+                    Op::Sleep(s) => ctx.sleep(*s as f64 * 0.1),
+                    Op::SendTo(d, bytes) => {
+                        let d = *d as usize;
+                        let key = mail_key(&[me as u64, d as u64, send_seq[d]]);
+                        send_seq[d] += 1;
+                        ctx.isend(key, hostv[d], *bytes as f64, Box::new(me as u64));
+                    }
+                    Op::RecvFrom(s) => {
+                        let s = *s as usize;
+                        let key = mail_key(&[s as u64, me as u64, recv_seq[s]]);
+                        recv_seq[s] += 1;
+                        let v = ctx.recv(key);
+                        let got = *v.downcast::<u64>().expect("payload type");
+                        assert_eq!(got as usize, s);
+                    }
+                }
+            }
+            let t = ctx.now();
+            ctx.trace("done", t);
+        });
+    }
+    let r = eng.run();
+    assert!(
+        r.unfinished.is_empty(),
+        "sanitized workload must not deadlock: {:?}",
+        r.unfinished
+    );
+    (r.trace.series("done"), r.end_time, r.host_flops)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The same workload run twice produces bit-identical results.
+    #[test]
+    fn engine_is_deterministic((n, scripts) in workload()) {
+        let scripts = sanitize(n, &scripts);
+        let a = run_workload(n, &scripts);
+        let b = run_workload(n, &scripts);
+        prop_assert_eq!(a.0, b.0);
+        prop_assert_eq!(a.1, b.1);
+        prop_assert_eq!(a.2, b.2);
+    }
+
+    /// Flop accounting exactly matches the work submitted.
+    #[test]
+    fn flops_conserved((n, scripts) in workload()) {
+        let scripts = sanitize(n, &scripts);
+        let (_, _, host_flops) = run_workload(n, &scripts);
+        let submitted: f64 = scripts
+            .iter()
+            .flatten()
+            .map(|op| match op {
+                Op::Compute(f) => *f as f64,
+                _ => 0.0,
+            })
+            .sum();
+        let executed: f64 = host_flops.iter().sum();
+        prop_assert!(
+            (executed - submitted).abs() < 1e-6 * submitted.max(1.0),
+            "submitted {} executed {}", submitted, executed
+        );
+    }
+
+    /// Virtual time never runs backwards in the trace.
+    #[test]
+    fn trace_times_monotone((n, scripts) in workload()) {
+        let scripts = sanitize(n, &scripts);
+        let mut b = GridBuilder::new();
+        let c = b.cluster("X");
+        let hosts = b.add_hosts(c, n as usize, &HostSpec::with_speed(1e4));
+        let mut eng = Engine::new(b.build().unwrap());
+        for (p, script) in scripts.iter().enumerate() {
+            let script = script.clone();
+            let hostv = hosts.clone();
+            eng.spawn(&format!("p{p}"), hosts[p], move |ctx| {
+                let mut seq = 0u64;
+                for op in &script {
+                    match op {
+                        Op::Compute(f) => ctx.compute(*f as f64),
+                        Op::Sleep(s) => ctx.sleep(*s as f64 * 0.1),
+                        Op::SendTo(d, bytes) => {
+                            let key = mail_key(&[p as u64, *d as u64, seq, 0xAA]);
+                            seq += 1;
+                            ctx.isend(key, hostv[*d as usize], *bytes as f64, Box::new(0u8));
+                        }
+                        Op::RecvFrom(_) => {}
+                    }
+                    let t = ctx.now();
+                    ctx.trace("tick", t);
+                }
+            });
+        }
+        let r = eng.run();
+        let mut last = 0.0;
+        for rec in &r.trace.records {
+            prop_assert!(rec.t >= last - 1e-12);
+            last = rec.t;
+        }
+    }
+}

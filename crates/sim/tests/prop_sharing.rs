@@ -1,0 +1,94 @@
+//! Property-based tests of the fluid resource-sharing models.
+
+use grads_sim::sharing::{cpu_share, max_min_fair};
+use proptest::prelude::*;
+
+/// Strategy: a random flow/link configuration.
+fn config() -> impl Strategy<Value = (Vec<Vec<usize>>, Vec<f64>)> {
+    (2usize..6).prop_flat_map(|nl| {
+        let links = proptest::collection::vec(1.0f64..100.0, nl);
+        let flows = proptest::collection::vec(
+            proptest::collection::btree_set(0..nl, 1..=nl.min(3))
+                .prop_map(|s| s.into_iter().collect::<Vec<_>>()),
+            1..8,
+        );
+        (flows, links)
+    })
+}
+
+proptest! {
+    /// No link is ever oversubscribed.
+    #[test]
+    fn maxmin_conserves_capacity((routes, caps) in config()) {
+        let rates = max_min_fair(&routes, &caps);
+        for (l, &cap) in caps.iter().enumerate() {
+            let used: f64 = routes
+                .iter()
+                .zip(&rates)
+                .filter(|(r, _)| r.contains(&l))
+                .map(|(_, &x)| x)
+                .sum();
+            prop_assert!(used <= cap * (1.0 + 1e-6), "link {l}: {used} > {cap}");
+        }
+    }
+
+    /// Every flow gets a strictly positive rate.
+    #[test]
+    fn maxmin_rates_positive((routes, caps) in config()) {
+        let rates = max_min_fair(&routes, &caps);
+        for (f, &r) in rates.iter().enumerate() {
+            prop_assert!(r > 0.0, "flow {f} starved");
+        }
+    }
+
+    /// Max-min property: every flow crosses at least one (nearly)
+    /// saturated link — otherwise its rate could still grow.
+    #[test]
+    fn maxmin_every_flow_bottlenecked((routes, caps) in config()) {
+        let rates = max_min_fair(&routes, &caps);
+        let used: Vec<f64> = (0..caps.len())
+            .map(|l| {
+                routes
+                    .iter()
+                    .zip(&rates)
+                    .filter(|(r, _)| r.contains(&l))
+                    .map(|(_, &x)| x)
+                    .sum()
+            })
+            .collect();
+        for (f, route) in routes.iter().enumerate() {
+            let bottlenecked = route
+                .iter()
+                .any(|&l| used[l] >= caps[l] * (1.0 - 1e-6));
+            prop_assert!(bottlenecked, "flow {f} has slack everywhere");
+        }
+    }
+
+    /// Adding flows never increases anyone's share (population
+    /// monotonicity on a single link).
+    #[test]
+    fn single_link_share_monotone(n in 1usize..20, cap in 1.0f64..1000.0) {
+        let routes_n: Vec<Vec<usize>> = (0..n).map(|_| vec![0]).collect();
+        let routes_n1: Vec<Vec<usize>> = (0..=n).map(|_| vec![0]).collect();
+        let r_n = max_min_fair(&routes_n, &[cap]);
+        let r_n1 = max_min_fair(&routes_n1, &[cap]);
+        prop_assert!(r_n1[0] <= r_n[0] + 1e-9);
+    }
+
+    /// CPU share is bounded by one core and by an equal split of total
+    /// capacity, and shrinks as load grows.
+    #[test]
+    fn cpu_share_bounds(
+        speed in 1.0f64..1e10,
+        cores in 1u32..8,
+        n in 1usize..16,
+        load in 0.0f64..16.0,
+    ) {
+        let s = cpu_share(speed, cores, n, load);
+        prop_assert!(s <= speed * (1.0 + 1e-12));
+        let total = s * n as f64;
+        prop_assert!(total <= speed * cores as f64 * (1.0 + 1e-9));
+        let s_more_load = cpu_share(speed, cores, n, load + 1.0);
+        prop_assert!(s_more_load <= s + 1e-9);
+    }
+}

@@ -1,0 +1,269 @@
+//! Internet Backplane Protocol (IBP) analog: named storage depots on grid
+//! hosts.
+//!
+//! SRS stores checkpoint data in IBP depots (§4.1.1). The paper's key
+//! observation — checkpoint *writes* go to depots on local disks and are
+//! cheap, while restart *reads* cross the Internet and dominate migration
+//! cost — falls straight out of this model: a store to the local depot
+//! costs only disk bandwidth, while a retrieve from a remote depot pays
+//! the WAN transfer too.
+
+use grads_sim::prelude::*;
+use parking_lot::Mutex;
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Default depot disk bandwidth: 30 MB/s (2003-era local disk).
+pub const DEFAULT_DISK_BW: f64 = 30e6;
+
+struct Item {
+    home: HostId,
+    bytes: f64,
+    data: Arc<dyn Any + Send + Sync>,
+}
+
+struct Inner {
+    items: HashMap<String, Item>,
+    disk_bw: f64,
+}
+
+/// A shared handle to the grid's IBP storage fabric. Cloning shares the
+/// underlying depots.
+#[derive(Clone)]
+pub struct IbpStorage {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Default for IbpStorage {
+    fn default() -> Self {
+        Self::new(DEFAULT_DISK_BW)
+    }
+}
+
+impl IbpStorage {
+    /// New storage fabric with the given depot disk bandwidth (bytes/s).
+    pub fn new(disk_bw: f64) -> Self {
+        assert!(disk_bw > 0.0, "disk bandwidth must be positive");
+        IbpStorage {
+            inner: Arc::new(Mutex::new(Inner {
+                items: HashMap::new(),
+                disk_bw,
+            })),
+        }
+    }
+
+    /// Store `data` under `key` in the depot on `depot` (typically the
+    /// caller's own host — "IBP storage on local disks"). Charges disk
+    /// time plus, when the depot is remote, the network transfer.
+    /// Overwrites any previous item under the key.
+    pub fn store(
+        &self,
+        ctx: &mut Ctx,
+        depot: HostId,
+        key: &str,
+        bytes: f64,
+        data: Arc<dyn Any + Send + Sync>,
+    ) {
+        if depot != ctx.host() {
+            ctx.transfer(depot, bytes);
+        }
+        let disk_bw = self.inner.lock().disk_bw;
+        ctx.sleep(bytes / disk_bw);
+        self.inner.lock().items.insert(
+            key.to_string(),
+            Item {
+                home: depot,
+                bytes,
+                data,
+            },
+        );
+    }
+
+    /// Retrieve the item under `key`, paying disk plus (for remote depots)
+    /// WAN transfer for the item's full size.
+    pub fn retrieve(&self, ctx: &mut Ctx, key: &str) -> Option<Arc<dyn Any + Send + Sync>> {
+        let bytes = self.inner.lock().items.get(key).map(|i| i.bytes)?;
+        self.retrieve_partial(ctx, key, bytes)
+    }
+
+    /// Retrieve the item under `key`, paying for only `cost_bytes` on the
+    /// wire (IBP supports byte-range reads; SRS uses this when a restart
+    /// rank needs only part of another rank's checkpoint chunk).
+    pub fn retrieve_partial(
+        &self,
+        ctx: &mut Ctx,
+        key: &str,
+        cost_bytes: f64,
+    ) -> Option<Arc<dyn Any + Send + Sync>> {
+        let (home, data, disk_bw) = {
+            let inner = self.inner.lock();
+            let item = inner.items.get(key)?;
+            (item.home, item.data.clone(), inner.disk_bw)
+        };
+        ctx.sleep(cost_bytes / disk_bw);
+        if home != ctx.host() {
+            // The route is symmetric, so modelling the depot→reader flow
+            // as a reader→depot transfer costs the same.
+            ctx.transfer(home, cost_bytes);
+        }
+        Some(data)
+    }
+
+    /// True if an item exists under `key` (no simulated cost; metadata
+    /// lookups are negligible).
+    pub fn exists(&self, key: &str) -> bool {
+        self.inner.lock().items.contains_key(key)
+    }
+
+    /// Stored size of an item, if present.
+    pub fn size_of(&self, key: &str) -> Option<f64> {
+        self.inner.lock().items.get(key).map(|i| i.bytes)
+    }
+
+    /// Depot host of an item, if present.
+    pub fn home_of(&self, key: &str) -> Option<HostId> {
+        self.inner.lock().items.get(key).map(|i| i.home)
+    }
+
+    /// Delete an item; returns whether it existed.
+    pub fn delete(&self, key: &str) -> bool {
+        self.inner.lock().items.remove(key).is_some()
+    }
+
+    /// Delete every item whose key starts with `prefix`; returns the count.
+    pub fn delete_prefix(&self, prefix: &str) -> usize {
+        let mut inner = self.inner.lock();
+        let keys: Vec<String> = inner
+            .items
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect();
+        for k in &keys {
+            inner.items.remove(k);
+        }
+        keys.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grads_sim::topology::{GridBuilder, HostSpec};
+
+    fn grid2() -> (Grid, Vec<HostId>) {
+        let mut b = GridBuilder::new();
+        let x = b.cluster("X");
+        b.local_link(x, 1e6, 0.01);
+        let h0 = b.add_host(x, &HostSpec::with_speed(1e9));
+        let y = b.cluster("Y");
+        b.local_link(y, 1e6, 0.01);
+        let h1 = b.add_host(y, &HostSpec::with_speed(1e9));
+        b.connect(x, y, 1e6, 0.03);
+        (b.build().unwrap(), vec![h0, h1])
+    }
+
+    #[test]
+    fn local_store_costs_only_disk() {
+        let (g, hs) = grid2();
+        let mut eng = Engine::new(g);
+        let ibp = IbpStorage::new(30e6);
+        let ibp2 = ibp.clone();
+        let h0 = hs[0];
+        eng.spawn("w", h0, move |ctx| {
+            ibp2.store(ctx, h0, "ckpt", 30e6, Arc::new(vec![1.0f64]));
+            let t = ctx.now();
+            ctx.trace("t", t);
+        });
+        let r = eng.run();
+        assert!((r.trace.last_value("t").unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn remote_retrieve_pays_wan() {
+        let (g, hs) = grid2();
+        let mut eng = Engine::new(g);
+        let ibp = IbpStorage::new(30e6);
+        let (h0, h1) = (hs[0], hs[1]);
+        let ibp_w = ibp.clone();
+        eng.spawn("writer", h0, move |ctx| {
+            ibp_w.store(ctx, h0, "ckpt", 1e6, Arc::new(vec![7.0f64; 4]));
+        });
+        let ibp_r = ibp.clone();
+        eng.spawn("reader", h1, move |ctx| {
+            ctx.sleep(2.0); // let the writer finish
+            let t0 = ctx.now();
+            let data = ibp_r.retrieve(ctx, "ckpt").unwrap();
+            let v = data.downcast_ref::<Vec<f64>>().unwrap();
+            ctx.trace("v", v[0]);
+            let t = ctx.now() - t0;
+            ctx.trace("dt", t);
+        });
+        let r = eng.run();
+        assert_eq!(r.trace.last_value("v"), Some(7.0));
+        // ~1/30 s disk + 1 s WAN (1 MB at 1 MB/s) + 50 ms latency.
+        let dt = r.trace.last_value("dt").unwrap();
+        assert!(dt > 1.0 && dt < 1.2, "dt = {dt}");
+    }
+
+    #[test]
+    fn partial_retrieve_costs_less() {
+        let (g, hs) = grid2();
+        let mut eng = Engine::new(g);
+        let ibp = IbpStorage::new(30e6);
+        let (h0, h1) = (hs[0], hs[1]);
+        let ibp_w = ibp.clone();
+        eng.spawn("writer", h0, move |ctx| {
+            ibp_w.store(ctx, h0, "ckpt", 2e6, Arc::new(0u8));
+        });
+        let ibp_r = ibp.clone();
+        eng.spawn("reader", h1, move |ctx| {
+            ctx.sleep(2.0);
+            let t0 = ctx.now();
+            ibp_r.retrieve_partial(ctx, "ckpt", 0.5e6).unwrap();
+            let t = ctx.now() - t0;
+            ctx.trace("dt", t);
+        });
+        let r = eng.run();
+        let dt = r.trace.last_value("dt").unwrap();
+        assert!(dt > 0.5 && dt < 0.65, "dt = {dt}");
+    }
+
+    #[test]
+    fn exists_delete_and_metadata() {
+        let (g, hs) = grid2();
+        let mut eng = Engine::new(g);
+        let ibp = IbpStorage::default();
+        let ibp2 = ibp.clone();
+        let h0 = hs[0];
+        eng.spawn("w", h0, move |ctx| {
+            ibp2.store(ctx, h0, "a/1", 10.0, Arc::new(1u8));
+            ibp2.store(ctx, h0, "a/2", 20.0, Arc::new(2u8));
+            ibp2.store(ctx, h0, "b/1", 30.0, Arc::new(3u8));
+        });
+        eng.run();
+        assert!(ibp.exists("a/1"));
+        assert_eq!(ibp.size_of("a/2"), Some(20.0));
+        assert_eq!(ibp.home_of("b/1"), Some(hs[0]));
+        assert_eq!(ibp.delete_prefix("a/"), 2);
+        assert!(!ibp.exists("a/1"));
+        assert!(ibp.exists("b/1"));
+        assert!(ibp.delete("b/1"));
+        assert!(!ibp.delete("b/1"));
+    }
+
+    #[test]
+    fn missing_key_returns_none() {
+        let (g, hs) = grid2();
+        let mut eng = Engine::new(g);
+        let ibp = IbpStorage::default();
+        let ibp2 = ibp.clone();
+        eng.spawn("r", hs[0], move |ctx| {
+            let found = ibp2.retrieve(ctx, "nope").is_some();
+            ctx.trace("found", if found { 1.0 } else { 0.0 });
+        });
+        let r = eng.run();
+        assert_eq!(r.trace.last_value("found"), Some(0.0));
+    }
+}

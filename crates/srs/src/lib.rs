@@ -1,0 +1,15 @@
+//! # grads-srs — Stop Restart Software + IBP storage + RSS daemon
+//!
+//! The stop/migrate/restart substrate of §4.1: applications checkpoint
+//! named data through [`srs::Srs`] into [`ibp::IbpStorage`] depots on their
+//! local disks, poll the [`rss::Rss`] daemon for stop requests raised by
+//! the rescheduler, and — restarted on a different processor set — read
+//! the data back with transparent N→M block-cyclic redistribution.
+
+pub mod ibp;
+pub mod rss;
+pub mod srs;
+
+pub use ibp::{IbpStorage, DEFAULT_DISK_BW};
+pub use rss::Rss;
+pub use srs::Srs;

@@ -1,0 +1,143 @@
+//! The Runtime Support System (RSS) daemon.
+//!
+//! *"An external component (e.g., the rescheduler) interacts with a daemon
+//! called Runtime Support System (RSS). RSS exists for the duration of the
+//! application execution and can span multiple migrations."* (§4.1.1)
+//!
+//! The RSS is the control plane of stop/restart migration: the rescheduler
+//! raises a stop request; the application polls it at SRS checkpoint
+//! points, writes its data, and exits; the restart incarnation finds the
+//! checkpoints through the same RSS. An epoch counter distinguishes
+//! incarnations.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+struct Inner {
+    stop_requested: bool,
+    epoch: u64,
+    /// Ranks that have acknowledged the stop in the current epoch.
+    stop_acks: usize,
+    /// Completion flag set by the application's final incarnation.
+    app_complete: bool,
+}
+
+/// Shared handle to the RSS daemon state. Cloning shares the daemon.
+#[derive(Clone)]
+pub struct Rss {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Default for Rss {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Rss {
+    /// Start a fresh RSS (epoch 0, no stop pending).
+    pub fn new() -> Self {
+        Rss {
+            inner: Arc::new(Mutex::new(Inner {
+                stop_requested: false,
+                epoch: 0,
+                stop_acks: 0,
+                app_complete: false,
+            })),
+        }
+    }
+
+    /// Rescheduler-side: ask the running application to checkpoint and
+    /// stop at its next SRS poll point.
+    pub fn request_stop(&self) {
+        self.inner.lock().stop_requested = true;
+    }
+
+    /// Application-side: is a stop pending?
+    pub fn stop_requested(&self) -> bool {
+        self.inner.lock().stop_requested
+    }
+
+    /// Application-side: acknowledge the stop (each rank calls this once
+    /// after writing its checkpoint data).
+    pub fn ack_stop(&self) {
+        self.inner.lock().stop_acks += 1;
+    }
+
+    /// Number of ranks that acknowledged the current stop.
+    pub fn stop_acks(&self) -> usize {
+        self.inner.lock().stop_acks
+    }
+
+    /// Restart-side: clear the stop flag and open a new epoch. Returns the
+    /// new epoch number.
+    pub fn begin_restart(&self) -> u64 {
+        let mut i = self.inner.lock();
+        i.stop_requested = false;
+        i.stop_acks = 0;
+        i.epoch += 1;
+        i.epoch
+    }
+
+    /// Current incarnation number (0 for the original launch).
+    pub fn epoch(&self) -> u64 {
+        self.inner.lock().epoch
+    }
+
+    /// Application-side: mark the whole computation finished.
+    pub fn mark_complete(&self) {
+        self.inner.lock().app_complete = true;
+    }
+
+    /// Has the application finished (across all incarnations)?
+    pub fn is_complete(&self) -> bool {
+        self.inner.lock().app_complete
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stop_protocol_round_trip() {
+        let rss = Rss::new();
+        assert!(!rss.stop_requested());
+        rss.request_stop();
+        assert!(rss.stop_requested());
+        rss.ack_stop();
+        rss.ack_stop();
+        assert_eq!(rss.stop_acks(), 2);
+        let e = rss.begin_restart();
+        assert_eq!(e, 1);
+        assert!(!rss.stop_requested());
+        assert_eq!(rss.stop_acks(), 0);
+    }
+
+    #[test]
+    fn epochs_accumulate_across_migrations() {
+        let rss = Rss::new();
+        assert_eq!(rss.epoch(), 0);
+        rss.request_stop();
+        rss.begin_restart();
+        rss.request_stop();
+        rss.begin_restart();
+        assert_eq!(rss.epoch(), 2);
+    }
+
+    #[test]
+    fn completion_flag() {
+        let rss = Rss::new();
+        assert!(!rss.is_complete());
+        rss.mark_complete();
+        assert!(rss.is_complete());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let rss = Rss::new();
+        let rss2 = rss.clone();
+        rss.request_stop();
+        assert!(rss2.stop_requested());
+    }
+}

@@ -1,0 +1,347 @@
+//! SRS — the Stop Restart Software checkpointing library (§4.1.1).
+//!
+//! Applications call SRS to checkpoint named data, to poll whether the
+//! rescheduler wants them to stop, and — in the restarted incarnation on a
+//! possibly different number of processors — to read the data back. SRS
+//! *"can transparently handle the redistribution of certain data
+//! distributions (e.g., block cyclic) between different numbers of
+//! processors (i.e., N to M processors)."*
+//!
+//! Checkpoint chunks are written to IBP depots on the writers' local disks
+//! (cheap); restart reads pull exactly the byte ranges each new rank needs,
+//! usually across the wide area (expensive) — the cost asymmetry behind
+//! Figure 3.
+
+use crate::ibp::IbpStorage;
+use crate::rss::Rss;
+use grads_mpi::BlockCyclic;
+use grads_sim::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Metadata stored alongside a distributed checkpoint.
+#[derive(Debug, Clone, Copy)]
+struct DistMeta {
+    dist: BlockCyclic,
+    nominal_bytes: f64,
+}
+
+/// Application-side SRS handle: one per application run, shared by all
+/// ranks and incarnations.
+#[derive(Clone)]
+pub struct Srs {
+    /// The RSS control daemon.
+    pub rss: Rss,
+    /// The IBP storage fabric.
+    pub ibp: IbpStorage,
+    app: String,
+    /// When set, all chunks go to the depot on this host instead of the
+    /// writers' local disks — *stable storage* for fault-tolerant
+    /// checkpointing (writes then pay the network; reads may be cheaper).
+    depot: Option<HostId>,
+}
+
+impl Srs {
+    /// Create an SRS handle for application `app` (the key namespace).
+    pub fn new(app: &str, rss: Rss, ibp: IbpStorage) -> Self {
+        Srs {
+            rss,
+            ibp,
+            app: app.to_string(),
+            depot: None,
+        }
+    }
+
+    /// Route all checkpoint data to a fixed stable-storage depot host
+    /// (required when writers' own hosts may fail).
+    pub fn with_stable_depot(mut self, depot: HostId) -> Self {
+        self.depot = Some(depot);
+        self
+    }
+
+    fn meta_key(&self, name: &str) -> String {
+        format!("{}/{}/dist", self.app, name)
+    }
+
+    fn chunk_key(&self, name: &str, rank: usize) -> String {
+        format!("{}/{}/chunk/{}", self.app, name, rank)
+    }
+
+    fn value_key(&self, name: &str) -> String {
+        format!("{}/{}/value", self.app, name)
+    }
+
+    /// Poll point: should this incarnation checkpoint its data and stop?
+    pub fn should_stop(&self) -> bool {
+        self.rss.stop_requested()
+    }
+
+    /// Checkpoint this rank's portion of a block-cyclically distributed
+    /// `f64` array. `nominal_bytes` is the array's *global* nominal size
+    /// on the wire (the real `data` may be a smaller stand-in; see
+    /// DESIGN.md on nominal-vs-real problem sizes). Rank 0 also writes the
+    /// distribution metadata. The chunk goes to the depot on the calling
+    /// rank's own host.
+    pub fn store_distributed(
+        &self,
+        ctx: &mut Ctx,
+        name: &str,
+        dist: BlockCyclic,
+        rank: usize,
+        data: Vec<f64>,
+        nominal_bytes: f64,
+    ) {
+        assert_eq!(
+            data.len(),
+            dist.local_len(rank),
+            "chunk length must match the distribution"
+        );
+        if rank == 0 {
+            let home = self.depot.unwrap_or_else(|| ctx.host());
+            self.ibp.store(
+                ctx,
+                home,
+                &self.meta_key(name),
+                64.0,
+                Arc::new(DistMeta {
+                    dist,
+                    nominal_bytes,
+                }),
+            );
+        }
+        let frac = if dist.n > 0 {
+            data.len() as f64 / dist.n as f64
+        } else {
+            0.0
+        };
+        let home = self.depot.unwrap_or_else(|| ctx.host());
+        self.ibp.store(
+            ctx,
+            home,
+            &self.chunk_key(name, rank),
+            nominal_bytes * frac,
+            Arc::new(data),
+        );
+    }
+
+    /// Restart-side: read this rank's portion of a checkpointed array
+    /// under a **new** distribution (possibly different rank count and
+    /// block size), redistributing transparently. Pays wire cost only for
+    /// the bytes actually needed from each old chunk. Returns `None` if
+    /// the checkpoint does not exist.
+    pub fn read_distributed(
+        &self,
+        ctx: &mut Ctx,
+        name: &str,
+        new_dist: BlockCyclic,
+        new_rank: usize,
+    ) -> Option<Vec<f64>> {
+        let meta = {
+            let m = self.ibp.retrieve(ctx, &self.meta_key(name))?;
+            *m.downcast_ref::<DistMeta>()
+                .expect("dist metadata type")
+        };
+        let old = meta.dist;
+        assert_eq!(old.n, new_dist.n, "redistribution must preserve length");
+        let per_elem = if old.n > 0 {
+            meta.nominal_bytes / old.n as f64
+        } else {
+            0.0
+        };
+        // Count needed elements per old rank, then fetch each chunk once.
+        let my_len = new_dist.local_len(new_rank);
+        let mut needed: HashMap<usize, usize> = HashMap::new();
+        for l in 0..my_len {
+            let g = new_dist.global_index(new_rank, l);
+            *needed.entry(old.owner(g)).or_insert(0) += 1;
+        }
+        let mut chunks: HashMap<usize, Arc<Vec<f64>>> = HashMap::new();
+        let mut old_ranks: Vec<usize> = needed.keys().copied().collect();
+        old_ranks.sort_unstable();
+        for r in old_ranks {
+            let cost = needed[&r] as f64 * per_elem;
+            let c = self
+                .ibp
+                .retrieve_partial(ctx, &self.chunk_key(name, r), cost)?;
+            let v = c
+                .downcast::<Vec<f64>>()
+                .expect("checkpoint chunk type");
+            chunks.insert(r, v);
+        }
+        let mut out = Vec::with_capacity(my_len);
+        for l in 0..my_len {
+            let g = new_dist.global_index(new_rank, l);
+            let r = old.owner(g);
+            let ol = old.local_index(g);
+            out.push(chunks[&r][ol]);
+        }
+        Some(out)
+    }
+
+    /// Checkpoint a single (replicated or rank-0) value.
+    pub fn store_value<T: Send + Sync + 'static>(
+        &self,
+        ctx: &mut Ctx,
+        name: &str,
+        value: T,
+        bytes: f64,
+    ) {
+        let home = self.depot.unwrap_or_else(|| ctx.host());
+        self.ibp
+            .store(ctx, home, &self.value_key(name), bytes, Arc::new(value));
+    }
+
+    /// Read back a checkpointed value.
+    pub fn read_value<T: Clone + Send + Sync + 'static>(
+        &self,
+        ctx: &mut Ctx,
+        name: &str,
+    ) -> Option<T> {
+        let v = self.ibp.retrieve(ctx, &self.value_key(name))?;
+        Some(
+            v.downcast_ref::<T>()
+                .expect("checkpoint value type")
+                .clone(),
+        )
+    }
+
+    /// Does a distributed checkpoint with this name exist?
+    pub fn has_checkpoint(&self, name: &str) -> bool {
+        self.ibp.exists(&self.meta_key(name))
+    }
+
+    /// Drop all of this application's checkpoint data.
+    pub fn cleanup(&self) -> usize {
+        self.ibp.delete_prefix(&format!("{}/", self.app))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grads_sim::topology::{GridBuilder, HostSpec};
+    use parking_lot::Mutex;
+
+    fn grid(n_x: usize, n_y: usize) -> (Grid, Vec<HostId>, Vec<HostId>) {
+        let mut b = GridBuilder::new();
+        let x = b.cluster("X");
+        b.local_link(x, 1e8, 1e-4);
+        let xs = b.add_hosts(x, n_x, &HostSpec::with_speed(1e9));
+        let y = b.cluster("Y");
+        b.local_link(y, 1e8, 1e-4);
+        let ys = b.add_hosts(y, n_y, &HostSpec::with_speed(1e9));
+        b.connect(x, y, 1e6, 0.03);
+        (b.build().unwrap(), xs, ys)
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn n_to_m_redistribution_preserves_data() {
+        let (g, xs, ys) = grid(3, 5);
+        let mut eng = Engine::new(g);
+        let srs = Srs::new("qr", Rss::new(), IbpStorage::default());
+        let n = 97usize;
+        let old = BlockCyclic::new(n, 4, 3);
+        let new = BlockCyclic::new(n, 4, 5);
+        // Writers: 3 ranks on cluster X.
+        for rank in 0..3 {
+            let srs2 = srs.clone();
+            eng.spawn(&format!("w{rank}"), xs[rank], move |ctx| {
+                let data: Vec<f64> = old
+                    .globals_of(rank)
+                    .map(|gl| gl as f64 * 1.5)
+                    .collect();
+                srs2.store_distributed(ctx, "A", old, rank, data, 8.0 * n as f64);
+            });
+        }
+        // Readers: 5 ranks on cluster Y, starting after the writers.
+        let ok = std::sync::Arc::new(Mutex::new(0usize));
+        for rank in 0..5 {
+            let srs2 = srs.clone();
+            let ok2 = ok.clone();
+            eng.spawn(&format!("r{rank}"), ys[rank], move |ctx| {
+                ctx.sleep(1.0);
+                let data = srs2.read_distributed(ctx, "A", new, rank).unwrap();
+                for (l, v) in data.iter().enumerate() {
+                    let gl = new.global_index(rank, l);
+                    assert_eq!(*v, gl as f64 * 1.5);
+                }
+                *ok2.lock() += 1;
+            });
+        }
+        eng.run();
+        assert_eq!(*ok.lock(), 5);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn read_cost_scales_with_needed_bytes() {
+        let (g, xs, ys) = grid(1, 2);
+        let mut eng = Engine::new(g);
+        let srs = Srs::new("app", Rss::new(), IbpStorage::default());
+        let n = 1000usize;
+        let old = BlockCyclic::new(n, 10, 1);
+        let new = BlockCyclic::new(n, 10, 2);
+        let srs_w = srs.clone();
+        let nominal = 2e6; // 2 MB over a 1 MB/s WAN link
+        eng.spawn("w", xs[0], move |ctx| {
+            srs_w.store_distributed(ctx, "A", old, 0, vec![1.0; n], nominal);
+        });
+        // Each reader needs half the data -> ~1 s on the wire each, but
+        // they share the WAN link -> ~2 s elapsed.
+        for rank in 0..2 {
+            let srs_r = srs.clone();
+            eng.spawn(&format!("r{rank}"), ys[rank], move |ctx| {
+                ctx.sleep(1.0);
+                let t0 = ctx.now();
+                let d = srs_r.read_distributed(ctx, "A", new, rank).unwrap();
+                assert_eq!(d.len(), 500);
+                let dt = ctx.now() - t0;
+                ctx.trace("dt", dt);
+            });
+        }
+        let r = eng.run();
+        for (_, dt) in r.trace.series("dt") {
+            assert!(dt > 0.9 && dt < 2.5, "dt = {dt}");
+        }
+    }
+
+    #[test]
+    fn value_round_trip_and_cleanup() {
+        let (g, xs, _) = grid(1, 1);
+        let mut eng = Engine::new(g);
+        let srs = Srs::new("app", Rss::new(), IbpStorage::default());
+        let srs2 = srs.clone();
+        eng.spawn("w", xs[0], move |ctx| {
+            srs2.store_value(ctx, "iter", 42u64, 8.0);
+            let v: u64 = srs2.read_value(ctx, "iter").unwrap();
+            ctx.trace("v", v as f64);
+        });
+        let r = eng.run();
+        assert_eq!(r.trace.last_value("v"), Some(42.0));
+        assert!(srs.cleanup() >= 1);
+        assert!(!srs.has_checkpoint("iter"));
+    }
+
+    #[test]
+    fn missing_checkpoint_is_none() {
+        let (g, xs, _) = grid(1, 1);
+        let mut eng = Engine::new(g);
+        let srs = Srs::new("app", Rss::new(), IbpStorage::default());
+        let srs2 = srs.clone();
+        eng.spawn("r", xs[0], move |ctx| {
+            let d = srs2.read_distributed(ctx, "nope", BlockCyclic::new(10, 2, 1), 0);
+            ctx.trace("found", if d.is_some() { 1.0 } else { 0.0 });
+        });
+        let r = eng.run();
+        assert_eq!(r.trace.last_value("found"), Some(0.0));
+    }
+
+    #[test]
+    fn stop_flag_visible_through_srs() {
+        let srs = Srs::new("app", Rss::new(), IbpStorage::default());
+        assert!(!srs.should_stop());
+        srs.rss.request_stop();
+        assert!(srs.should_stop());
+    }
+}

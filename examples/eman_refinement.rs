@@ -1,0 +1,63 @@
+//! The §3.3 workflow-scheduling demonstration: schedule the EMAN
+//! refinement workflow onto a heterogeneous (IA-32 + IA-64 + campus pool)
+//! grid with the GrADS heuristics, compare against baselines, and execute
+//! the winning schedule on the emulated grid.
+//!
+//! Run with: `cargo run --release -p grads-core --example eman_refinement`
+
+use grads_core::apps::wf_exec::execute_workflow;
+use grads_core::prelude::*;
+use grads_core::sched::{schedule_heft, schedule_random, schedule_round_robin};
+
+fn main() {
+    let cfg = EmanConfig::default();
+    let (wf, stages) = eman_workflow(&cfg);
+    let grid = eman_grid();
+    let nws = NwsService::new();
+    let resources: Vec<ResourceInfo> = (0..grid.hosts().len() as u32)
+        .map(|i| ResourceInfo::from_grid(&grid, &nws, HostId(i)))
+        .collect();
+    println!(
+        "EMAN refinement: {} particles, {} classes, {}-wide classification",
+        cfg.n_particles, cfg.n_classes, cfg.classify_par
+    );
+    println!(
+        "grid: {} IA-32 + {} IA-64 + {} pool hosts\n",
+        grid.hosts_of("IA32").len(),
+        grid.hosts_of("IA64").len(),
+        grid.hosts_of("POOL").len()
+    );
+
+    let (best, per) = WorkflowScheduler::default().schedule(&wf, &grid, &nws, &resources);
+    println!("predicted makespans:");
+    for (name, mk) in &per {
+        println!("  {name:<14} {mk:>10.1} s");
+    }
+    for (name, s) in [
+        ("heft", schedule_heft(&wf, &grid, &nws, &resources)),
+        ("round-robin", schedule_round_robin(&wf, &grid, &nws, &resources)),
+        ("random", schedule_random(&wf, &grid, &nws, &resources, 1)),
+    ] {
+        println!("  {name:<14} {:>10.1} s", s.makespan);
+    }
+    println!("\nwinning strategy: {} ({:.1} s)", best.strategy, best.makespan);
+
+    println!("\nclassification placement (the parallel stage):");
+    for &c in &stages.classify {
+        let r = &resources[best.placement[c]];
+        println!(
+            "  {:<16} -> {:<8} ({})",
+            wf.components[c].name,
+            grid.host(r.host).name,
+            r.arch
+        );
+    }
+
+    let exec = execute_workflow(&grid, &wf, &best, &resources);
+    println!(
+        "\nemulated execution: {:.1} s (predicted {:.1} s, ratio {:.2})",
+        exec.makespan,
+        best.makespan,
+        exec.makespan / best.makespan
+    );
+}

@@ -1,0 +1,68 @@
+//! Parameter-sweep scheduling with file-reuse-aware heuristics — the
+//! HCW 2000 setting ([3] in the paper) the GrADS heuristics descend from.
+//!
+//! Run with: `cargo run --release -p grads-core --example parameter_sweep`
+
+use grads_core::apps::psa::{execute_psa, generate, schedule_psa, PsaConfig, PsaStrategy};
+use grads_core::nws::NwsService;
+use grads_core::sim::parse_dml;
+
+const TOPOLOGY: &str = r#"
+# Storage site plus two compute clusters (DML-style description, §4.2.2).
+cluster STORAGE {
+    hosts 1
+    speed 1e9
+    link 1e8 1e-4
+}
+cluster FAST {
+    hosts 4
+    speed 3e9
+    link 1e8 1e-4
+}
+cluster SLOW {
+    hosts 4
+    speed 1.5e9
+    link 1e8 1e-4
+}
+connect STORAGE FAST 1e7 0.02
+connect STORAGE SLOW 1e7 0.02
+connect FAST SLOW 1e7 0.01
+"#;
+
+fn main() {
+    let grid = parse_dml(TOPOLOGY).expect("valid DML");
+    let storage = grid.hosts_of("STORAGE")[0];
+    let mut hosts = grid.hosts_of("FAST");
+    hosts.extend(grid.hosts_of("SLOW"));
+    let nws = NwsService::new();
+
+    let cfg = PsaConfig {
+        n_tasks: 60,
+        n_files: 6,
+        file_bytes: 1e9, // 1 GB shared inputs: staging dominates
+        ..Default::default()
+    };
+    let wl = generate(&cfg);
+    println!(
+        "sweep: {} tasks sharing {} one-GB input files, staged from {}\n",
+        cfg.n_tasks,
+        cfg.n_files,
+        grid.host(storage).name
+    );
+    println!(
+        "{:<14} {:>14} {:>14}",
+        "strategy", "predicted(s)", "emulated(s)"
+    );
+    for strategy in PsaStrategy::all() {
+        let sched = schedule_psa(&wl, &grid, &nws, &hosts, storage, strategy);
+        let measured = execute_psa(&grid, &wl, &sched, &hosts, storage);
+        println!(
+            "{:<14} {:>14.1} {:>14.1}",
+            strategy.name(),
+            sched.makespan,
+            measured
+        );
+    }
+    println!("\nXSufferage (cluster-level, file-reuse-aware sufferage) should lead once");
+    println!("shared files are large; round-robin re-stages files and pays for it.");
+}

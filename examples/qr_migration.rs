@@ -1,0 +1,72 @@
+//! The §4.1 stop/migrate/restart experiment at one problem size: run the
+//! QR factorization on the MacroGrid testbed, inject load, and compare the
+//! rescheduler's decision against both forced branches — one Figure 3 bar
+//! pair.
+//!
+//! Run with: `cargo run --release -p grads-core --example qr_migration [N]`
+
+use grads_core::prelude::*;
+use grads_core::sim::topology::macrogrid_qr;
+
+fn run(n: usize, mode: ReschedulerMode) -> grads_core::apps::QrExperimentResult {
+    let mut cfg = QrExperimentConfig::paper(n);
+    cfg.mode = mode;
+    run_qr_experiment(macrogrid_qr(), cfg)
+}
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10_000);
+    println!("QR stop/restart experiment, nominal N = {n}");
+    println!("testbed: 4x933 MHz dual-CPU UTK + 8x450 MHz UIUC, Internet WAN");
+    println!("load: 6 competing processes on utk-0 at t = 300 s\n");
+
+    let default = run(n, ReschedulerMode::Default);
+    let stay = run(n, ReschedulerMode::ForceStay);
+    let migrate = run(n, ReschedulerMode::ForceMigrate);
+
+    let show = |label: &str, r: &grads_core::apps::QrExperimentResult| {
+        let b = &r.breakdown;
+        println!(
+            "{label:<14} total {:>8.1} s  (migrated: {})",
+            r.total_time, r.migrated
+        );
+        println!(
+            "    selection {:>6.1}  modeling {:>6.1}  grid-ovh {:>6.1}  start {:>6.1}",
+            b.resource_selection, b.perf_modeling, b.grid_overhead, b.app_start
+        );
+        println!(
+            "    ckpt-write {:>5.1}  ckpt-read {:>6.1}  app {:>9.1}",
+            b.checkpoint_write, b.checkpoint_read, b.app_duration
+        );
+    };
+    show("no-resched", &stay);
+    show("resched", &migrate);
+    show("default", &default);
+
+    if let Some(d) = &default.decision {
+        println!(
+            "\nrescheduler decision: migrate = {} (remaining here {:.0} s, there {:.0} s, overhead {:.0} s, benefit {:.0} s)",
+            d.migrate, d.remaining_current, d.remaining_new, d.overhead_used, d.benefit
+        );
+        let gap = (stay.total_time - migrate.total_time).abs();
+        let verdict = if gap < 0.02 * stay.total_time {
+            "a TIE (either choice fine)".to_string()
+        } else {
+            let right_call = if stay.total_time < migrate.total_time {
+                !default.migrated
+            } else {
+                default.migrated
+            };
+            (if right_call { "RIGHT" } else { "WRONG" }).to_string()
+        };
+        println!(
+            "ground truth: stay {:.0} s vs migrate {:.0} s -> the rescheduler was {}",
+            stay.total_time, migrate.total_time, verdict
+        );
+    } else {
+        println!("\nno contract violation occurred (load did not hit the schedule)");
+    }
+}

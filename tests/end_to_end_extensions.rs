@@ -1,0 +1,114 @@
+//! Integration tests of the extension features through the public API:
+//! DML-described grids driving full experiments, fault tolerance,
+//! parameter sweeps, and the economy allocator working together.
+
+use grads_core::apps::psa::{execute_psa, generate, schedule_psa, PsaConfig, PsaStrategy};
+use grads_core::apps::{run_ft_experiment, FtExperimentConfig};
+use grads_core::nws::NwsService;
+use grads_core::sched::{CommodityMarket, Consumer, Producer};
+use grads_core::sim::parse_dml;
+
+const TESTBED: &str = r#"
+# QR testbed, DML-described.
+cluster UTK {
+    hosts 4
+    speed 933e6
+    cores 2
+    link 12.5e6 100e-6
+}
+cluster UIUC {
+    hosts 8
+    speed 450e6
+    link 160e6 20e-6
+}
+connect UTK UIUC 4e6 0.030
+"#;
+
+#[test]
+fn failover_runs_on_a_dml_described_grid() {
+    let grid = parse_dml(TESTBED).expect("valid DML");
+    let workers = grid.hosts_of("UTK");
+    let depot = grid.hosts_of("UIUC")[0];
+    let r = run_ft_experiment(grid, &workers, depot, FtExperimentConfig::default());
+    assert!(r.completed);
+    assert_eq!(r.recoveries, 1);
+    assert!(!r.final_hosts.contains(&workers[0]));
+}
+
+#[test]
+fn dml_grid_equals_builder_grid_for_experiments() {
+    // The same failover experiment on the builder topology and its DML
+    // description must agree exactly.
+    let from_dml = {
+        let grid = parse_dml(TESTBED).expect("valid DML");
+        let workers = grid.hosts_of("UTK");
+        let depot = grid.hosts_of("UIUC")[0];
+        run_ft_experiment(grid, &workers, depot, FtExperimentConfig::default())
+    };
+    let from_builder = {
+        let grid = grads_core::sim::topology::macrogrid_qr();
+        let workers = grid.hosts_of("UTK");
+        let depot = grid.hosts_of("UIUC")[0];
+        run_ft_experiment(grid, &workers, depot, FtExperimentConfig::default())
+    };
+    assert_eq!(from_dml.total_time, from_builder.total_time);
+    assert_eq!(from_dml.lost_steps, from_builder.lost_steps);
+    assert_eq!(from_dml.recoveries, from_builder.recoveries);
+}
+
+#[test]
+fn sweep_scheduling_and_execution_on_dml_grid() {
+    let grid = parse_dml(
+        r#"
+cluster STORE {
+    hosts 1
+    link 1e8 1e-4
+}
+cluster COMPUTE {
+    hosts 6
+    speed 2e9
+    link 1e8 1e-4
+}
+connect STORE COMPUTE 1e7 0.01
+"#,
+    )
+    .expect("valid DML");
+    let storage = grid.hosts_of("STORE")[0];
+    let hosts = grid.hosts_of("COMPUTE");
+    let nws = NwsService::new();
+    let wl = generate(&PsaConfig {
+        n_tasks: 30,
+        n_files: 3,
+        file_bytes: 5e8,
+        ..Default::default()
+    });
+    let sched = schedule_psa(&wl, &grid, &nws, &hosts, storage, PsaStrategy::XSufferage);
+    let measured = execute_psa(&grid, &wl, &sched, &hosts, storage);
+    assert!(measured > 0.0);
+    let rr = schedule_psa(&wl, &grid, &nws, &hosts, storage, PsaStrategy::RoundRobin);
+    let rr_measured = execute_psa(&grid, &wl, &rr, &hosts, storage);
+    assert!(
+        measured <= rr_measured * 1.05,
+        "xsufferage {measured} vs round-robin {rr_measured}"
+    );
+}
+
+#[test]
+fn economy_allocates_cluster_capacity() {
+    // Use a grid's core counts as the market supply: a plausible wiring of
+    // the §5 economy into the existing topology layer.
+    let grid = parse_dml(TESTBED).expect("valid DML");
+    let supply: f64 = grid.hosts().iter().map(|h| h.cores as f64).sum();
+    let producers = vec![Producer { capacity: supply }];
+    let consumers = vec![
+        Consumer { budget: 60.0, max_demand: 10.0 },
+        Consumer { budget: 30.0, max_demand: 10.0 },
+        Consumer { budget: 10.0, max_demand: 10.0 },
+    ];
+    let mut m = CommodityMarket::default();
+    let eq = m.clear(&producers, &consumers, 500, 0.01);
+    assert!(eq.converged);
+    let total: f64 = eq.allocations.iter().sum();
+    assert!(total <= supply * 1.001);
+    assert!(eq.allocations[0] >= eq.allocations[2]);
+}

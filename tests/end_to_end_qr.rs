@@ -1,0 +1,112 @@
+//! End-to-end integration tests of the §4.1 stop/restart pipeline: grid
+//! emulator + GIS/binder + contract monitor + rescheduler + SRS + the QR
+//! application, composed exactly as the figure harness composes them.
+
+use grads_core::apps::{run_qr_experiment, QrExperimentConfig};
+use grads_core::reschedule::{OverheadPolicy, ReschedulerMode};
+use grads_core::sim::topology::macrogrid_qr;
+
+fn cfg(n: usize) -> QrExperimentConfig {
+    let mut c = QrExperimentConfig::paper(n);
+    c.qr.n_real = 64;
+    c.qr.poll_every = 2;
+    c.load_at = 120.0;
+    c.monitor_period = 15.0;
+    c.t_max = 60_000.0;
+    c
+}
+
+#[test]
+fn worst_case_overhead_reproduces_papers_wrong_decision() {
+    // Pick a size where modeled overhead says "migrate" but the paper's
+    // pessimistic 900 s worst-case assumption says "stay" — the N = 8000
+    // story of Figure 3. (The emulated crossover sits higher than the
+    // paper's because our testbed constants differ; see EXPERIMENTS.md.)
+    let n = 10_000;
+    let mut modeled = cfg(n);
+    modeled.overhead = OverheadPolicy::Modeled;
+    let r_modeled = run_qr_experiment(macrogrid_qr(), modeled);
+
+    let mut pessimist = cfg(n);
+    pessimist.overhead = OverheadPolicy::WorstCase(900.0);
+    let r_pessimist = run_qr_experiment(macrogrid_qr(), pessimist);
+
+    assert!(
+        r_modeled.migrated,
+        "modeled overhead should migrate: {:?}",
+        r_modeled.decision
+    );
+    assert!(
+        !r_pessimist.migrated,
+        "900 s worst-case should refuse: {:?}",
+        r_pessimist.decision
+    );
+    let d = r_pessimist.decision.expect("violation occurred");
+    assert_eq!(d.overhead_used, 900.0);
+    assert!(
+        d.overhead_modeled < 900.0,
+        "actual modeled overhead {} should be below the pessimistic bound",
+        d.overhead_modeled
+    );
+    // And staying costs more: the wrong decision is measurably wrong.
+    assert!(
+        r_modeled.total_time < r_pessimist.total_time,
+        "migrating ({}) should beat staying ({})",
+        r_modeled.total_time,
+        r_pessimist.total_time
+    );
+}
+
+#[test]
+fn migration_cost_structure_matches_paper() {
+    // "The time for reading checkpoints dominated the rescheduling cost
+    // ... the time for writing checkpoints is insignificant."
+    let mut c = cfg(16_000);
+    c.mode = ReschedulerMode::ForceMigrate;
+    let r = run_qr_experiment(macrogrid_qr(), c);
+    assert!(r.migrated);
+    let b = &r.breakdown;
+    assert!(
+        b.checkpoint_read > 5.0 * b.checkpoint_write,
+        "read {} should dwarf write {}",
+        b.checkpoint_read,
+        b.checkpoint_write
+    );
+    // Grid machinery (two incarnations) is accounted.
+    assert!(b.resource_selection > 0.0);
+    assert!(b.grid_overhead > 0.0);
+    assert!(b.app_start > 0.0);
+    assert!(b.app_duration > b.checkpoint_read);
+}
+
+#[test]
+fn experiment_is_deterministic() {
+    let r1 = run_qr_experiment(macrogrid_qr(), cfg(9_000));
+    let r2 = run_qr_experiment(macrogrid_qr(), cfg(9_000));
+    assert_eq!(r1.total_time, r2.total_time);
+    assert_eq!(r1.migrated, r2.migrated);
+    assert_eq!(r1.incarnations, r2.incarnations);
+    assert_eq!(r1.final_hosts, r2.final_hosts);
+}
+
+#[test]
+fn rescheduling_benefit_grows_with_problem_size() {
+    // "The rescheduling benefits are greater for large problem sizes
+    // because the remaining lifetime of the application is larger."
+    let gain = |n: usize| {
+        let mut stay = cfg(n);
+        stay.mode = ReschedulerMode::ForceStay;
+        let mut go = cfg(n);
+        go.mode = ReschedulerMode::ForceMigrate;
+        let rs = run_qr_experiment(macrogrid_qr(), stay);
+        let rg = run_qr_experiment(macrogrid_qr(), go);
+        rs.total_time - rg.total_time
+    };
+    let g_small = gain(9_000);
+    let g_large = gain(18_000);
+    assert!(
+        g_large > g_small,
+        "benefit should grow with N: {g_small} vs {g_large}"
+    );
+    assert!(g_large > 0.0, "migration must pay off at N = 18000");
+}

@@ -1,0 +1,148 @@
+//! End-to-end integration tests of the §3 workflow pipeline: performance
+//! models → rank matrix → heuristics → schedule → emulated execution.
+
+use grads_core::apps::wf_exec::execute_workflow;
+use grads_core::apps::{eman_grid, eman_workflow, EmanConfig};
+use grads_core::nws::NwsService;
+use grads_core::perf::{RankWeights, ResourceInfo};
+use grads_core::sched::{
+    schedule_greedy_ecost, schedule_heft, schedule_random, schedule_round_robin,
+    WorkflowScheduler,
+};
+use grads_core::sim::prelude::*;
+
+fn resources(grid: &Grid) -> Vec<ResourceInfo> {
+    let nws = NwsService::new();
+    (0..grid.hosts().len() as u32)
+        .map(|i| ResourceInfo::from_grid(grid, &nws, HostId(i)))
+        .collect()
+}
+
+#[test]
+fn grads_scheduler_dominates_baselines_across_configs() {
+    let grid = eman_grid();
+    let res = resources(&grid);
+    let nws = NwsService::new();
+    for (particles, par) in [(5_000, 4), (20_000, 8), (50_000, 12)] {
+        let cfg = EmanConfig {
+            n_particles: particles,
+            classify_par: par,
+            ..Default::default()
+        };
+        let (wf, _) = eman_workflow(&cfg);
+        let (best, _) = WorkflowScheduler::default().schedule(&wf, &grid, &nws, &res);
+        let rr = schedule_round_robin(&wf, &grid, &nws, &res);
+        let greedy = schedule_greedy_ecost(&wf, &grid, &nws, &res);
+        let rnd_avg: f64 = (0..4)
+            .map(|s| schedule_random(&wf, &grid, &nws, &res, s).makespan)
+            .sum::<f64>()
+            / 4.0;
+        assert!(
+            best.makespan <= rr.makespan * 1.001,
+            "{particles}/{par}: {} vs rr {}",
+            best.makespan,
+            rr.makespan
+        );
+        assert!(
+            best.makespan <= greedy.makespan * 1.001,
+            "{particles}/{par}: {} vs greedy {}",
+            best.makespan,
+            greedy.makespan
+        );
+        assert!(
+            best.makespan < rnd_avg,
+            "{particles}/{par}: {} vs random {}",
+            best.makespan,
+            rnd_avg
+        );
+    }
+}
+
+#[test]
+fn predicted_and_emulated_makespans_agree() {
+    let grid = eman_grid();
+    let res = resources(&grid);
+    let nws = NwsService::new();
+    let cfg = EmanConfig {
+        n_particles: 10_000,
+        classify_par: 6,
+        align_par: 3,
+        ..Default::default()
+    };
+    let (wf, _) = eman_workflow(&cfg);
+    let (best, _) = WorkflowScheduler::default().schedule(&wf, &grid, &nws, &res);
+    let exec = execute_workflow(&grid, &wf, &best, &res);
+    let ratio = exec.makespan / best.makespan;
+    assert!(
+        (0.7..1.4).contains(&ratio),
+        "emulated {} vs predicted {} (ratio {ratio})",
+        exec.makespan,
+        best.makespan
+    );
+}
+
+#[test]
+fn heft_and_grads_both_beat_naive_on_eman() {
+    let grid = eman_grid();
+    let res = resources(&grid);
+    let nws = NwsService::new();
+    let (wf, _) = eman_workflow(&EmanConfig::default());
+    let (best, _) = WorkflowScheduler::default().schedule(&wf, &grid, &nws, &res);
+    let heft = schedule_heft(&wf, &grid, &nws, &res);
+    let rnd = schedule_random(&wf, &grid, &nws, &res, 99);
+    assert!(best.makespan < rnd.makespan);
+    assert!(heft.makespan < rnd.makespan);
+}
+
+#[test]
+fn rank_weights_change_placements() {
+    // The w1/w2 knobs must actually steer the tradeoff: with data cost
+    // weighted heavily, components co-locate with their producers.
+    let grid = eman_grid();
+    let res = resources(&grid);
+    let nws = NwsService::new();
+    let cfg = EmanConfig {
+        n_particles: 2_000,
+        ..Default::default()
+    };
+    let (wf, _) = eman_workflow(&cfg);
+    let mut data_heavy = WorkflowScheduler {
+        weights: RankWeights { w1: 0.05, w2: 10.0 },
+        ..Default::default()
+    };
+    let mut compute_heavy = WorkflowScheduler {
+        weights: RankWeights { w1: 10.0, w2: 0.05 },
+        ..Default::default()
+    };
+    let (s_data, _) = data_heavy.schedule(&wf, &grid, &nws, &res);
+    let (s_comp, _) = compute_heavy.schedule(&wf, &grid, &nws, &res);
+    let _ = (&mut data_heavy, &mut compute_heavy);
+    assert_ne!(
+        s_data.placement, s_comp.placement,
+        "weights had no effect on the schedule"
+    );
+}
+
+#[test]
+fn workflow_execution_respects_all_dependences() {
+    let grid = eman_grid();
+    let res = resources(&grid);
+    let nws = NwsService::new();
+    let cfg = EmanConfig {
+        n_particles: 3_000,
+        classify_par: 4,
+        align_par: 2,
+        ..Default::default()
+    };
+    let (wf, _) = eman_workflow(&cfg);
+    let (best, _) = WorkflowScheduler::default().schedule(&wf, &grid, &nws, &res);
+    let exec = execute_workflow(&grid, &wf, &best, &res);
+    for e in &wf.edges {
+        assert!(
+            exec.runs[e.to].start >= exec.runs[e.from].finish - 1e-9,
+            "{} started before {} finished",
+            wf.components[e.to].name,
+            wf.components[e.from].name
+        );
+    }
+}
