@@ -104,10 +104,7 @@ pub fn eman_workflow(cfg: &EmanConfig) -> (Workflow, EmanStages) {
     let proc3d = wf.add_component("proc3d", flat_model(20.0 * model, model, model));
 
     // project3d: generate nc projections of the model.
-    let project3d = wf.add_component(
-        "project3d",
-        flat_model(nc * 100.0 * img, model, nc * img),
-    );
+    let project3d = wf.add_component("project3d", flat_model(nc * 100.0 * img, model, nc * img));
     wf.add_edge(proc3d, project3d, model);
 
     // classesbymra: match every particle against every projection; split
@@ -155,26 +152,22 @@ pub fn eman_workflow(cfg: &EmanConfig) -> (Workflow, EmanStages) {
         let particles = np / cfg.align_par as f64;
         let c = wf.add_component(
             &format!("classalign2-{i}"),
-            flat_model(
-                particles * 200.0 * img,
-                particles * img,
-                classes * img,
-            ),
+            flat_model(particles * 200.0 * img, particles * img, classes * img),
         );
         // Every classifier chunk contributes particles to every class
         // group.
         for &cl in &classify {
-            wf.add_edge(cl, c, (np / cfg.classify_par as f64) * 16.0 + particles * img
-                / cfg.classify_par as f64);
+            wf.add_edge(
+                cl,
+                c,
+                (np / cfg.classify_par as f64) * 16.0 + particles * img / cfg.classify_par as f64,
+            );
         }
         align.push(c);
     }
 
     // make3d: reconstruct the refined model from the class averages.
-    let make3d = wf.add_component(
-        "make3d",
-        flat_model(nc * 500.0 * img, nc * img, model),
-    );
+    let make3d = wf.add_component("make3d", flat_model(nc * 500.0 * img, nc * img, model));
     for &a in &align {
         wf.add_edge(a, make3d, (nc / cfg.align_par as f64) * img);
     }
@@ -365,7 +358,12 @@ mod tests {
             .map(|s| schedule_random(&wf, &grid, &nws, &res, s).makespan)
             .sum::<f64>()
             / 5.0;
-        assert!(best.makespan < rr.makespan, "{} vs rr {}", best.makespan, rr.makespan);
+        assert!(
+            best.makespan < rr.makespan,
+            "{} vs rr {}",
+            best.makespan,
+            rr.makespan
+        );
         assert!(best.makespan < rnd, "{} vs rnd {}", best.makespan, rnd);
     }
 
@@ -412,9 +410,7 @@ mod tests {
         assert_eq!(levels.len(), 16);
         // Each round's proc3d depends on the previous round's make3d.
         for w in stages.windows(2) {
-            assert!(wf
-                .preds(w[1].proc3d)
-                .any(|e| e.from == w[0].make3d));
+            assert!(wf.preds(w[1].proc3d).any(|e| e.from == w[0].make3d));
         }
     }
 

@@ -185,45 +185,51 @@ pub fn run_ft_experiment(
             let progress_w = progress_m.clone();
             let lost_w = lost_m.clone();
             let ckpt_every = ecfg.ckpt_every_chunks.max(1);
-            launch_from(ctx, &format!("qr-ft-e{epoch}"), &hosts, epoch, move |rctx, comm| {
-                let restored = if srsw.has_checkpoint("A") {
-                    restore(rctx, comm, &cfgw, &srsw)
-                } else {
-                    None
-                };
-                let (mut local, start) = match restored {
-                    Some((l, s)) => (l, s),
-                    None => (QrLocal::generate(&cfgw, comm.rank(), comm.size()), 0),
-                };
-                if comm.rank() == 0 {
-                    // Work past the last checkpoint was lost.
-                    let cur = progress_w.lock().1;
-                    if cur > start {
-                        *lost_w.lock() += cur - start;
-                    }
-                }
-                let last = cfgw.n_real.saturating_sub(1);
-                let mut step = start;
-                let mut chunk_idx = 0usize;
-                while step < last {
-                    let end = (step + cfgw.poll_every.max(1)).min(last);
-                    for k in step..end {
-                        qr_step(rctx, comm, &cfgw, &mut local, k);
-                    }
-                    step = end;
-                    chunk_idx += 1;
+            launch_from(
+                ctx,
+                &format!("qr-ft-e{epoch}"),
+                &hosts,
+                epoch,
+                move |rctx, comm| {
+                    let restored = if srsw.has_checkpoint("A") {
+                        restore(rctx, comm, &cfgw, &srsw)
+                    } else {
+                        None
+                    };
+                    let (mut local, start) = match restored {
+                        Some((l, s)) => (l, s),
+                        None => (QrLocal::generate(&cfgw, comm.rank(), comm.size()), 0),
+                    };
                     if comm.rank() == 0 {
-                        let t = rctx.now();
-                        *progress_w.lock() = (t, step);
+                        // Work past the last checkpoint was lost.
+                        let cur = progress_w.lock().1;
+                        if cur > start {
+                            *lost_w.lock() += cur - start;
+                        }
                     }
-                    if chunk_idx.is_multiple_of(ckpt_every) && step < last {
-                        write_checkpoint(rctx, comm, &cfgw, &local, &srsw, step);
+                    let last = cfgw.n_real.saturating_sub(1);
+                    let mut step = start;
+                    let mut chunk_idx = 0usize;
+                    while step < last {
+                        let end = (step + cfgw.poll_every.max(1)).min(last);
+                        for k in step..end {
+                            qr_step(rctx, comm, &cfgw, &mut local, k);
+                        }
+                        step = end;
+                        chunk_idx += 1;
+                        if comm.rank() == 0 {
+                            let t = rctx.now();
+                            *progress_w.lock() = (t, step);
+                        }
+                        if chunk_idx.is_multiple_of(ckpt_every) && step < last {
+                            write_checkpoint(rctx, comm, &cfgw, &local, &srsw, step);
+                        }
                     }
-                }
-                if comm.rank() == 0 {
-                    *done_w.lock() = true;
-                }
-            });
+                    if comm.rank() == 0 {
+                        *done_w.lock() = true;
+                    }
+                },
+            );
             // Watch for completion or failure suspicion on the app hosts.
             let failed = loop {
                 ctx.sleep(ecfg.heartbeat_period);

@@ -132,10 +132,7 @@ pub fn jacobi_step(
                     + old[l * n + j + 1]);
         }
     }
-    comm.compute(
-        ctx,
-        (hi - lo) as f64 * (n - 2) as f64 * cfg.flops_per_cell,
-    );
+    comm.compute(ctx, (hi - lo) as f64 * (n - 2) as f64 * cfg.flops_per_cell);
     if me == 0 {
         ctx.trace("jacobi_iter", st.iter as f64);
     }
@@ -265,10 +262,7 @@ mod tests {
             let par = run_parallel(p, &cfg);
             assert_eq!(par.len(), serial.len(), "p = {p}");
             for (k, (a, b)) in par.iter().zip(&serial).enumerate() {
-                assert!(
-                    (a - b).abs() < 1e-12,
-                    "p = {p}, cell {k}: {a} vs {b}"
-                );
+                assert!((a - b).abs() < 1e-12, "p = {p}, cell {k}: {a} vs {b}");
             }
         }
     }
@@ -331,6 +325,9 @@ mod tests {
         eng2.run();
         let a = *checksum.lock();
         let b = *checksum2.lock();
-        assert!((a - b).abs() < 1e-9, "swap changed the numerics: {a} vs {b}");
+        assert!(
+            (a - b).abs() < 1e-9,
+            "swap changed the numerics: {a} vs {b}"
+        );
     }
 }

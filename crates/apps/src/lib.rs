@@ -19,8 +19,16 @@ pub use eman::{eman_grid, eman_refinement_loop, eman_workflow, EmanConfig, EmanS
 pub use ft_driver::{run_ft_experiment, FtExperimentConfig, FtExperimentResult};
 pub use jacobi::{jacobi_serial, jacobi_step, JacobiConfig, JacobiState};
 pub use lu::{lu_flops, run_lu_rank, LuConfig, LuLocal, LuOutcome};
-pub use nbody::{nbody_step, run_nbody_experiment, NbodyConfig, NbodyExperimentConfig, NbodyExperimentResult, NbodyState};
-pub use opportunistic_driver::{run_opportunistic_experiment, OppExperimentConfig, OppExperimentResult};
-pub use psa::{execute_psa, generate as generate_psa, schedule_psa, PsaConfig, PsaSchedule, PsaStrategy, PsaWorkload};
+pub use nbody::{
+    nbody_step, run_nbody_experiment, NbodyConfig, NbodyExperimentConfig, NbodyExperimentResult,
+    NbodyState,
+};
+pub use opportunistic_driver::{
+    run_opportunistic_experiment, OppExperimentConfig, OppExperimentResult,
+};
+pub use psa::{
+    execute_psa, generate as generate_psa, schedule_psa, PsaConfig, PsaSchedule, PsaStrategy,
+    PsaWorkload,
+};
 pub use qr::{qr_flops, run_qr_rank, QrConfig, QrLocal, QrOutcome};
 pub use qr_driver::{run_qr_experiment, QrCop, QrExperimentConfig, QrExperimentResult, QrRunning};

@@ -196,12 +196,7 @@ pub fn checkpoint(
         8.0 * (cfg.n_nominal as f64).powi(2),
     );
     if comm.rank() == 0 {
-        srs.store_value(
-            ctx,
-            "ipiv",
-            local.ipiv.clone(),
-            8.0 * cfg.n_nominal as f64,
-        );
+        srs.store_value(ctx, "ipiv", local.ipiv.clone(), 8.0 * cfg.n_nominal as f64);
         srs.store_value(ctx, "lu_step", step as u64, 8.0);
     }
     srs.rss.ack_stop();

@@ -187,7 +187,13 @@ pub fn nbody_step(ctx: &mut Ctx, comm: &mut Comm, cfg: &NbodyConfig, st: &mut Nb
         let bytes = 24.0 * (hi - lo) as f64;
         for r in 0..p {
             if r != comm.rank() {
-                comm.isend(ctx, r, tag, bytes, Box::new((comm.rank(), my_slice.clone())));
+                comm.isend(
+                    ctx,
+                    r,
+                    tag,
+                    bytes,
+                    Box::new((comm.rank(), my_slice.clone())),
+                );
             }
         }
         for _ in 0..p - 1 {

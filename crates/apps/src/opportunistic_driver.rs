@@ -132,52 +132,58 @@ pub fn run_opportunistic_experiment(
             let srsw = srs.clone();
             let done_w = done_m.clone();
             let history_w = history_m.clone();
-            launch_from(ctx, &format!("qr-opp-e{epoch}"), &hosts, epoch, move |rctx, comm| {
-                let restored = if srsw.has_checkpoint("A") {
-                    restore(rctx, comm, &cfgw, &srsw)
-                } else {
-                    None
-                };
-                let (mut local, start) = match restored {
-                    Some((l, s)) => (l, s),
-                    None => (QrLocal::generate(&cfgw, comm.rank(), comm.size()), 0),
-                };
-                if comm.rank() == 0 {
-                    let t = rctx.now();
-                    history_w.lock().push((t, start));
-                }
-                let last = cfgw.n_real.saturating_sub(1);
-                let mut step = start;
-                while step < last {
-                    let end = (step + cfgw.poll_every.max(1)).min(last);
-                    // Collective stop check at the chunk boundary.
-                    let stop = if comm.size() > 1 {
-                        comm.bcast_t(
-                            rctx,
-                            0,
-                            16.0,
-                            (comm.rank() == 0).then(|| srsw.should_stop() && step > start),
-                        )
+            launch_from(
+                ctx,
+                &format!("qr-opp-e{epoch}"),
+                &hosts,
+                epoch,
+                move |rctx, comm| {
+                    let restored = if srsw.has_checkpoint("A") {
+                        restore(rctx, comm, &cfgw, &srsw)
                     } else {
-                        srsw.should_stop() && step > start
+                        None
                     };
-                    if stop {
-                        crate::qr::checkpoint(rctx, comm, &cfgw, &local, &srsw, step);
-                        return;
-                    }
-                    for k in step..end {
-                        qr_step(rctx, comm, &cfgw, &mut local, k);
-                    }
-                    step = end;
+                    let (mut local, start) = match restored {
+                        Some((l, s)) => (l, s),
+                        None => (QrLocal::generate(&cfgw, comm.rank(), comm.size()), 0),
+                    };
                     if comm.rank() == 0 {
                         let t = rctx.now();
-                        history_w.lock().push((t, step));
+                        history_w.lock().push((t, start));
                     }
-                }
-                if comm.rank() == 0 {
-                    *done_w.lock() = true;
-                }
-            });
+                    let last = cfgw.n_real.saturating_sub(1);
+                    let mut step = start;
+                    while step < last {
+                        let end = (step + cfgw.poll_every.max(1)).min(last);
+                        // Collective stop check at the chunk boundary.
+                        let stop = if comm.size() > 1 {
+                            comm.bcast_t(
+                                rctx,
+                                0,
+                                16.0,
+                                (comm.rank() == 0).then(|| srsw.should_stop() && step > start),
+                            )
+                        } else {
+                            srsw.should_stop() && step > start
+                        };
+                        if stop {
+                            crate::qr::checkpoint(rctx, comm, &cfgw, &local, &srsw, step);
+                            return;
+                        }
+                        for k in step..end {
+                            qr_step(rctx, comm, &cfgw, &mut local, k);
+                        }
+                        step = end;
+                        if comm.rank() == 0 {
+                            let t = rctx.now();
+                            history_w.lock().push((t, step));
+                        }
+                    }
+                    if comm.rank() == 0 {
+                        *done_w.lock() = true;
+                    }
+                },
+            );
 
             // Opportunistic polling loop: watch for freed resources.
             let migrate_to: Option<Vec<HostId>> = loop {
@@ -286,7 +292,11 @@ mod tests {
         let t = r.migrated_at.unwrap();
         assert!(t >= 200.0, "migration after B finished: {t}");
         // Final hosts are in the fast cluster.
-        assert!(r.final_hosts.iter().all(|h| fast.contains(h)), "{:?}", r.final_hosts);
+        assert!(
+            r.final_hosts.iter().all(|h| fast.contains(h)),
+            "{:?}",
+            r.final_hosts
+        );
     }
 
     #[test]

@@ -413,7 +413,11 @@ mod tests {
         for s in PsaStrategy::all() {
             let sched = schedule_psa(&wl, &grid, &nws, &hosts, storage, s);
             assert_eq!(sched.assignment.len(), wl.tasks.len());
-            assert!(sched.assignment.iter().all(|&a| a < hosts.len()), "{}", s.name());
+            assert!(
+                sched.assignment.iter().all(|&a| a < hosts.len()),
+                "{}",
+                s.name()
+            );
             assert!(sched.makespan > 0.0);
         }
     }
@@ -424,7 +428,11 @@ mod tests {
         let nws = NwsService::new();
         let wl = generate(&PsaConfig::default());
         let rr = schedule_psa(&wl, &grid, &nws, &hosts, storage, PsaStrategy::RoundRobin);
-        for s in [PsaStrategy::MinMin, PsaStrategy::Sufferage, PsaStrategy::XSufferage] {
+        for s in [
+            PsaStrategy::MinMin,
+            PsaStrategy::Sufferage,
+            PsaStrategy::XSufferage,
+        ] {
             let sched = schedule_psa(&wl, &grid, &nws, &hosts, storage, s);
             assert!(
                 sched.makespan <= rr.makespan * 1.05,

@@ -594,7 +594,10 @@ mod tests {
             let err2 = err.clone();
             launch(&mut eng, "qr2", &hs, move |ctx, comm| {
                 let (mut local, step) = restore(ctx, comm, &cfg2, &srs2).expect("checkpoint");
-                assert_eq!(local.a.len(), local.dist.local_len(comm.rank()) * cfg2.n_real);
+                assert_eq!(
+                    local.a.len(),
+                    local.dist.local_len(comm.rank()) * cfg2.n_real
+                );
                 let out = run_qr_rank(ctx, comm, &cfg2, &mut local, Some(&srs2), step);
                 assert_eq!(out, QrOutcome::Completed);
                 if let Some((packed, tau)) = gather_factors(ctx, comm, &cfg2, &local) {

@@ -356,9 +356,8 @@ pub fn run_qr_experiment(grid: Grid, ecfg: QrExperimentConfig) -> QrExperimentRe
         let mut migrated = false;
         loop {
             // -------- prepare: discover, map, model, bind, start --------
-            let (chosen, _bound, bd) =
-                prepare_and_bind(ctx, &cop, &gis, &grid2, &nws, &ecfg.costs)
-                    .expect("preparation succeeds");
+            let (chosen, _bound, bd) = prepare_and_bind(ctx, &cop, &gis, &grid2, &nws, &ecfg.costs)
+                .expect("preparation succeeds");
             {
                 let mut b = breakdown_m.lock();
                 *b = b.merged(&bd);
@@ -413,7 +412,13 @@ pub fn run_qr_experiment(grid: Grid, ecfg: QrExperimentConfig) -> QrExperimentRe
                     loop {
                         let chunk_end = (step + cfgw.poll_every.max(1)).min(last);
                         match run_chunk(
-                            rctx, comm, &cfgw, &mut local, Some(&srsw), step, chunk_end,
+                            rctx,
+                            comm,
+                            &cfgw,
+                            &mut local,
+                            Some(&srsw),
+                            step,
+                            chunk_end,
                             comm_weight,
                         ) {
                             ChunkOutcome::Progressed(next) => {
@@ -489,8 +494,7 @@ pub fn run_qr_experiment(grid: Grid, ecfg: QrExperimentConfig) -> QrExperimentRe
                     // a migration, or the last one taken if none did.
                     {
                         let mut f = final3.lock();
-                        let already_migrating =
-                            matches!(&*f, Some(prev) if prev.migrate);
+                        let already_migrating = matches!(&*f, Some(prev) if prev.migrate);
                         if !already_migrating {
                             *f = Some(d.clone());
                         }
@@ -511,10 +515,14 @@ pub fn run_qr_experiment(grid: Grid, ecfg: QrExperimentConfig) -> QrExperimentRe
             let period = ecfg.monitor_period;
             let mon_contract = contract.clone();
             let mon_handler = handler.clone();
-            ctx.spawn(&format!("contract-monitor-e{epoch}"), mgr_host, move |mctx| {
-                let mut mon = ContractMonitor::new(mon_contract);
-                run_contract_monitor(mctx, &stats, &mut mon, period, mon_done, mon_handler);
-            });
+            ctx.spawn(
+                &format!("contract-monitor-e{epoch}"),
+                mgr_host,
+                move |mctx| {
+                    let mut mon = ContractMonitor::new(mon_contract);
+                    run_contract_monitor(mctx, &stats, &mut mon, period, mon_done, mon_handler);
+                },
+            );
 
             // -------- wait for completion or stop --------
             loop {
@@ -615,8 +623,7 @@ fn run_chunk(
     let n = cfg.n_real as f64;
     let flops_frac = ((n - start as f64) / n).powi(3) - ((n - end as f64) / n).powi(3);
     let bytes_frac = ((n - start as f64) / n).powi(2) - ((n - end as f64) / n).powi(2);
-    let frac =
-        ((1.0 - comm_weight) * flops_frac + comm_weight * bytes_frac).max(1e-9);
+    let frac = ((1.0 - comm_weight) * flops_frac + comm_weight * bytes_frac).max(1e-9);
     // Sensor on rank 0 only: its report lands at the same virtual instant
     // as its progress-history push, so the rescheduler always sees a
     // measurable rate when a violation arrives.

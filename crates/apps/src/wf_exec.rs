@@ -48,8 +48,7 @@ pub fn execute_workflow(
     resources: &[ResourceInfo],
 ) -> ExecutionResult {
     let mut eng = Engine::new(grid.clone());
-    let runs: Arc<Mutex<Vec<Option<ComponentRun>>>> =
-        Arc::new(Mutex::new(vec![None; wf.len()]));
+    let runs: Arc<Mutex<Vec<Option<ComponentRun>>>> = Arc::new(Mutex::new(vec![None; wf.len()]));
     let exec_id = 0xE1EC_u64;
     for c in 0..wf.len() {
         let res = resources[schedule.placement[c]].clone();
@@ -149,12 +148,8 @@ pub fn execute_workflow_online(
             }
             let mut data_ready = 0.0f64;
             for e in wf.preds(c) {
-                let tt = nws.transfer_time(
-                    grid,
-                    resources[placement[e.from]].host,
-                    res.host,
-                    e.bytes,
-                );
+                let tt =
+                    nws.transfer_time(grid, resources[placement[e.from]].host, res.host, e.bytes);
                 data_ready = data_ready.max(finish[e.from] + tt);
             }
             let start = ready[r].max(data_ready);
@@ -229,7 +224,11 @@ mod tests {
         let exec = execute_workflow(&grid, &wf, &sched, &resources);
         assert!(exec.runs[1].start >= exec.runs[0].finish);
         // a: 1 s, b: 2 s, plus a small transfer.
-        assert!(exec.makespan >= 3.0 && exec.makespan < 3.2, "{}", exec.makespan);
+        assert!(
+            exec.makespan >= 3.0 && exec.makespan < 3.2,
+            "{}",
+            exec.makespan
+        );
     }
 
     #[test]
@@ -245,7 +244,11 @@ mod tests {
         let (sched, _) = WorkflowScheduler::default().schedule(&wf, &grid, &nws, &resources);
         let exec = execute_workflow(&grid, &wf, &sched, &resources);
         // Perfect serial time would be 1 + 4×2 = 9 s; parallel ≈ 3 s.
-        assert!(exec.makespan < 4.0, "fan did not parallelize: {}", exec.makespan);
+        assert!(
+            exec.makespan < 4.0,
+            "fan did not parallelize: {}",
+            exec.makespan
+        );
     }
 
     #[test]
@@ -263,7 +266,12 @@ mod tests {
         let o_exec = execute_workflow_online(&grid, &wf, &resources, &nws);
         // On a stationary grid both approaches land close together.
         let rel = (o_exec.makespan - s_exec.makespan).abs() / s_exec.makespan;
-        assert!(rel < 0.3, "online {} vs static {}", o_exec.makespan, s_exec.makespan);
+        assert!(
+            rel < 0.3,
+            "online {} vs static {}",
+            o_exec.makespan,
+            s_exec.makespan
+        );
         // And both respect dependences.
         for e in wf.edges.iter() {
             assert!(o_exec.runs[e.to].start >= o_exec.runs[e.from].finish - 1e-9);

@@ -123,11 +123,8 @@ fn bench_qr_end_to_end(c: &mut Criterion) {
                 let mut eng = Engine::new(gb.build().unwrap());
                 let cfg = grads_core::apps::QrConfig::full(48, 4);
                 launch(&mut eng, "qr", &hs, move |ctx, comm| {
-                    let mut local = grads_core::apps::QrLocal::generate(
-                        &cfg,
-                        comm.rank(),
-                        comm.size(),
-                    );
+                    let mut local =
+                        grads_core::apps::QrLocal::generate(&cfg, comm.rank(), comm.size());
                     grads_core::apps::run_qr_rank(ctx, comm, &cfg, &mut local, None, 0);
                 });
                 eng
@@ -161,11 +158,8 @@ fn bench_lu_end_to_end(c: &mut Criterion) {
                 let mut eng = Engine::new(gb.build().unwrap());
                 let cfg = grads_core::apps::LuConfig::full(48, 4);
                 launch(&mut eng, "lu", &hs, move |ctx, comm| {
-                    let mut local = grads_core::apps::LuLocal::generate(
-                        &cfg,
-                        comm.rank(),
-                        comm.size(),
-                    );
+                    let mut local =
+                        grads_core::apps::LuLocal::generate(&cfg, comm.rank(), comm.size());
                     grads_core::apps::run_lu_rank(ctx, comm, &cfg, &mut local, None, 0);
                 });
                 eng
@@ -218,7 +212,11 @@ connect UTK UIUC 4e6 0.030
 
 fn bench_economy(c: &mut Criterion) {
     use grads_core::sched::{CommodityMarket, Consumer, Producer};
-    let producers: Vec<Producer> = (0..16).map(|i| Producer { capacity: 10.0 + i as f64 }).collect();
+    let producers: Vec<Producer> = (0..16)
+        .map(|i| Producer {
+            capacity: 10.0 + i as f64,
+        })
+        .collect();
     let consumers: Vec<Consumer> = (0..64)
         .map(|i| Consumer {
             budget: 10.0 + (i % 13) as f64 * 5.0,

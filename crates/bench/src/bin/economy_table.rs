@@ -16,7 +16,10 @@ fn scenario(name: &str, producers: Vec<Producer>, consumers: Vec<Consumer>) {
     let tail = &eq.price_history[eq.price_history.len().saturating_sub(3)..];
     let auction = auction_allocate(&producers, &consumers);
     let auction_sold: f64 = auction.allocations.iter().sum();
-    println!("{name} (supply {supply:.0} slots, {} consumers):", consumers.len());
+    println!(
+        "{name} (supply {supply:.0} slots, {} consumers):",
+        consumers.len()
+    );
     println!(
         "  commodities market: price {:>7.3}  utilization {:>5.1}%  fairness {:.3}  volatility {:.4}  ({} iters{})",
         eq.price,
@@ -42,9 +45,18 @@ fn main() {
         "balanced",
         vec![Producer { capacity: 50.0 }, Producer { capacity: 50.0 }],
         vec![
-            Consumer { budget: 100.0, max_demand: 50.0 },
-            Consumer { budget: 100.0, max_demand: 50.0 },
-            Consumer { budget: 100.0, max_demand: 50.0 },
+            Consumer {
+                budget: 100.0,
+                max_demand: 50.0,
+            },
+            Consumer {
+                budget: 100.0,
+                max_demand: 50.0,
+            },
+            Consumer {
+                budget: 100.0,
+                max_demand: 50.0,
+            },
         ],
     );
     scenario(
@@ -61,8 +73,14 @@ fn main() {
         "under-subscribed",
         vec![Producer { capacity: 500.0 }],
         vec![
-            Consumer { budget: 10.0, max_demand: 30.0 },
-            Consumer { budget: 10.0, max_demand: 20.0 },
+            Consumer {
+                budget: 10.0,
+                max_demand: 30.0,
+            },
+            Consumer {
+                budget: 10.0,
+                max_demand: 20.0,
+            },
         ],
     );
     println!("shape to check (per G-commerce): both formulations allocate scarce capacity");

@@ -10,8 +10,7 @@ use grads_core::apps::{eman_grid, eman_workflow, EmanConfig};
 use grads_core::nws::NwsService;
 use grads_core::perf::ResourceInfo;
 use grads_core::sched::{
-    schedule_greedy_ecost, schedule_heft, schedule_random, schedule_round_robin,
-    WorkflowScheduler,
+    schedule_greedy_ecost, schedule_heft, schedule_random, schedule_round_robin, WorkflowScheduler,
 };
 use grads_core::sim::prelude::*;
 

@@ -37,8 +37,18 @@ fn main() {
     let sizes = [6000usize, 8000, 10000, 11000, 12000, 14000, 16000];
     let mut summary = Vec::new();
     for &n in &sizes {
-        let stay = run(n, n_real, ReschedulerMode::ForceStay, OverheadPolicy::Modeled);
-        let go = run(n, n_real, ReschedulerMode::ForceMigrate, OverheadPolicy::Modeled);
+        let stay = run(
+            n,
+            n_real,
+            ReschedulerMode::ForceStay,
+            OverheadPolicy::Modeled,
+        );
+        let go = run(
+            n,
+            n_real,
+            ReschedulerMode::ForceMigrate,
+            OverheadPolicy::Modeled,
+        );
         let dflt = run(n, n_real, ReschedulerMode::Default, OverheadPolicy::Modeled);
         let worst = run(
             n,
@@ -46,8 +56,14 @@ fn main() {
             ReschedulerMode::Default,
             OverheadPolicy::WorstCase(900.0),
         );
-        println!("{}", breakdown_row(&format!("N={n} no-resched"), &stay.breakdown));
-        println!("{}", breakdown_row(&format!("N={n} resched"), &go.breakdown));
+        println!(
+            "{}",
+            breakdown_row(&format!("N={n} no-resched"), &stay.breakdown)
+        );
+        println!(
+            "{}",
+            breakdown_row(&format!("N={n} resched"), &go.breakdown)
+        );
 
         let best_is_migrate = go.total_time < stay.total_time * 0.98;
         let tie = (go.total_time - stay.total_time).abs() < 0.02 * stay.total_time;
@@ -68,7 +84,13 @@ fn main() {
             if worst.migrated { "migrate" } else { "stay" },
             judge(worst.migrated),
         );
-        summary.push((n, stay.total_time, go.total_time, dflt.migrated, worst.migrated));
+        summary.push((
+            n,
+            stay.total_time,
+            go.total_time,
+            dflt.migrated,
+            worst.migrated,
+        ));
         println!();
     }
 

@@ -33,7 +33,12 @@ fn random_grid(rng: &mut StdRng) -> Grid {
         ids.push(id);
     }
     for w in ids.windows(2) {
-        b.connect(w[0], w[1], rng.gen_range(2e6..5e7), rng.gen_range(0.005..0.05));
+        b.connect(
+            w[0],
+            w[1],
+            rng.gen_range(2e6..5e7),
+            rng.gen_range(0.005..0.05),
+        );
     }
     b.build().expect("random topology")
 }
@@ -107,7 +112,11 @@ fn main() {
         let sched = WorkflowScheduler::default();
         let mut makespans = Vec::new();
         for h in Heuristic::all() {
-            makespans.push(sched.schedule_with(h, &wf, &grid, &nws, &resources).makespan);
+            makespans.push(
+                sched
+                    .schedule_with(h, &wf, &grid, &nws, &resources)
+                    .makespan,
+            );
         }
         let best3 = makespans.iter().copied().fold(f64::INFINITY, f64::min);
         makespans.push(best3);

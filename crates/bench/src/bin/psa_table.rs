@@ -62,7 +62,11 @@ fn main() {
         ..Default::default()
     };
     let wl = generate(&cfg);
-    for strategy in [PsaStrategy::XSufferage, PsaStrategy::MinMin, PsaStrategy::RoundRobin] {
+    for strategy in [
+        PsaStrategy::XSufferage,
+        PsaStrategy::MinMin,
+        PsaStrategy::RoundRobin,
+    ] {
         let sched = schedule_psa(&wl, &grid, &nws, &hosts, storage, strategy);
         let measured = execute_psa(&grid, &wl, &sched, &hosts, storage);
         println!(

@@ -90,7 +90,10 @@ fn main() {
     let runs = [
         run(microgrid_nbody(), "builder (reference)"),
         run(parse_dml(MICROGRID_DML).expect("valid DML"), "DML-parsed"),
-        run(parse_dml(PERTURBED_DML).expect("valid DML"), "perturbed ±10%"),
+        run(
+            parse_dml(PERTURBED_DML).expect("valid DML"),
+            "perturbed ±10%",
+        ),
     ];
     for (label, swap_t, swaps, end) in &runs {
         println!("{label:<22} {swap_t:>10.1} {swaps:>8} {end:>14.1}");
@@ -104,8 +107,11 @@ fn main() {
     println!();
     if n0 == n2 && (t0 - t2).abs() < 60.0 && (e0 - e2).abs() / e0 < 0.25 {
         println!("VALIDATED: identical decisions from the DML description; the perturbed");
-        println!("grid makes the same swap within {:.0} s and completes within {:.0}%.",
-            (t0 - t2).abs(), (e0 - e2).abs() / e0 * 100.0);
+        println!(
+            "grid makes the same swap within {:.0} s and completes within {:.0}%.",
+            (t0 - t2).abs(),
+            (e0 - e2).abs() / e0 * 100.0
+        );
     } else {
         println!("WARNING: decisions diverged under perturbation — inspect before trusting");
         println!("emulation-derived conclusions at this parameter scale.");

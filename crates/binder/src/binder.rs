@@ -52,7 +52,8 @@ impl CompilationPackage {
 
     /// Require at least `version` of `lib` on every scheduled host.
     pub fn require_version(mut self, lib: &str, version: &str) -> Self {
-        self.min_versions.push((lib.to_string(), version.to_string()));
+        self.min_versions
+            .push((lib.to_string(), version.to_string()));
         self
     }
 }
@@ -303,14 +304,16 @@ mod tests {
         let out2 = out.clone();
         let hs2 = hs.clone();
         eng.spawn("manager", hs[0], move |ctx| {
-            let pkg = CompilationPackage::new("qr", &["scalapack"])
-                .require_version("scalapack", "1.7");
+            let pkg =
+                CompilationPackage::new("qr", &["scalapack"]).require_version("scalapack", "1.7");
             *out2.lock() = Some(run_binder(ctx, &gis, &grid, &pkg, &hs2));
         });
         eng.run();
         let got = out.lock().clone().unwrap();
         match got {
-            Err(BinderError::VersionTooOld { host, have, want, .. }) => {
+            Err(BinderError::VersionTooOld {
+                host, have, want, ..
+            }) => {
                 assert_eq!(host, hs[1]);
                 assert_eq!(have, "1.6");
                 assert_eq!(want, "1.7");

@@ -105,11 +105,7 @@ impl Gis {
         let mut out: Vec<HostId> = inner
             .software
             .iter()
-            .filter(|(_, recs)| {
-                names
-                    .iter()
-                    .all(|n| recs.iter().any(|r| &r.name == n))
-            })
+            .filter(|(_, recs)| names.iter().all(|n| recs.iter().any(|r| &r.name == n)))
             .map(|(&h, _)| h)
             .collect();
         out.sort();

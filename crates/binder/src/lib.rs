@@ -11,6 +11,8 @@ pub mod binder;
 pub mod gis;
 pub mod manager;
 
-pub use binder::{run_binder, version_at_least, BinderError, BoundApp, CompilationPackage, LOCAL_BINDER};
+pub use binder::{
+    run_binder, version_at_least, BinderError, BoundApp, CompilationPackage, LOCAL_BINDER,
+};
 pub use gis::{Gis, HardwareRecord, SoftwareRecord, GIS_QUERY_COST};
 pub use manager::{prepare_and_bind, Breakdown, Cop, ManagerCosts, ManagerError};

@@ -166,8 +166,7 @@ pub fn prepare_and_bind(
 
     // Grid overhead: the binder.
     let t2 = ctx.now();
-    let bound = run_binder(ctx, gis, grid, &cop.package(), &hosts)
-        .map_err(ManagerError::Binder)?;
+    let bound = run_binder(ctx, gis, grid, &cop.package(), &hosts).map_err(ManagerError::Binder)?;
     bd.grid_overhead = ctx.now() - t2;
 
     // Application start: launch synchronization (the binder returns
@@ -233,14 +232,7 @@ mod tests {
         let out = Arc::new(Mutex::new(None));
         let out2 = out.clone();
         eng.spawn("manager", hs[0], move |ctx| {
-            let r = prepare_and_bind(
-                ctx,
-                &ToyCop,
-                &gis,
-                &grid,
-                &nws,
-                &ManagerCosts::default(),
-            );
+            let r = prepare_and_bind(ctx, &ToyCop, &gis, &grid, &nws, &ManagerCosts::default());
             *out2.lock() = Some(r);
         });
         eng.run();

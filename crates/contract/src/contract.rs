@@ -113,10 +113,7 @@ impl ContractMonitor {
         };
         self.observations += 1;
         let ratio = actual / predicted;
-        let window = self
-            .ratios
-            .entry(phase.to_string())
-            .or_default();
+        let window = self.ratios.entry(phase.to_string()).or_default();
         window.push_back(ratio);
         if window.len() > self.contract.window {
             window.pop_front();
@@ -256,7 +253,11 @@ mod tests {
         let mut m = monitor(1.5, 0.7, 3);
         let mut renegotiated = false;
         for _ in 0..6 {
-            if let Outcome::Renegotiated { new_upper, new_lower } = m.observe("iter", 0.4) {
+            if let Outcome::Renegotiated {
+                new_upper,
+                new_lower,
+            } = m.observe("iter", 0.4)
+            {
                 assert!(new_upper < 1.5);
                 assert!(new_lower < 0.7);
                 renegotiated = true;

@@ -113,9 +113,7 @@ mod tests {
         let mstats = vec![stats];
         let done: DonePredicate = Arc::new(move || *app_done.lock());
         eng.spawn("monitor", hs[1], move |ctx| {
-            let mut mon = ContractMonitor::new(Contract::single_phase(
-                "iter", 0.1, 1.5, 0.5, 3,
-            ));
+            let mut mon = ContractMonitor::new(Contract::single_phase("iter", 0.1, 1.5, 0.5, 3));
             let handler: ViolationHandler = Arc::new(move |_ctx, v| {
                 violated2.lock().push(v.avg_ratio);
                 Response::Declined
@@ -129,7 +127,11 @@ mod tests {
         assert!(!r.trace.series("contract_violation").is_empty());
         // After Declined + relax, violations should not repeat forever:
         // far fewer violations than iterations.
-        assert!(vs.len() < 10, "relaxation should damp repeats: {}", vs.len());
+        assert!(
+            vs.len() < 10,
+            "relaxation should damp repeats: {}",
+            vs.len()
+        );
     }
 
     #[test]
@@ -145,9 +147,7 @@ mod tests {
             *done2.lock() = true;
         });
         eng.spawn("monitor", hs[0], move |ctx| {
-            let mut mon = ContractMonitor::new(Contract::single_phase(
-                "iter", 1.0, 1.5, 0.5, 3,
-            ));
+            let mut mon = ContractMonitor::new(Contract::single_phase("iter", 1.0, 1.5, 0.5, 3));
             let pred: DonePredicate = Arc::new(move || *done.lock());
             let handler: ViolationHandler = Arc::new(|_, _| Response::Declined);
             run_contract_monitor(ctx, &[], &mut mon, 0.5, pred, handler);
@@ -172,9 +172,7 @@ mod tests {
             }
         });
         eng.spawn("monitor", hs[0], move |ctx| {
-            let mut mon = ContractMonitor::new(Contract::single_phase(
-                "iter", 0.1, 1.5, 0.5, 2,
-            ));
+            let mut mon = ContractMonitor::new(Contract::single_phase("iter", 0.1, 1.5, 0.5, 2));
             let pred: DonePredicate = Arc::new(|| false); // never "done"
             let handler: ViolationHandler = Arc::new(|_, _| Response::Migrated);
             run_contract_monitor(ctx, &[stats], &mut mon, 0.3, pred, handler);

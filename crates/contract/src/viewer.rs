@@ -184,15 +184,13 @@ mod tests {
 
     #[test]
     fn markers_stay_in_bounds() {
-        let tr = trace_with(&[
-            (
-                1e6,
-                TraceKind::Custom {
-                    label: "swap".into(),
-                    value: 0.0,
-                },
-            ),
-        ]);
+        let tr = trace_with(&[(
+            1e6,
+            TraceKind::Custom {
+                label: "swap".into(),
+                value: 0.0,
+            },
+        )]);
         let s = render_timeline(&tr, 30);
         assert!(s.lines().next().unwrap().contains('S'));
     }

@@ -34,9 +34,9 @@ pub use grads_srs as srs;
 /// The names most GrADS programs need.
 pub mod prelude {
     pub use grads_apps::{
-        eman_grid, eman_workflow, run_ft_experiment, run_nbody_experiment,
-        run_qr_experiment, EmanConfig, FtExperimentConfig, JacobiConfig, LuConfig,
-        NbodyConfig, NbodyExperimentConfig, PsaConfig, QrConfig, QrExperimentConfig,
+        eman_grid, eman_workflow, run_ft_experiment, run_nbody_experiment, run_qr_experiment,
+        EmanConfig, FtExperimentConfig, JacobiConfig, LuConfig, NbodyConfig, NbodyExperimentConfig,
+        PsaConfig, QrConfig, QrExperimentConfig,
     };
     pub use grads_binder::{prepare_and_bind, Breakdown, Cop, Gis, ManagerCosts};
     pub use grads_contract::{
@@ -45,15 +45,14 @@ pub mod prelude {
     pub use grads_mpi::{launch, BlockCyclic, Comm, RankStats, SwapWorld};
     pub use grads_nws::{Ensemble, NwsService};
     pub use grads_perf::{
-        ComponentModel, FittedModel, MrdModel, OpCountModel, PerfMatrix, RankWeights,
-        ResourceInfo,
+        ComponentModel, FittedModel, MrdModel, OpCountModel, PerfMatrix, RankWeights, ResourceInfo,
     };
     pub use grads_reschedule::{
         MigrationRescheduler, OverheadPolicy, Reschedulable, ReschedulerMode, SwapPolicy,
     };
     pub use grads_sched::{
-        makespan_lower_bound, CommodityMarket, Consumer, Heuristic, Producer, Schedule,
-        Workflow, WorkflowScheduler,
+        makespan_lower_bound, CommodityMarket, Consumer, Heuristic, Producer, Schedule, Workflow,
+        WorkflowScheduler,
     };
     pub use grads_sim::dml::parse_dml;
     pub use grads_sim::prelude::*;

@@ -71,7 +71,11 @@ impl Comm {
         bytes_per_elem: f64,
         data: Vec<T>,
     ) -> Vec<T> {
-        assert_eq!(self.size(), data.len(), "alltoall needs one element per rank");
+        assert_eq!(
+            self.size(),
+            data.len(),
+            "alltoall needs one element per rank"
+        );
         let me = self.rank();
         let mut out: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
         for (d, v) in data.into_iter().enumerate() {
@@ -87,7 +91,9 @@ impl Comm {
             }
             out[s] = Some(self.recv_t::<T>(ctx, s, TAG_A2A));
         }
-        out.into_iter().map(|o| o.expect("element received")).collect()
+        out.into_iter()
+            .map(|o| o.expect("element received"))
+            .collect()
     }
 
     /// Paired exchange with one peer: sends `value` to `peer` and receives
@@ -161,8 +167,7 @@ mod tests {
         let (g, hs) = grid(5);
         let mut eng = Engine::new(g);
         launch(&mut eng, "a2a", &hs, |ctx, comm| {
-            let data: Vec<(usize, usize)> =
-                (0..comm.size()).map(|d| (comm.rank(), d)).collect();
+            let data: Vec<(usize, usize)> = (0..comm.size()).map(|d| (comm.rank(), d)).collect();
             let got = comm.alltoall_t(ctx, 16.0, data);
             for (s, &(src, dst)) in got.iter().enumerate() {
                 assert_eq!(src, s, "element from rank {s}");

@@ -140,14 +140,7 @@ impl Comm {
         } else {
             0
         };
-        mail_key(&[
-            self.world,
-            self.epoch,
-            src as u64,
-            dst as u64,
-            tag,
-            seq,
-        ])
+        mail_key(&[self.world, self.epoch, src as u64, dst as u64, tag, seq])
     }
 
     /// Send `bytes` to logical rank `dst` with `tag`; eager below the

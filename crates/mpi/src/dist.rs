@@ -55,9 +55,7 @@ impl BlockCyclic {
         let cycle = self.block * self.p;
         let full_cycles = self.n / cycle;
         let rem = self.n % cycle;
-        let extra = rem
-            .saturating_sub(rank * self.block)
-            .min(self.block);
+        let extra = rem.saturating_sub(rank * self.block).min(self.block);
         full_cycles * self.block + extra
     }
 
@@ -83,10 +81,7 @@ impl BlockCyclic {
             let dst_end = (g / to.block + 1) * to.block;
             let end = src_end.min(dst_end).min(self.n);
             let (src, dst) = (self.owner(g), to.owner(g));
-            match map
-                .iter_mut()
-                .find(|e| e.src == src && e.dst == dst)
-            {
+            match map.iter_mut().find(|e| e.src == src && e.dst == dst) {
                 Some(e) => {
                     // Merge with the previous range when contiguous.
                     if let Some(last) = e.ranges.last_mut() {

@@ -52,7 +52,9 @@ impl std::fmt::Display for SwapError {
         match self {
             SwapError::BadLogical(l) => write!(f, "no such logical rank {l}"),
             SwapError::TargetNotInactive(p) => write!(f, "physical process {p} is not inactive"),
-            SwapError::AlreadyPending(l) => write!(f, "logical rank {l} already has a pending swap"),
+            SwapError::AlreadyPending(l) => {
+                write!(f, "logical rank {l} already has a pending swap")
+            }
         }
     }
 }
@@ -106,9 +108,7 @@ impl SwapWorld {
             n_active,
             shared: Arc::new(Mutex::new(SwapShared {
                 logical_to_phys: (0..n_active).collect(),
-                phys_role: (0..n)
-                    .map(|p| (p < n_active).then_some(p))
-                    .collect(),
+                phys_role: (0..n).map(|p| (p < n_active).then_some(p)).collect(),
                 pending: HashMap::new(),
                 reserved: vec![false; n],
                 swaps_done: 0,
@@ -223,7 +223,10 @@ impl SwapWorld {
     ) -> Option<(usize, S)> {
         let key = self.activation_key(phys);
         let msg = ctx.recv(key);
-        match *msg.downcast::<SwapMsg>().expect("swap mailbox carries SwapMsg") {
+        match *msg
+            .downcast::<SwapMsg>()
+            .expect("swap mailbox carries SwapMsg")
+        {
             SwapMsg::Takeover { logical, state } => {
                 let state = *state
                     .downcast::<S>()

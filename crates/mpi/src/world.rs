@@ -76,12 +76,7 @@ pub struct World {
 type RankParts<F> = (Vec<Arc<Mutex<RankStats>>>, Vec<(Comm, Arc<F>)>);
 
 #[allow(clippy::needless_range_loop)] // rank-indexed construction
-fn build_rank_closures<F>(
-    id: u64,
-    epoch: u64,
-    hosts: &[HostId],
-    f: Arc<F>,
-) -> RankParts<F>
+fn build_rank_closures<F>(id: u64, epoch: u64, hosts: &[HostId], f: Arc<F>) -> RankParts<F>
 where
     F: Fn(&mut Ctx, &mut Comm) + Send + Sync + 'static,
 {

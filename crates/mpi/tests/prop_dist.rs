@@ -4,8 +4,7 @@ use grads_mpi::BlockCyclic;
 use proptest::prelude::*;
 
 fn dist() -> impl Strategy<Value = BlockCyclic> {
-    (1usize..400, 1usize..16, 1usize..9)
-        .prop_map(|(n, b, p)| BlockCyclic::new(n, b, p))
+    (1usize..400, 1usize..16, 1usize..9).prop_map(|(n, b, p)| BlockCyclic::new(n, b, p))
 }
 
 proptest! {

@@ -16,5 +16,8 @@ pub mod monitor;
 pub mod predictors;
 
 pub use ensemble::{Ensemble, Forecast};
-pub use monitor::{app_availability_from_probe, availability_from_load, cpu_probe, net_probe, run_cpu_sensor, run_net_sensor, NwsService};
+pub use monitor::{
+    app_availability_from_probe, availability_from_load, cpu_probe, net_probe, run_cpu_sensor,
+    run_net_sensor, NwsService,
+};
 pub use predictors::{standard_battery, Predictor};

@@ -356,8 +356,14 @@ mod tests {
         });
         eng.run();
         let n = nws.lock();
-        let lat = n.forecast_latency(ClusterId(0), ClusterId(1)).unwrap().value;
-        let bw = n.forecast_bandwidth(ClusterId(0), ClusterId(1)).unwrap().value;
+        let lat = n
+            .forecast_latency(ClusterId(0), ClusterId(1))
+            .unwrap()
+            .value;
+        let bw = n
+            .forecast_bandwidth(ClusterId(0), ClusterId(1))
+            .unwrap()
+            .value;
         // True path: 0.01 + 0.03 + 0.01 latency; 0.5 MB/s bottleneck.
         assert!((lat - 0.05).abs() < 0.01, "lat = {lat}");
         assert!((bw - 0.5e6).abs() / 0.5e6 < 0.15, "bw = {bw}");

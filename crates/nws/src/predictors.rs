@@ -205,7 +205,11 @@ impl Predictor for TrimmedMean {
         }
         let mut v: Vec<f64> = self.window.iter().copied().collect();
         v.sort_by(f64::total_cmp);
-        let t = if v.len() > 2 * self.trim { self.trim } else { 0 };
+        let t = if v.len() > 2 * self.trim {
+            self.trim
+        } else {
+            0
+        };
         let kept = &v[t..v.len() - t];
         Some(kept.iter().sum::<f64>() / kept.len() as f64)
     }

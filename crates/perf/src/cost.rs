@@ -150,12 +150,7 @@ impl Default for RankWeights {
 
 /// Rank one (component, resource) pair given a data-movement cost estimate.
 /// Infinity when the resource fails the component's minimum requirements.
-pub fn rank(
-    model: &dyn ComponentModel,
-    res: &ResourceInfo,
-    dcost: f64,
-    w: RankWeights,
-) -> f64 {
+pub fn rank(model: &dyn ComponentModel, res: &ResourceInfo, dcost: f64, w: RankWeights) -> f64 {
     if res.memory < model.min_memory() {
         return f64::INFINITY;
     }
@@ -303,7 +298,12 @@ mod tests {
             res(1e9, 1.0, 1 << 30, Arch::Ia32),
             res(2e9, 1.0, 1 << 30, Arch::Ia32),
         ];
-        let pm = PerfMatrix::build(&comps, &resources, |i, j| (i + j) as f64, RankWeights::default());
+        let pm = PerfMatrix::build(
+            &comps,
+            &resources,
+            |i, j| (i + j) as f64,
+            RankWeights::default(),
+        );
         assert_eq!(pm.n_components(), 2);
         assert_eq!(pm.n_resources(), 2);
         // Component 0 on resource 0: ecost 0.1 + dcost 0.

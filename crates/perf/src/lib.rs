@@ -22,8 +22,8 @@ pub mod opcount;
 
 pub use commfit::{fit_comm_model, fit_piecewise, CommModel, PiecewiseCommModel};
 pub use cost::{
-    rank, ComponentModel, FittedModel, PerfMatrix, RankWeights, ResourceInfo,
-    DEFAULT_CACHE_BLOCK, DEFAULT_MISS_PENALTY,
+    rank, ComponentModel, FittedModel, PerfMatrix, RankWeights, ResourceInfo, DEFAULT_CACHE_BLOCK,
+    DEFAULT_MISS_PENALTY,
 };
 pub use mrd::{reuse_distances, simulate_lru, MrdHistogram, MrdModel};
 pub use opcount::{FitError, OpCountModel};

@@ -140,7 +140,10 @@ mod tests {
     #[test]
     fn polyfit_exact_cubic() {
         let xs: Vec<f64> = (1..=8).map(|i| i as f64 * 100.0).collect();
-        let ys: Vec<f64> = xs.iter().map(|&x| 2.0 + 3.0 * x + 0.5 * x * x * x).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| 2.0 + 3.0 * x + 0.5 * x * x * x)
+            .collect();
         let c = polyfit(&xs, &ys, 3).unwrap();
         assert!((c[0] - 2.0).abs() < 1e-4, "c0 = {}", c[0]);
         assert!((c[1] - 3.0).abs() < 1e-6, "c1 = {}", c[1]);

@@ -261,9 +261,7 @@ impl MrdModel {
         let cold_coeffs = polyfit(&xs, &colds, dist_degree)?;
         let per_obs_quantiles: Vec<Vec<f64>> = observations
             .iter()
-            .map(|o| {
-                histogram_quantiles(&o.1).unwrap_or_else(|| vec![0.0; MRD_QUANTILES])
-            })
+            .map(|o| histogram_quantiles(&o.1).unwrap_or_else(|| vec![0.0; MRD_QUANTILES]))
             .collect();
         let mut quantile_coeffs = Vec::with_capacity(MRD_QUANTILES);
         for q in 0..MRD_QUANTILES {
@@ -395,15 +393,7 @@ mod tests {
         let d = reuse_distances(&trace);
         assert_eq!(
             d,
-            vec![
-                None,
-                None,
-                Some(1),
-                Some(1),
-                Some(0),
-                None,
-                Some(2)
-            ]
+            vec![None, None, Some(1), Some(1), Some(0), None, Some(2)]
         );
     }
 
@@ -495,12 +485,7 @@ mod tests {
     fn model_total_access_scaling() {
         let obs: Vec<(f64, MrdHistogram)> = [8u64, 12, 16, 20, 24]
             .iter()
-            .map(|&n| {
-                (
-                    n as f64,
-                    MrdHistogram::from_trace(&traces::dense_factor(n)),
-                )
-            })
+            .map(|&n| (n as f64, MrdHistogram::from_trace(&traces::dense_factor(n))))
             .collect();
         let model = MrdModel::fit(&obs, 1, 3).unwrap();
         // dense_factor touches O(n^3) blocks; check cubic-ish growth.

@@ -105,8 +105,9 @@ mod tests {
 
     #[test]
     fn fits_cubic_kernel_and_extrapolates() {
-        let samples: Vec<(f64, f64)> =
-            (4..=12).map(|k| (k as f64 * 50.0, qr_flops(k as f64 * 50.0))).collect();
+        let samples: Vec<(f64, f64)> = (4..=12)
+            .map(|k| (k as f64 * 50.0, qr_flops(k as f64 * 50.0)))
+            .collect();
         let m = OpCountModel::fit(&samples, 3).unwrap();
         let n = 8000.0;
         let rel = (m.predict(n) - qr_flops(n)).abs() / qr_flops(n);
@@ -115,8 +116,9 @@ mod tests {
 
     #[test]
     fn auto_fit_finds_cubic() {
-        let samples: Vec<(f64, f64)> =
-            (4..=12).map(|k| (k as f64 * 50.0, qr_flops(k as f64 * 50.0))).collect();
+        let samples: Vec<(f64, f64)> = (4..=12)
+            .map(|k| (k as f64 * 50.0, qr_flops(k as f64 * 50.0)))
+            .collect();
         let m = OpCountModel::fit_auto(&samples, 4, 1e-6).unwrap();
         assert_eq!(m.degree, 3);
     }

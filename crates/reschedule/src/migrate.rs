@@ -316,9 +316,9 @@ mod tests {
         };
         let r = MigrationRescheduler::default();
         let candidates = vec![
-            vec![HostId(2)],                                // 0.8 Gflop/s
-            (2..6).map(HostId).collect::<Vec<_>>(),         // 3.2 Gflop/s
-            vec![HostId(1)],                                // 1.0 Gflop/s
+            vec![HostId(2)],                        // 0.8 Gflop/s
+            (2..6).map(HostId).collect::<Vec<_>>(), // 3.2 Gflop/s
+            vec![HostId(1)],                        // 1.0 Gflop/s
         ];
         let d = r.decide_best(&app, &candidates, &grid, &nws).unwrap();
         assert_eq!(d.candidate_hosts.len(), 4);

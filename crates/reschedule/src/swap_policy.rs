@@ -107,10 +107,7 @@ pub fn plan_pack(
     if need == 0 {
         return Vec::new();
     }
-    let bottleneck = active
-        .iter()
-        .map(|&(_, s)| s)
-        .fold(f64::INFINITY, f64::min);
+    let bottleneck = active.iter().map(|&(_, s)| s).fold(f64::INFINITY, f64::min);
     // Group inactive slots per cluster, fastest first.
     let mut clusters: std::collections::BTreeMap<ClusterId, Vec<(usize, f64)>> =
         std::collections::BTreeMap::new();
@@ -174,8 +171,7 @@ pub fn run_swap_rescheduler(
                     let host = sw.host_of_logical(l);
                     let h = grid.host(host);
                     let probed = n.forecast_cpu_or_idle(host);
-                    let avail =
-                        grads_nws::app_availability_from_probe(h.cores, probed);
+                    let avail = grads_nws::app_availability_from_probe(h.cores, probed);
                     (l, h.speed * avail)
                 })
                 .collect();
@@ -265,11 +261,14 @@ mod tests {
         let targets: Vec<usize> = p.iter().map(|s| s.to_phys).collect();
         assert!(targets.iter().all(|t| [3, 4, 5].contains(t)));
         let logicals: Vec<usize> = p.iter().map(|s| s.logical).collect();
-        assert_eq!({
-            let mut l = logicals.clone();
-            l.sort_unstable();
-            l
-        }, vec![0, 1, 2]);
+        assert_eq!(
+            {
+                let mut l = logicals.clone();
+                l.sort_unstable();
+                l
+            },
+            vec![0, 1, 2]
+        );
     }
 
     #[test]

@@ -108,9 +108,8 @@ impl Workflow {
         for e in &self.edges {
             indeg[e.to] += 1;
         }
-        let mut queue: std::collections::VecDeque<usize> = (0..n)
-            .filter(|&c| indeg[c] == 0)
-            .collect();
+        let mut queue: std::collections::VecDeque<usize> =
+            (0..n).filter(|&c| indeg[c] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(c) = queue.pop_front() {
             order.push(c);
@@ -153,7 +152,7 @@ impl Workflow {
 #[cfg(test)]
 pub(crate) mod testutil {
     use super::*;
-    use grads_perf::{OpCountModel, FittedModel};
+    use grads_perf::{FittedModel, OpCountModel};
 
     /// A component model with a fixed flop count and data volumes.
     pub fn flat_model(flops: f64, in_bytes: f64, out_bytes: f64) -> Arc<dyn ComponentModel> {

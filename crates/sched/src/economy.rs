@@ -278,12 +278,7 @@ mod tests {
         // The G-commerce comparison: tâtonnement converges to a stable
         // price; sequential auction prices jump around as budgets drain.
         let p = producers(&[50.0]);
-        let c = consumers(&[
-            (100.0, 40.0),
-            (60.0, 30.0),
-            (30.0, 25.0),
-            (10.0, 20.0),
-        ]);
+        let c = consumers(&[(100.0, 40.0), (60.0, 30.0), (30.0, 25.0), (10.0, 20.0)]);
         let mut m = CommodityMarket::default();
         let eq = m.clear(&p, &c, 500, 0.01);
         assert!(eq.converged);

@@ -92,9 +92,8 @@ pub fn map_tasks(
                     None => best = Some((m, ct)),
                 }
             }
-            let (bm, bct) = best.unwrap_or_else(|| {
-                panic!("task {t} is ineligible on every machine")
-            });
+            let (bm, bct) =
+                best.unwrap_or_else(|| panic!("task {t} is ineligible on every machine"));
             // The selection metric: what this heuristic maximizes or
             // minimizes across tasks.
             let metric = match h {
@@ -184,11 +183,7 @@ mod tests {
         // Sufferage reserves m0 for the high-stakes tasks and sends t0 to
         // m1: makespan 4. Min-min ties on completion time, packs m0 in
         // task order, and ends at 6.
-        let cost = vec![
-            vec![2.0, 3.0],
-            vec![2.0, 20.0],
-            vec![2.0, 20.0],
-        ];
+        let cost = vec![vec![2.0, 3.0], vec![2.0, 20.0], vec![2.0, 20.0]];
         let arrival = zeros(3, 2);
         let p_suf = map_tasks(Heuristic::Sufferage, &cost, &arrival, &mut [0.0; 2]);
         let p_min = map_tasks(Heuristic::MinMin, &cost, &arrival, &mut [0.0; 2]);

@@ -18,8 +18,11 @@ pub mod mpi_sched;
 pub mod workflow;
 
 pub use bounds::{area_bound, best_ecosts, critical_path_bound, makespan_lower_bound};
-pub use economy::{auction_allocate, jain_fairness, price_volatility, CommodityMarket, Consumer, Equilibrium, Producer};
 pub use dag::{DagError, WfComponent, WfEdge, Workflow};
+pub use economy::{
+    auction_allocate, jain_fairness, price_volatility, CommodityMarket, Consumer, Equilibrium,
+    Producer,
+};
 pub use heuristics::{makespan, map_tasks, Heuristic, Placement};
 pub use mpi_sched::{candidate_sets, select_mpi_resources, MpiPredictor, ResourceChoice};
 pub use workflow::{

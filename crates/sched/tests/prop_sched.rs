@@ -27,16 +27,10 @@ fn instance() -> impl Strategy<Value = Instance> {
     )
         .prop_flat_map(|(speeds, comps)| {
             let n = comps.len();
-            let edges = proptest::collection::vec(
-                ((0..n), (0..n), 1e3f64..1e8),
-                0..(2 * n),
-            );
+            let edges = proptest::collection::vec(((0..n), (0..n), 1e3f64..1e8), 0..(2 * n));
             (Just(speeds), Just(comps), edges).prop_map(|(speeds, comps, raw)| {
                 // Keep only forward edges (guarantees a DAG).
-                let edges = raw
-                    .into_iter()
-                    .filter(|&(a, b, _)| a < b)
-                    .collect();
+                let edges = raw.into_iter().filter(|&(a, b, _)| a < b).collect();
                 Instance {
                     speeds,
                     comps,

@@ -232,10 +232,8 @@ connect UTK UIUC 4e6 0.030
 
     #[test]
     fn arch_variants_and_extras() {
-        let g = parse_dml(
-            "cluster A {\n hosts 1\n arch ia64\n memory 2e9\n cache 3e6\n}\n",
-        )
-        .unwrap();
+        let g =
+            parse_dml("cluster A {\n hosts 1\n arch ia64\n memory 2e9\n cache 3e6\n}\n").unwrap();
         let h = g.host(g.hosts_of("A")[0]);
         assert_eq!(h.arch, Arch::Ia64);
         assert_eq!(h.memory, 2_000_000_000);
@@ -274,13 +272,12 @@ connect UTK UIUC 4e6 0.030
 
     #[test]
     fn error_disconnected_topology() {
-        let err =
-            parse_dml("cluster A {\n hosts 1\n}\ncluster B {\n hosts 1\n}\n").unwrap_err();
+        let err = parse_dml("cluster A {\n hosts 1\n}\ncluster B {\n hosts 1\n}\n").unwrap_err();
         assert!(matches!(err, DmlError::Topology(_)));
     }
 
     #[test]
-    fn comments_and_blank_lines_ignored(){
+    fn comments_and_blank_lines_ignored() {
         let g = parse_dml("\n# hi\ncluster A { # open\n hosts 2 # two\n}\n").unwrap();
         assert_eq!(g.hosts_of("A").len(), 2);
     }

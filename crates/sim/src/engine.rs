@@ -7,15 +7,23 @@
 //! the next runnable process or event. Runs are therefore deterministic.
 //!
 //! Resource completion times are maintained lazily: whenever the demand set
-//! churns (an action or flow starts or ends, load changes), all remaining
-//! work is advanced to the current instant, rates are re-derived from the
-//! sharing model, and fresh completion events (tagged with a per-action
-//! generation counter) are pushed; stale events are ignored on pop.
+//! churns (an action or flow starts or ends, load changes), rates are
+//! re-derived from the sharing model and fresh completion events (tagged
+//! with a per-action generation counter) are pushed; stale events are
+//! ignored on pop and periodically compacted out of the heap.
+//!
+//! Rate recomputation is *scoped*: every churn marks the hosts and links it
+//! touched dirty, and only churned hosts' CPU shares and the network
+//! sharing components reachable from dirty links are re-solved
+//! ([`RecomputeMode::Incremental`], the default). Flows and actions whose
+//! rate did not change keep their generation and their already-scheduled
+//! completion event. [`RecomputeMode::Full`] runs the same solver over
+//! everything on each churn (the reference for the determinism gate), and
+//! [`RecomputeMode::Legacy`] preserves the pre-change kernel — global
+//! re-solve, unconditional re-stamping — as a benchmark baseline.
 
-use crate::process::{
-    Ctx, Grant, KillToken, MailKey, Payload, ProcFn, ProcId, Request, SendMode,
-};
-use crate::sharing::{cpu_share, max_min_fair};
+use crate::process::{Ctx, Grant, KillToken, MailKey, Payload, ProcFn, ProcId, Request, SendMode};
+use crate::sharing::{cpu_share, max_min_fair, FairScratch};
 use crate::topology::{Grid, HostId, LinkId};
 use crate::trace::{Trace, TraceKind, TraceRecord};
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -24,8 +32,29 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Once;
 use std::thread::JoinHandle;
 
+/// How the kernel re-derives rates when the demand set churns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecomputeMode {
+    /// The pre-change kernel: re-derive every CPU and flow rate globally on
+    /// each churn, re-stamp every generation and re-push every completion
+    /// event. Kept as the baseline for the scalability benchmark.
+    Legacy,
+    /// Scope-everything variant of the incremental path: identical
+    /// per-component solver and skip-unchanged stamping, but every host and
+    /// every sharing component is revisited on each churn. Reference side
+    /// of the determinism gate.
+    Full,
+    /// Dirty-set scoped recomputation (the default): only churned hosts and
+    /// the sharing components reachable from churned links are re-solved.
+    #[default]
+    Incremental,
+}
+
 /// Outcome of a simulation run.
-#[derive(Debug)]
+///
+/// `PartialEq` is bitwise on every floating-point field; two reports compare
+/// equal only if the runs were numerically identical.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Virtual time when the run ended.
     pub end_time: f64,
@@ -42,20 +71,24 @@ pub struct RunReport {
     pub host_flops: Vec<f64>,
     /// Bytes carried per link over the run (indexable by `LinkId.0`).
     pub link_bytes: Vec<f64>,
+    /// Kernel events applied over the run (stale completions excluded).
+    /// Identical across recompute modes for the same scenario, which makes
+    /// it the numerator of the benchmark's events/sec metric.
+    pub events_processed: u64,
     /// Full trace of the run.
     pub trace: Trace,
 }
 
 impl RunReport {
     /// Average utilization of a host over the run: flops executed divided
-    /// by single-core capacity × duration (can exceed 1 on multi-core
-    /// hosts).
+    /// by aggregate capacity (`speed * cores`) × duration, so a fully busy
+    /// host reports 1.0 regardless of core count.
     pub fn host_utilization(&self, grid: &Grid, host: HostId) -> f64 {
         let h = grid.host(host);
         if self.end_time <= 0.0 {
             return 0.0;
         }
-        self.host_flops[host.0 as usize] / (h.speed * self.end_time)
+        self.host_flops[host.0 as usize] / (h.speed * h.cores as f64 * self.end_time)
     }
 
     /// Average utilization of a link over the run: bytes carried over
@@ -72,9 +105,7 @@ impl RunReport {
 #[derive(Debug, Clone)]
 enum EventKind {
     Start(ProcId),
-    HostFail {
-        host: HostId,
-    },
+    HostFail { host: HostId },
     CpuDone { id: usize, gen: u64 },
     FlowActivate { id: usize },
     FlowDone { id: usize, gen: u64 },
@@ -83,16 +114,40 @@ enum EventKind {
     LoadOff { host: HostId, amount: f64 },
 }
 
+/// Tie-break class and entity key for an event, precomputed at push time.
+///
+/// Events at equal timestamps pop in `(class, key)` order rather than
+/// insertion order, so the pop sequence is independent of *how often* rates
+/// were re-stamped — a prerequisite for the incremental and full recompute
+/// paths (which push different numbers of events) to stay bit-identical.
+fn class_key(kind: &EventKind) -> (u8, u64) {
+    match kind {
+        EventKind::Start(pid) => (0, pid.0 as u64),
+        EventKind::LoadOn { host, .. } => (1, host.0 as u64),
+        EventKind::LoadOff { host, .. } => (2, host.0 as u64),
+        EventKind::HostFail { host } => (3, host.0 as u64),
+        EventKind::SleepDone(pid) => (4, pid.0 as u64),
+        EventKind::FlowActivate { id } => (5, *id as u64),
+        EventKind::CpuDone { id, .. } => (6, *id as u64),
+        EventKind::FlowDone { id, .. } => (7, *id as u64),
+    }
+}
+
 #[derive(Debug)]
 struct Event {
     t: f64,
+    class: u8,
+    key: u64,
     seq: u64,
     kind: EventKind,
 }
 
 impl PartialEq for Event {
     fn eq(&self, other: &Self) -> bool {
-        self.t == other.t && self.seq == other.seq
+        self.t == other.t
+            && self.class == other.class
+            && self.key == other.key
+            && self.seq == other.seq
     }
 }
 impl Eq for Event {}
@@ -102,11 +157,13 @@ impl PartialOrd for Event {
     }
 }
 impl Ord for Event {
-    // Reversed so that BinaryHeap pops the earliest (t, seq).
+    // Reversed so that BinaryHeap pops the earliest (t, class, key, seq).
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         other
             .t
             .total_cmp(&self.t)
+            .then_with(|| other.class.cmp(&self.class))
+            .then_with(|| other.key.cmp(&self.key))
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -129,13 +186,27 @@ enum OnDone {
 }
 
 struct Flow {
-    route: Vec<usize>,
+    /// Index into the engine's interned route table.
+    route: u32,
+    /// Original transfer size in bytes; `link_bytes` is credited once per
+    /// link when the flow terminates instead of on every accrual sweep.
+    size: f64,
     remaining: f64,
     rate: f64,
     gen: u64,
     active: bool,
+    /// Position in `Engine::active_flows`, or `u32::MAX` when not listed.
+    act_idx: u32,
     payload: Option<Payload>,
     on_done: OnDone,
+}
+
+/// An interned route: resolved once per (src, dst) pair, then shared by
+/// every flow on that pair instead of cloning a `Vec<LinkId>` per flow and
+/// per recompute.
+struct RouteEntry {
+    links: Box<[u32]>,
+    latency: f64,
 }
 
 struct QueuedSend {
@@ -167,6 +238,58 @@ struct ProcSlot {
     grant_tx: Sender<Grant>,
     join: Option<JoinHandle<()>>,
     state: PState,
+}
+
+/// Epoch-stamped sparse map from small indices to `u32` values. `begin`
+/// invalidates all entries in O(1); used for dirty-set membership, BFS
+/// visit marks and global→component-local link index mapping without
+/// per-recompute clearing.
+#[derive(Default, Debug)]
+struct EpochMap {
+    epoch: u64,
+    slots: Vec<(u64, u32)>,
+}
+
+impl EpochMap {
+    fn ensure(&mut self, n: usize) {
+        if self.slots.len() < n {
+            self.slots.resize(n, (0, 0));
+        }
+    }
+    fn begin(&mut self) {
+        self.epoch += 1;
+    }
+    fn contains(&self, i: usize) -> bool {
+        self.slots[i].0 == self.epoch
+    }
+    fn get(&self, i: usize) -> Option<u32> {
+        let (e, v) = self.slots[i];
+        if e == self.epoch {
+            Some(v)
+        } else {
+            None
+        }
+    }
+    fn set(&mut self, i: usize, v: u32) {
+        self.slots[i] = (self.epoch, v);
+    }
+}
+
+/// Reusable buffers for scoped rate recomputation.
+#[derive(Default)]
+struct RateScratch {
+    scoped_hosts: Vec<u32>,
+    link_stack: Vec<u32>,
+    comp_flows: Vec<u32>,
+    offsets: Vec<(u32, u32)>,
+    links_flat: Vec<u32>,
+    caps_local: Vec<f64>,
+    rates: Vec<f64>,
+    fair: FairScratch,
+    flow_mark: EpochMap,
+    comp_link_mark: EpochMap,
+    link_local: EpochMap,
+    route_tmp: Vec<u32>,
 }
 
 /// The grid emulator.
@@ -212,6 +335,31 @@ pub struct Engine {
     trace: Trace,
     completed: Vec<String>,
     failed: Vec<(String, String)>,
+    mode: RecomputeMode,
+    routes_tbl: Vec<RouteEntry>,
+    route_ids: HashMap<(u32, u32), u32>,
+    /// Live CPU action ids per host; the length doubles as the action count
+    /// the CPU sharing model needs.
+    host_actions: Vec<Vec<u32>>,
+    /// Active flow ids per link — the flow/link adjacency the component
+    /// flood walks.
+    link_flows: Vec<Vec<u32>>,
+    /// Flows currently transferring — the accrual sweep walks this instead
+    /// of scanning every slot. Order is maintained deterministically
+    /// (push on activate, swap-remove on completion) and only independent
+    /// per-flow updates iterate it, so it never affects results.
+    active_flows: Vec<u32>,
+    free_cpu: Vec<u32>,
+    free_flows: Vec<u32>,
+    dirty_hosts: Vec<u32>,
+    dirty_links: Vec<u32>,
+    dirty_host_mark: EpochMap,
+    dirty_link_mark: EpochMap,
+    /// Completion events in the heap whose generation no longer matches a
+    /// live action/flow. When the heap is mostly stale it is rebuilt.
+    stale_events: usize,
+    events_processed: u64,
+    scratch: RateScratch,
     /// If true (the default), `run` panics when any simulated process
     /// panicked, so test failures inside processes surface in the harness.
     pub panic_on_failure: bool,
@@ -247,6 +395,15 @@ impl Engine {
         let (req_tx, req_rx) = unbounded();
         let nhosts = grid.hosts().len();
         let nlinks = grid.links().len();
+        let mut dirty_host_mark = EpochMap::default();
+        dirty_host_mark.ensure(nhosts);
+        dirty_host_mark.begin();
+        let mut dirty_link_mark = EpochMap::default();
+        dirty_link_mark.ensure(nlinks);
+        dirty_link_mark.begin();
+        let mut scratch = RateScratch::default();
+        scratch.comp_link_mark.ensure(nlinks);
+        scratch.link_local.ensure(nlinks);
         Engine {
             grid,
             now: 0.0,
@@ -269,6 +426,21 @@ impl Engine {
             trace: Trace::default(),
             completed: Vec::new(),
             failed: Vec::new(),
+            mode: RecomputeMode::default(),
+            routes_tbl: Vec::new(),
+            route_ids: HashMap::new(),
+            host_actions: vec![Vec::new(); nhosts],
+            link_flows: vec![Vec::new(); nlinks],
+            free_cpu: Vec::new(),
+            active_flows: Vec::new(),
+            free_flows: Vec::new(),
+            dirty_hosts: Vec::new(),
+            dirty_links: Vec::new(),
+            dirty_host_mark,
+            dirty_link_mark,
+            stale_events: 0,
+            events_processed: 0,
+            scratch,
             panic_on_failure: true,
         }
     }
@@ -278,10 +450,39 @@ impl Engine {
         &self.grid
     }
 
+    /// Select the rate recomputation strategy (default:
+    /// [`RecomputeMode::Incremental`]).
+    pub fn set_recompute_mode(&mut self, mode: RecomputeMode) {
+        self.mode = mode;
+    }
+
+    /// The active rate recomputation strategy.
+    pub fn recompute_mode(&self) -> RecomputeMode {
+        self.mode
+    }
+
+    fn push_ev(events: &mut BinaryHeap<Event>, seq: &mut u64, t: f64, kind: EventKind) {
+        let (class, key) = class_key(&kind);
+        let s = *seq;
+        *seq += 1;
+        events.push(Event {
+            t,
+            class,
+            key,
+            seq: s,
+            kind,
+        });
+    }
+
     fn push_event(&mut self, t: f64, kind: EventKind) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.events.push(Event { t, seq, kind });
+        Self::push_ev(&mut self.events, &mut self.seq, t, kind);
+    }
+
+    fn mark_host_dirty(&mut self, h: usize) {
+        if !self.dirty_host_mark.contains(h) {
+            self.dirty_host_mark.set(h, 0);
+            self.dirty_hosts.push(h as u32);
+        }
     }
 
     /// Spawn a process starting at virtual time 0.
@@ -390,13 +591,32 @@ impl Engine {
                 }
                 continue;
             }
+            self.maybe_compact();
             match self.events.peek() {
                 None => break,
                 Some(ev) if ev.t > tmax => break,
                 Some(_) => {}
             }
             let ev = self.events.pop().expect("peeked event");
+            // Staleness is decided before the clock moves: a discarded event
+            // must be completely unobservable, including through `end_time`
+            // and the accrual sweep. Skipping `advance_to` here is exact —
+            // no rate changes at a stale pop, and accrual is linear in time.
+            let stale = match ev.kind {
+                EventKind::CpuDone { id, gen } => {
+                    self.cpu[id].as_ref().map(|a| a.gen == gen) != Some(true)
+                }
+                EventKind::FlowDone { id, gen } => {
+                    self.flows[id].as_ref().map(|f| f.active && f.gen == gen) != Some(true)
+                }
+                _ => false,
+            };
+            if stale {
+                self.stale_events = self.stale_events.saturating_sub(1);
+                continue;
+            }
             self.advance_to(ev.t);
+            self.events_processed += 1;
             self.apply_event(ev.kind);
         }
         self.finish()
@@ -426,6 +646,19 @@ impl Engine {
         if self.panic_on_failure && !self.failed.is_empty() {
             panic!("simulated process failures: {:?}", self.failed);
         }
+        // Flows still in flight at cutoff are credited for the bytes they
+        // actually moved (completed flows were credited at their FlowDone).
+        for &fi in &self.active_flows {
+            let f = self.flows[fi as usize]
+                .as_ref()
+                .expect("active flow indexed");
+            let moved = f.size - f.remaining;
+            if moved > 0.0 {
+                for &l in self.routes_tbl[f.route as usize].links.iter() {
+                    self.link_bytes[l as usize] += moved;
+                }
+            }
+        }
         RunReport {
             end_time: self.now,
             completed: std::mem::take(&mut self.completed),
@@ -434,6 +667,7 @@ impl Engine {
             died,
             host_flops: std::mem::take(&mut self.host_flops),
             link_bytes: std::mem::take(&mut self.link_bytes),
+            events_processed: self.events_processed,
             trace: std::mem::take(&mut self.trace),
         }
     }
@@ -450,24 +684,58 @@ impl Engine {
                 self.host_flops[a.host] += done;
                 a.remaining -= done;
             }
-            for f in self.flows.iter_mut().flatten() {
-                if f.active && !f.route.is_empty() {
-                    let moved = (f.rate * dt).min(f.remaining);
-                    for &l in &f.route {
-                        self.link_bytes[l] += moved;
-                    }
-                    f.remaining -= moved;
-                }
+            for k in 0..self.active_flows.len() {
+                let fi = self.active_flows[k] as usize;
+                let f = self.flows[fi].as_mut().expect("active flow indexed");
+                let moved = (f.rate * dt).min(f.remaining);
+                f.remaining -= moved;
             }
         }
         self.last_advance = t;
         self.now = t;
     }
 
-    /// Re-derive all CPU and network rates and reschedule completions.
+    /// Rebuild the event heap without stale completion events once they
+    /// dominate it. Pop order is a strict total order on
+    /// `(t, class, key, seq)`, so rebuilding cannot reorder live events.
+    fn maybe_compact(&mut self) {
+        if self.stale_events <= 64 || self.stale_events * 2 <= self.events.len() {
+            return;
+        }
+        let drained = std::mem::take(&mut self.events).into_vec();
+        let mut kept = Vec::with_capacity(drained.len() - self.stale_events);
+        for ev in drained {
+            let keep = match ev.kind {
+                EventKind::CpuDone { id, gen } => {
+                    self.cpu[id].as_ref().map(|a| a.gen == gen) == Some(true)
+                }
+                EventKind::FlowDone { id, gen } => {
+                    self.flows[id].as_ref().map(|f| f.active && f.gen == gen) == Some(true)
+                }
+                _ => true,
+            };
+            if keep {
+                kept.push(ev);
+            }
+        }
+        self.events = BinaryHeap::from(kept);
+        self.stale_events = 0;
+    }
+
+    /// Re-derive rates and reschedule completions after a churn.
     fn recompute(&mut self) {
+        match self.mode {
+            RecomputeMode::Legacy => self.recompute_legacy(),
+            RecomputeMode::Full => self.recompute_scoped(true),
+            RecomputeMode::Incremental => self.recompute_scoped(false),
+        }
+    }
+
+    /// The pre-change recompute: every rate re-derived globally, every
+    /// generation re-stamped, every completion event re-pushed, routes
+    /// cloned per solve.
+    fn recompute_legacy(&mut self) {
         let now = self.now;
-        // CPU shares.
         let nhosts = self.grid.hosts().len();
         let mut counts = vec![0usize; nhosts];
         for a in self.cpu.iter().flatten() {
@@ -477,6 +745,9 @@ impl Engine {
         for (id, slot) in self.cpu.iter_mut().enumerate() {
             if let Some(a) = slot {
                 let h = &self.grid.hosts()[a.host];
+                if a.gen != 0 && a.rate > 0.0 {
+                    self.stale_events += 1;
+                }
                 a.rate = cpu_share(h.speed, h.cores, counts[a.host], self.host_load[a.host]);
                 a.gen = self.gen_counter;
                 self.gen_counter += 1;
@@ -488,15 +759,20 @@ impl Engine {
         for (t, id, gen) in cpu_events {
             self.push_event(t, EventKind::CpuDone { id, gen });
         }
-        // Network shares.
         let caps: Vec<f64> = self.grid.links().iter().map(|l| l.bandwidth).collect();
         let mut idxs = Vec::new();
         let mut routes = Vec::new();
         for (id, slot) in self.flows.iter().enumerate() {
             if let Some(f) = slot {
-                if f.active && !f.route.is_empty() {
+                if f.active {
                     idxs.push(id);
-                    routes.push(f.route.clone());
+                    routes.push(
+                        self.routes_tbl[f.route as usize]
+                            .links
+                            .iter()
+                            .map(|&l| l as usize)
+                            .collect::<Vec<_>>(),
+                    );
                 }
             }
         }
@@ -504,15 +780,207 @@ impl Engine {
         let mut flow_events = Vec::new();
         for (k, &id) in idxs.iter().enumerate() {
             let f = self.flows[id].as_mut().expect("active flow");
+            if f.gen != 0 && f.rate > 0.0 {
+                self.stale_events += 1;
+            }
             f.rate = rates[k];
             f.gen = self.gen_counter;
             self.gen_counter += 1;
-            if f.rate > 0.0 {
+            if f.rate > 0.0 && f.rate.is_finite() {
                 flow_events.push((now + f.remaining / f.rate, id, f.gen));
             }
         }
         for (t, id, gen) in flow_events {
             self.push_event(t, EventKind::FlowDone { id, gen });
+        }
+        self.clear_dirty();
+    }
+
+    /// Scoped recompute. With `full` set, every host with actions and every
+    /// active sharing component is revisited; otherwise only dirty hosts
+    /// and components reachable from dirty links. Both paths run the same
+    /// per-component solver over flows sorted by id and skip re-stamping
+    /// entities whose rate is bitwise unchanged, so their observable
+    /// behavior is identical — the determinism gate in
+    /// `tests/determinism.rs` holds them to that.
+    fn recompute_scoped(&mut self, full: bool) {
+        let now = self.now;
+        // CPU shares for scoped hosts.
+        let mut scoped = std::mem::take(&mut self.scratch.scoped_hosts);
+        scoped.clear();
+        if full {
+            scoped.extend(
+                (0..self.host_actions.len())
+                    .filter(|&h| !self.host_actions[h].is_empty())
+                    .map(|h| h as u32),
+            );
+        } else {
+            scoped.extend_from_slice(&self.dirty_hosts);
+            scoped.sort_unstable();
+        }
+        for &hu in &scoped {
+            let h = hu as usize;
+            let n = self.host_actions[h].len();
+            if n == 0 {
+                continue;
+            }
+            let spec = &self.grid.hosts()[h];
+            let rate = cpu_share(spec.speed, spec.cores, n, self.host_load[h]);
+            for k in 0..n {
+                let id = self.host_actions[h][k] as usize;
+                let a = self.cpu[id].as_mut().expect("indexed action is live");
+                if a.rate == rate {
+                    continue;
+                }
+                if a.gen != 0 && a.rate > 0.0 {
+                    self.stale_events += 1;
+                }
+                a.rate = rate;
+                a.gen = self.gen_counter;
+                self.gen_counter += 1;
+                if rate > 0.0 {
+                    Self::push_ev(
+                        &mut self.events,
+                        &mut self.seq,
+                        now + a.remaining / rate,
+                        EventKind::CpuDone { id, gen: a.gen },
+                    );
+                }
+            }
+        }
+        scoped.clear();
+        self.scratch.scoped_hosts = scoped;
+        // Network: solve each affected sharing component.
+        self.scratch.flow_mark.ensure(self.flows.len());
+        self.scratch.flow_mark.begin();
+        self.scratch.comp_link_mark.begin();
+        if full {
+            for id in 0..self.flows.len() {
+                let is_root = self.flows[id].as_ref().map(|f| f.active) == Some(true)
+                    && !self.scratch.flow_mark.contains(id);
+                if !is_root {
+                    continue;
+                }
+                let route = self.flows[id].as_ref().expect("checked above").route as usize;
+                for k in 0..self.routes_tbl[route].links.len() {
+                    let l = self.routes_tbl[route].links[k] as usize;
+                    if !self.scratch.comp_link_mark.contains(l) {
+                        self.scratch.comp_link_mark.set(l, 0);
+                        self.scratch.link_stack.push(l as u32);
+                    }
+                }
+                self.flood_component();
+                self.solve_component(now);
+            }
+        } else {
+            let mut roots = std::mem::take(&mut self.dirty_links);
+            roots.sort_unstable();
+            for &lu in &roots {
+                let l = lu as usize;
+                if self.scratch.comp_link_mark.contains(l) {
+                    continue;
+                }
+                self.scratch.comp_link_mark.set(l, 0);
+                self.scratch.link_stack.push(lu);
+                self.flood_component();
+                self.solve_component(now);
+            }
+            roots.clear();
+            self.dirty_links = roots;
+        }
+        self.clear_dirty();
+    }
+
+    fn clear_dirty(&mut self) {
+        self.dirty_hosts.clear();
+        self.dirty_links.clear();
+        self.dirty_host_mark.begin();
+        self.dirty_link_mark.begin();
+    }
+
+    /// Flood one connected sharing component from the seed links already on
+    /// `scratch.link_stack` (and marked visited), collecting its flows into
+    /// `scratch.comp_flows`.
+    fn flood_component(&mut self) {
+        let s = &mut self.scratch;
+        s.comp_flows.clear();
+        while let Some(l) = s.link_stack.pop() {
+            for &fid in &self.link_flows[l as usize] {
+                if s.flow_mark.contains(fid as usize) {
+                    continue;
+                }
+                s.flow_mark.set(fid as usize, 0);
+                s.comp_flows.push(fid);
+                let f = self.flows[fid as usize].as_ref().expect("indexed flow");
+                for &l2 in self.routes_tbl[f.route as usize].links.iter() {
+                    if !s.comp_link_mark.contains(l2 as usize) {
+                        s.comp_link_mark.set(l2 as usize, 0);
+                        s.link_stack.push(l2);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Max-min solve the component collected by `flood_component` and apply
+    /// the resulting rates.
+    ///
+    /// Flows are sorted by id and component-local link indices assigned in
+    /// first-encounter order over that sorted list, so the solver input —
+    /// and hence every rounding decision — is a pure function of the
+    /// component's membership, independent of flood traversal order or
+    /// which dirty link seeded it.
+    fn solve_component(&mut self, now: f64) {
+        let s = &mut self.scratch;
+        if s.comp_flows.is_empty() {
+            return;
+        }
+        s.comp_flows.sort_unstable();
+        s.offsets.clear();
+        s.links_flat.clear();
+        s.caps_local.clear();
+        s.link_local.begin();
+        for &fid in &s.comp_flows {
+            let f = self.flows[fid as usize].as_ref().expect("indexed flow");
+            let links = &self.routes_tbl[f.route as usize].links;
+            s.offsets
+                .push((s.links_flat.len() as u32, links.len() as u32));
+            for &l in links.iter() {
+                let li = match s.link_local.get(l as usize) {
+                    Some(v) => v,
+                    None => {
+                        let v = s.caps_local.len() as u32;
+                        s.caps_local.push(self.grid.links()[l as usize].bandwidth);
+                        s.link_local.set(l as usize, v);
+                        v
+                    }
+                };
+                s.links_flat.push(li);
+            }
+        }
+        s.fair
+            .solve(&s.offsets, &s.links_flat, &s.caps_local, &mut s.rates);
+        for (k, &fid) in s.comp_flows.iter().enumerate() {
+            let id = fid as usize;
+            let rate = s.rates[k];
+            let f = self.flows[id].as_mut().expect("indexed flow");
+            if f.rate == rate {
+                continue;
+            }
+            if f.gen != 0 && f.rate > 0.0 {
+                self.stale_events += 1;
+            }
+            f.rate = rate;
+            f.gen = self.gen_counter;
+            self.gen_counter += 1;
+            if rate > 0.0 && rate.is_finite() {
+                Self::push_ev(
+                    &mut self.events,
+                    &mut self.seq,
+                    now + f.remaining / rate,
+                    EventKind::FlowDone { id, gen: f.gen },
+                );
+            }
         }
     }
 
@@ -572,12 +1040,7 @@ impl Engine {
             } => self.do_send(pid, key, dst, bytes, payload, mode),
             Request::Recv { key } => self.do_recv(pid, key),
             Request::TryRecv { key } => {
-                let p = self
-                    .mailboxes
-                    .entry(key)
-                    .or_default()
-                    .arrived
-                    .pop_front();
+                let p = self.mailboxes.entry(key).or_default().arrived.pop_front();
                 self.resume_first(pid, Grant::MaybePayload(p));
             }
             Request::Transfer { dst, bytes } => {
@@ -592,6 +1055,7 @@ impl Engine {
                 self.host_load[host.0 as usize] += amount;
                 let total = self.host_load[host.0 as usize];
                 self.record(Some(pid), TraceKind::LoadChange { host, total });
+                self.mark_host_dirty(host.0 as usize);
                 self.recompute();
                 self.resume_first(pid, Grant::Unit);
             }
@@ -600,6 +1064,7 @@ impl Engine {
                 *l = (*l - amount).max(0.0);
                 let total = *l;
                 self.record(Some(pid), TraceKind::LoadChange { host, total });
+                self.mark_host_dirty(host.0 as usize);
                 self.recompute();
                 self.resume_first(pid, Grant::Unit);
             }
@@ -632,11 +1097,18 @@ impl Engine {
             rate: 0.0,
             gen: 0,
         };
-        if let Some(i) = self.cpu.iter().position(|s| s.is_none()) {
-            self.cpu[i] = Some(action);
-        } else {
-            self.cpu.push(Some(action));
-        }
+        let id = match self.free_cpu.pop() {
+            Some(i) => {
+                self.cpu[i as usize] = Some(action);
+                i as usize
+            }
+            None => {
+                self.cpu.push(Some(action));
+                self.cpu.len() - 1
+            }
+        };
+        self.host_actions[host].push(id as u32);
+        self.mark_host_dirty(host);
     }
 
     fn do_send(
@@ -721,6 +1193,25 @@ impl Engine {
         mb.waiting.push_back(pid);
     }
 
+    /// Interned route lookup: resolves each (src, dst) pair once and shares
+    /// the link list for every subsequent flow.
+    fn route_id(&mut self, src: HostId, dst: HostId) -> u32 {
+        if let Some(&id) = self.route_ids.get(&(src.0, dst.0)) {
+            return id;
+        }
+        let mut links = std::mem::take(&mut self.scratch.route_tmp);
+        links.clear();
+        let latency = self.grid.route_links_into(src, dst, &mut links);
+        let id = self.routes_tbl.len() as u32;
+        self.routes_tbl.push(RouteEntry {
+            links: links[..].into(),
+            latency,
+        });
+        self.scratch.route_tmp = links;
+        self.route_ids.insert((src.0, dst.0), id);
+        id
+    }
+
     fn start_flow(
         &mut self,
         src: HostId,
@@ -729,24 +1220,30 @@ impl Engine {
         payload: Option<Payload>,
         on_done: OnDone,
     ) {
-        let route = self.grid.route(src, dst);
+        let rid = self.route_id(src, dst);
+        let latency = self.routes_tbl[rid as usize].latency;
         let flow = Flow {
-            route: route.links.iter().map(|l| l.0 as usize).collect(),
+            route: rid,
+            size: bytes.max(0.0),
             remaining: bytes.max(0.0),
             rate: 0.0,
             gen: 0,
             active: false,
+            act_idx: u32::MAX,
             payload,
             on_done,
         };
-        let id = if let Some(i) = self.flows.iter().position(|s| s.is_none()) {
-            self.flows[i] = Some(flow);
-            i
-        } else {
-            self.flows.push(Some(flow));
-            self.flows.len() - 1
+        let id = match self.free_flows.pop() {
+            Some(i) => {
+                self.flows[i as usize] = Some(flow);
+                i as usize
+            }
+            None => {
+                self.flows.push(Some(flow));
+                self.flows.len() - 1
+            }
         };
-        let t = self.now + route.latency;
+        let t = self.now + latency;
         self.push_event(t, EventKind::FlowActivate { id });
     }
 
@@ -754,6 +1251,8 @@ impl Engine {
     // Events
     // ------------------------------------------------------------------
 
+    /// Apply a popped event. `CpuDone`/`FlowDone` staleness was already
+    /// checked by the run loop; the generations seen here are live.
     fn apply_event(&mut self, kind: EventKind) {
         match kind {
             EventKind::Start(pid) => {
@@ -762,38 +1261,71 @@ impl Engine {
                 self.resume(pid, Grant::Unit);
             }
             EventKind::SleepDone(pid) => self.resume(pid, Grant::Unit),
-            EventKind::CpuDone { id, gen } => {
-                let matches = self.cpu[id]
-                    .as_ref()
-                    .map(|a| a.gen == gen)
-                    .unwrap_or(false);
-                if matches {
-                    let a = self.cpu[id].take().expect("checked above");
-                    self.resume(a.pid, Grant::Unit);
-                    self.recompute();
-                }
+            EventKind::CpuDone { id, .. } => {
+                let a = self.cpu[id].take().expect("validated by run loop");
+                let ha = &mut self.host_actions[a.host];
+                let pos = ha
+                    .iter()
+                    .position(|&x| x == id as u32)
+                    .expect("action indexed on its host");
+                ha.swap_remove(pos);
+                self.free_cpu.push(id as u32);
+                self.mark_host_dirty(a.host);
+                self.resume(a.pid, Grant::Unit);
+                self.recompute();
             }
             EventKind::FlowActivate { id } => {
-                let (empty_route, no_data) = {
-                    let f = self.flows[id].as_mut().expect("flow exists at activate");
-                    f.active = true;
-                    (f.route.is_empty(), f.remaining <= 0.0)
-                };
-                if empty_route || no_data {
+                let f = self.flows[id].as_mut().expect("flow exists at activate");
+                f.active = true;
+                let route = f.route as usize;
+                let instant = self.routes_tbl[route].links.is_empty() || f.remaining <= 0.0;
+                if instant {
                     self.finish_flow(id);
                 } else {
+                    let f = self.flows[id].as_mut().expect("flow exists at activate");
+                    f.act_idx = self.active_flows.len() as u32;
+                    self.active_flows.push(id as u32);
+                    for k in 0..self.routes_tbl[route].links.len() {
+                        let l = self.routes_tbl[route].links[k] as usize;
+                        self.link_flows[l].push(id as u32);
+                        if !self.dirty_link_mark.contains(l) {
+                            self.dirty_link_mark.set(l, 0);
+                            self.dirty_links.push(l as u32);
+                        }
+                    }
                     self.recompute();
                 }
             }
-            EventKind::FlowDone { id, gen } => {
-                let matches = self.flows[id]
-                    .as_ref()
-                    .map(|f| f.active && f.gen == gen)
-                    .unwrap_or(false);
-                if matches {
-                    self.finish_flow(id);
-                    self.recompute();
+            EventKind::FlowDone { id, .. } => {
+                let (route, act_idx, size) = {
+                    let f = self.flows[id].as_ref().expect("validated by run loop");
+                    (f.route as usize, f.act_idx as usize, f.size)
+                };
+                for k in 0..self.routes_tbl[route].links.len() {
+                    let l = self.routes_tbl[route].links[k] as usize;
+                    // The whole transfer is credited at completion; the
+                    // accrual sweep no longer touches link counters.
+                    self.link_bytes[l] += size;
+                    let v = &mut self.link_flows[l];
+                    let pos = v
+                        .iter()
+                        .position(|&x| x == id as u32)
+                        .expect("flow indexed on its links");
+                    v.swap_remove(pos);
+                    if !self.dirty_link_mark.contains(l) {
+                        self.dirty_link_mark.set(l, 0);
+                        self.dirty_links.push(l as u32);
+                    }
                 }
+                self.active_flows.swap_remove(act_idx);
+                if let Some(&moved) = self.active_flows.get(act_idx) {
+                    self.flows[moved as usize]
+                        .as_mut()
+                        .expect("active flow indexed")
+                        .act_idx = act_idx as u32;
+                }
+                self.finish_flow(id);
+                self.recompute();
             }
             EventKind::HostFail { host } => {
                 let h = host.0 as usize;
@@ -810,21 +1342,28 @@ impl Engine {
                 for pid in &pids {
                     self.procs[pid.0 as usize].state = PState::Died;
                 }
-                for slot in self.cpu.iter_mut() {
-                    if slot.as_ref().map(|a| a.host == h).unwrap_or(false) {
-                        *slot = None;
+                let ids = std::mem::take(&mut self.host_actions[h]);
+                for &idu in &ids {
+                    let a = self.cpu[idu as usize]
+                        .take()
+                        .expect("action live on failed host");
+                    if a.gen != 0 && a.rate > 0.0 {
+                        self.stale_events += 1;
                     }
+                    self.free_cpu.push(idu);
                 }
                 // Drop queued resumptions for dead processes.
                 self.runnable
                     .retain(|(pid, _)| self.procs[pid.0 as usize].state == PState::Alive);
                 self.record(None, TraceKind::HostFail { host });
+                self.mark_host_dirty(h);
                 self.recompute();
             }
             EventKind::LoadOn { host, amount } => {
                 self.host_load[host.0 as usize] += amount;
                 let total = self.host_load[host.0 as usize];
                 self.record(None, TraceKind::LoadChange { host, total });
+                self.mark_host_dirty(host.0 as usize);
                 self.recompute();
             }
             EventKind::LoadOff { host, amount } => {
@@ -832,6 +1371,7 @@ impl Engine {
                 *l = (*l - amount).max(0.0);
                 let total = *l;
                 self.record(None, TraceKind::LoadChange { host, total });
+                self.mark_host_dirty(host.0 as usize);
                 self.recompute();
             }
         }
@@ -839,6 +1379,7 @@ impl Engine {
 
     fn finish_flow(&mut self, id: usize) {
         let f = self.flows[id].take().expect("flow exists at completion");
+        self.free_flows.push(id as u32);
         match f.on_done {
             OnDone::Wake(pid) => self.resume(pid, Grant::Unit),
             OnDone::Deliver { key } => {
@@ -991,7 +1532,10 @@ mod tests {
         let rt = r.trace.last_value("rt").unwrap();
         assert!((rt - 1.02).abs() < 1e-6, "rt = {rt}");
         let st = r.trace.last_value("st").unwrap();
-        assert!((st - 1.02).abs() < 1e-6, "sender blocked until delivery: {st}");
+        assert!(
+            (st - 1.02).abs() < 1e-6,
+            "sender blocked until delivery: {st}"
+        );
         assert_eq!(r.trace.last_value("val").unwrap(), 42.0);
     }
 
@@ -1244,6 +1788,35 @@ mod tests {
     }
 
     #[test]
+    fn multicore_utilization_normalizes_by_cores() {
+        // Two actions on a dual-core host both run at full single-core
+        // speed; the host is fully busy, so utilization is 1.0 (the old
+        // single-core normalization wrongly reported 2.0).
+        let mut b = GridBuilder::new();
+        let c = b.cluster("X");
+        let hs = b.add_hosts(
+            c,
+            1,
+            &HostSpec {
+                speed: 100.0,
+                cores: 2,
+                ..Default::default()
+            },
+        );
+        let g = b.build().unwrap();
+        let grid = g.clone();
+        let mut eng = Engine::new(g);
+        for i in 0..2 {
+            eng.spawn(&format!("w{i}"), hs[0], |ctx| {
+                ctx.compute(200.0); // 2 s at one core each
+            });
+        }
+        let r = eng.run();
+        assert!((r.host_flops[0] - 400.0).abs() < 1e-6);
+        assert!((r.host_utilization(&grid, hs[0]) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
     fn link_byte_accounting() {
         let (g, a, bhost) = two_host_grid();
         let grid = g.clone();
@@ -1292,6 +1865,55 @@ mod tests {
         assert_eq!(s1.len(), s2.len());
         for (x, y) in s1.iter().zip(&s2) {
             assert_eq!(x, y);
+        }
+    }
+
+    /// Run a small mixed compute/communication scenario under one mode.
+    fn mode_scenario(mode: RecomputeMode) -> RunReport {
+        let (g, a, bhost) = two_host_grid();
+        let mut eng = Engine::new(g);
+        eng.set_recompute_mode(mode);
+        eng.add_load_window(a, 0.3, Some(1.1), 1.0);
+        for i in 0..3u64 {
+            let key = mail_key(&[40 + i]);
+            eng.spawn(&format!("r{i}"), bhost, move |ctx| {
+                let _ = ctx.recv(key);
+                ctx.compute(80.0 * (i + 1) as f64);
+                let t = ctx.now();
+                ctx.trace("done", t);
+            });
+            eng.spawn(&format!("s{i}"), a, move |ctx| {
+                ctx.compute(30.0 * (i + 1) as f64);
+                ctx.send(key, bhost, 2e5 * (i + 1) as f64, Box::new(i));
+            });
+        }
+        eng.run()
+    }
+
+    #[test]
+    fn incremental_matches_full_bitwise() {
+        let inc = mode_scenario(RecomputeMode::Incremental);
+        let full = mode_scenario(RecomputeMode::Full);
+        assert_eq!(inc, full);
+    }
+
+    #[test]
+    fn incremental_matches_legacy_timing() {
+        // Legacy re-stamps everything, so stale-pop timing chunks floating
+        // point accrual differently; results agree to tolerance, not bits.
+        let inc = mode_scenario(RecomputeMode::Incremental);
+        let leg = mode_scenario(RecomputeMode::Legacy);
+        assert_eq!(inc.completed, leg.completed);
+        assert_eq!(inc.events_processed, leg.events_processed);
+        let si = inc.trace.series("done");
+        let sl = leg.trace.series("done");
+        assert_eq!(si.len(), sl.len());
+        for ((ti, vi), (tl, vl)) in si.iter().zip(&sl) {
+            assert!((ti - tl).abs() < 1e-6, "times differ: {ti} vs {tl}");
+            assert!((vi - vl).abs() < 1e-6);
+        }
+        for (x, y) in inc.host_flops.iter().zip(&leg.host_flops) {
+            assert!((x - y).abs() <= 1e-6 * x.abs().max(1.0));
         }
     }
 }

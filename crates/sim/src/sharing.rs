@@ -9,8 +9,13 @@
 //!   fairly (progressive filling), each flow bottlenecked by the tightest
 //!   link on its route.
 //!
-//! Both functions are pure: they map demand sets to rate vectors and are
-//! re-invoked by the kernel whenever the demand set churns.
+//! Both models are pure: they map demand sets to rate vectors and are
+//! re-invoked by the kernel whenever the demand set churns. The kernel
+//! recomputes rates *incrementally* — one connected sharing component at a
+//! time — so the network solver is exposed in two layers: a reusable
+//! flat-array core ([`FairScratch::solve`]) that allocates nothing on the
+//! steady path, and the original slice-of-`Vec` convenience wrapper
+//! ([`max_min_fair`]).
 
 /// Per-action CPU rate on a host with `cores` cores of `speed` flop/s each,
 /// shared by `n_actions` compute actions plus `load_units` units of external
@@ -31,102 +36,144 @@ pub fn cpu_share(speed: f64, cores: u32, n_actions: usize, load_units: f64) -> f
     equal.min(speed)
 }
 
+/// Reusable buffers for the progressive-filling solver.
+///
+/// The kernel keeps one of these alive across recomputations so that the
+/// steady-state path performs no heap allocation. Inputs are flat arrays:
+/// flow `f`'s route is `links_flat[offsets[f].0 .. offsets[f].0 + offsets[f].1]`,
+/// link indices are *local* to the `caps` array (the caller maps global link
+/// ids down to a dense component-local range).
+#[derive(Default, Debug)]
+pub struct FairScratch {
+    rem_cap: Vec<f64>,
+    count: Vec<u32>,
+    fixed: Vec<bool>,
+    saturated: Vec<bool>,
+}
+
+impl FairScratch {
+    /// Max-min fair allocation over flat route arrays.
+    ///
+    /// `offsets[f] = (start, len)` into `links_flat`; `caps[l]` is the
+    /// capacity of local link `l`. On return `rates` holds one rate per
+    /// flow; flows with empty routes get `f64::INFINITY`.
+    ///
+    /// Progressive filling raises all undecided flows uniformly by the
+    /// tightest link's fair share, then fixes every flow crossing a link
+    /// whose remaining capacity is exhausted (within a small relative
+    /// epsilon of the link's *original* capacity, which is robust to
+    /// catastrophic cancellation on wildly mixed magnitudes). The tightest
+    /// link itself is always treated as exhausted, so at least one flow is
+    /// fixed per round and the loop terminates after at most `nf` rounds —
+    /// no "fix everything" fallback is needed, and every flow ends up
+    /// bottlenecked by a genuinely saturated link.
+    pub fn solve(
+        &mut self,
+        offsets: &[(u32, u32)],
+        links_flat: &[u32],
+        caps: &[f64],
+        rates: &mut Vec<f64>,
+    ) {
+        let nf = offsets.len();
+        let nl = caps.len();
+        rates.clear();
+        rates.resize(nf, 0.0);
+        self.rem_cap.clear();
+        self.rem_cap.extend_from_slice(caps);
+        self.count.clear();
+        self.count.resize(nl, 0);
+        self.fixed.clear();
+        self.fixed.resize(nf, false);
+        self.saturated.clear();
+        self.saturated.resize(nl, false);
+
+        let route = |f: usize| {
+            let (s, n) = offsets[f];
+            &links_flat[s as usize..s as usize + n as usize]
+        };
+        let mut undecided = 0usize;
+        for (f, rate) in rates.iter_mut().enumerate().take(nf) {
+            let r = route(f);
+            if r.is_empty() {
+                *rate = f64::INFINITY;
+                self.fixed[f] = true;
+            } else {
+                undecided += 1;
+                for &l in r {
+                    self.count[l as usize] += 1;
+                }
+            }
+        }
+        while undecided > 0 {
+            // Tightest link among links still carrying undecided flows.
+            let mut best: Option<(usize, f64)> = None;
+            for l in 0..nl {
+                if self.count[l] == 0 {
+                    continue;
+                }
+                let fair = self.rem_cap[l] / self.count[l] as f64;
+                match best {
+                    Some((_, b)) if fair >= b => {}
+                    _ => best = Some((l, fair)),
+                }
+            }
+            let Some((argmin, inc)) = best else { break };
+            for (f, r) in rates.iter_mut().enumerate().take(nf) {
+                if !self.fixed[f] {
+                    *r += inc;
+                }
+            }
+            // Deduct this round's allocation; a link is exhausted when what
+            // remains is negligible relative to its original capacity.
+            for (l, &cap) in caps.iter().enumerate().take(nl) {
+                self.saturated[l] = false;
+                if self.count[l] > 0 {
+                    self.rem_cap[l] -= inc * self.count[l] as f64;
+                    if self.rem_cap[l] <= 1e-12 * cap {
+                        self.rem_cap[l] = 0.0;
+                        self.saturated[l] = true;
+                    }
+                }
+            }
+            // Progress guarantee: the argmin link is saturated by
+            // construction even if round-off left it marginally positive.
+            self.rem_cap[argmin] = 0.0;
+            self.saturated[argmin] = true;
+            for f in 0..nf {
+                if self.fixed[f] {
+                    continue;
+                }
+                if route(f).iter().any(|&l| self.saturated[l as usize]) {
+                    self.fixed[f] = true;
+                    undecided -= 1;
+                    for &l in route(f) {
+                        self.count[l as usize] -= 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Max-min fair ("progressive filling") bandwidth allocation.
 ///
 /// `routes[f]` lists the link indices used by flow `f`; `capacity[l]` is link
 /// `l`'s bandwidth. Returns one rate per flow. Flows with empty routes get
 /// `f64::INFINITY` (same-host transfers are not bandwidth-limited).
 ///
-/// The algorithm raises all undecided flow rates uniformly until some link
-/// saturates, fixes the flows crossing that link, and repeats. Complexity is
-/// O(F·L) per round and at most F rounds — ample for emulation scale.
+/// Convenience wrapper over [`FairScratch::solve`]; the kernel calls the
+/// flat-array core directly to avoid per-recompute allocation.
 pub fn max_min_fair(routes: &[Vec<usize>], capacity: &[f64]) -> Vec<f64> {
-    let nf = routes.len();
-    let nl = capacity.len();
-    let mut rate = vec![0.0f64; nf];
-    let mut fixed = vec![false; nf];
-    for (f, r) in routes.iter().enumerate() {
-        if r.is_empty() {
-            rate[f] = f64::INFINITY;
-            fixed[f] = true;
-        }
+    let mut offsets = Vec::with_capacity(routes.len());
+    let mut links_flat = Vec::new();
+    for r in routes {
+        offsets.push((links_flat.len() as u32, r.len() as u32));
+        links_flat.extend(r.iter().map(|&l| l as u32));
     }
-    let mut rem_cap = capacity.to_vec();
-    let mut count = vec![0usize; nl];
-    for (f, r) in routes.iter().enumerate() {
-        if !fixed[f] {
-            for &l in r {
-                count[l] += 1;
-            }
-        }
-    }
-    loop {
-        // Find the tightest link among links still carrying undecided flows.
-        let mut best: Option<(usize, f64)> = None;
-        for l in 0..nl {
-            if count[l] == 0 {
-                continue;
-            }
-            let fair = rem_cap[l] / count[l] as f64;
-            match best {
-                Some((_, b)) if fair >= b => {}
-                _ => best = Some((l, fair)),
-            }
-        }
-        let Some((_, inc)) = best else { break };
-        // All undecided flows rise by `inc`; flows crossing any link that
-        // saturates at this level become fixed.
-        let mut saturated = vec![false; nl];
-        for l in 0..nl {
-            if count[l] > 0 && (rem_cap[l] / count[l] as f64 - inc).abs() <= 1e-9 * inc.max(1.0) {
-                saturated[l] = true;
-            }
-        }
-        for f in 0..nf {
-            if fixed[f] {
-                continue;
-            }
-            rate[f] += inc;
-        }
-        // Deduct this round's increment from every link carrying undecided
-        // flows, then fix flows that cross a saturated link.
-        for l in 0..nl {
-            if count[l] > 0 {
-                rem_cap[l] -= inc * count[l] as f64;
-                if rem_cap[l] < 0.0 {
-                    rem_cap[l] = 0.0;
-                }
-            }
-        }
-        let mut any_fixed = false;
-        for f in 0..nf {
-            if fixed[f] {
-                continue;
-            }
-            if routes[f].iter().any(|&l| saturated[l]) {
-                fixed[f] = true;
-                any_fixed = true;
-                for &l in &routes[f] {
-                    count[l] -= 1;
-                }
-            }
-        }
-        if !any_fixed {
-            // Numerical safety: fix everything remaining at current rates.
-            for f in 0..nf {
-                if !fixed[f] {
-                    fixed[f] = true;
-                    for &l in &routes[f] {
-                        count[l] -= 1;
-                    }
-                }
-            }
-        }
-        if fixed.iter().all(|&x| x) {
-            break;
-        }
-    }
-    rate
+    let mut scratch = FairScratch::default();
+    let mut rates = Vec::new();
+    scratch.solve(&offsets, &links_flat, capacity, &mut rates);
+    rates
 }
 
 #[cfg(test)]
@@ -195,11 +242,9 @@ mod tests {
 
     #[test]
     fn maxmin_leftover_capacity_goes_to_unconstrained() {
-        // Link 0 cap 2 carries A,B; link 1 cap 10 carries B only — wait, B
-        // crosses both. A: link0; B: link0+link1; C: link1.
+        // A: link0; B: link0+link1; C: link1. Caps 2 and 10.
         // Round 1: link0 fair=1 saturates -> A=B=1. C continues on link1
-        // (cap 10 - 1 = 9) -> C=9... progressive filling: C rises to 1 with
-        // others, then link1 has 10-2=8 left for C alone -> C = 1+8 = 9.
+        // (cap 10 - 2 = 8 left for C alone) -> C = 1+8 = 9.
         let rates = max_min_fair(&[vec![0], vec![0, 1], vec![1]], &[2.0, 10.0]);
         assert!(close(rates[0], 1.0));
         assert!(close(rates[1], 1.0));
@@ -228,5 +273,41 @@ mod tests {
                 .sum();
             assert!(used <= cap * (1.0 + 1e-6), "link {l}: {used} > {cap}");
         }
+    }
+
+    #[test]
+    fn maxmin_mixed_magnitudes_terminate_and_conserve() {
+        // Capacities spanning twelve orders of magnitude used to be able to
+        // trip the old absolute-epsilon saturation test; the relative test
+        // plus argmin-forcing keeps every round productive.
+        let routes = vec![vec![0, 1], vec![1, 2], vec![0, 2], vec![1]];
+        let caps = [1e-6, 3.0e6, 7.5e-3];
+        let rates = max_min_fair(&routes, &caps);
+        for (l, &cap) in caps.iter().enumerate() {
+            let used: f64 = routes
+                .iter()
+                .zip(&rates)
+                .filter(|(r, _)| r.contains(&l))
+                .map(|(_, &x)| x)
+                .sum();
+            assert!(used <= cap * (1.0 + 1e-6), "link {l}: {used} > {cap}");
+            assert!(rates.iter().all(|r| r.is_finite() && *r >= 0.0));
+        }
+    }
+
+    #[test]
+    fn flat_solver_matches_wrapper() {
+        let routes = vec![vec![0usize, 1], vec![0], vec![1], vec![]];
+        let caps = [4.0, 6.0];
+        let via_wrapper = max_min_fair(&routes, &caps);
+        let offsets = [(0u32, 2u32), (2, 1), (3, 1), (4, 0)];
+        let links_flat = [0u32, 1, 0, 1];
+        let mut scratch = FairScratch::default();
+        let mut rates = Vec::new();
+        scratch.solve(&offsets, &links_flat, &caps, &mut rates);
+        assert_eq!(via_wrapper, rates);
+        // Scratch reuse must not leak state between solves.
+        scratch.solve(&offsets, &links_flat, &caps, &mut rates);
+        assert_eq!(via_wrapper, rates);
     }
 }

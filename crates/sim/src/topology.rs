@@ -239,6 +239,34 @@ impl Grid {
         Route { links, latency }
     }
 
+    /// Allocation-light variant of [`Grid::route`]: appends the route's link
+    /// indices (as raw `u32`s) to `out` and returns the total one-way
+    /// latency. The kernel uses this to build its interned route table
+    /// without cloning `Vec<LinkId>` per lookup.
+    ///
+    /// # Panics
+    /// Panics if the clusters are not connected, like [`Grid::route`].
+    pub fn route_links_into(&self, src: HostId, dst: HostId, out: &mut Vec<u32>) -> f64 {
+        if src == dst {
+            return 0.0;
+        }
+        let (sc, dc) = (self.host(src).cluster, self.host(dst).cluster);
+        let start = out.len();
+        out.push(self.host(src).uplink_tx.0);
+        if sc != dc {
+            let path = self
+                .cluster_paths
+                .get(&(sc, dc))
+                .expect("clusters disconnected: builder validation should prevent this");
+            out.extend(path.iter().map(|l| l.0));
+        }
+        out.push(self.host(dst).uplink_rx.0);
+        out[start..]
+            .iter()
+            .map(|&l| self.link(LinkId(l)).latency)
+            .sum()
+    }
+
     /// Hosts of a given cluster, by name.
     pub fn hosts_of(&self, cluster: &str) -> Vec<HostId> {
         match self.cluster_by_name(cluster) {
@@ -590,10 +618,7 @@ mod tests {
         let c = b.cluster("B");
         b.add_hosts(a, 1, &HostSpec::default());
         b.add_hosts(c, 1, &HostSpec::default());
-        assert!(matches!(
-            b.build(),
-            Err(TopologyError::Disconnected(_, _))
-        ));
+        assert!(matches!(b.build(), Err(TopologyError::Disconnected(_, _))));
     }
 
     #[test]

@@ -8,7 +8,11 @@ use crate::process::ProcId;
 use crate::topology::HostId;
 
 /// One timestamped record.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares timestamps bitwise (via `f64` equality), which is
+/// exactly what the kernel's determinism tests need: two runs are equivalent
+/// only if every record matches bit for bit.
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceRecord {
     /// Virtual time of the event, seconds.
     pub t: f64,
@@ -19,7 +23,7 @@ pub struct TraceRecord {
 }
 
 /// Kinds of trace records.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum TraceKind {
     /// A process started.
     ProcStart { name: String },
@@ -36,7 +40,7 @@ pub enum TraceKind {
 }
 
 /// Full trace of a run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Trace {
     /// Records in (virtual) chronological order.
     pub records: Vec<TraceRecord>,
@@ -89,9 +93,7 @@ impl Trace {
                     ("load", host.to_string(), format!("{total}"))
                 }
                 TraceKind::HostFail { host } => ("host_fail", host.to_string(), String::new()),
-                TraceKind::Custom { label, value } => {
-                    ("custom", label.clone(), format!("{value}"))
-                }
+                TraceKind::Custom { label, value } => ("custom", label.clone(), format!("{value}")),
             };
             let detail = detail.replace(',', ";");
             out.push_str(&format!("{},{},{},{},{}\n", r.t, pid, kind, detail, value));
@@ -160,7 +162,11 @@ mod tests {
         assert_eq!(lines.len(), 3);
         assert_eq!(lines[0], "time,pid,kind,detail,value");
         assert!(lines[1].contains("custom"));
-        assert!(lines[1].contains("iteration; one"), "commas escaped: {}", lines[1]);
+        assert!(
+            lines[1].contains("iteration; one"),
+            "commas escaped: {}",
+            lines[1]
+        );
         assert!(lines[2].contains("host_fail"));
     }
 }

@@ -75,6 +75,57 @@ proptest! {
         prop_assert!(r_n1[0] <= r_n[0] + 1e-9);
     }
 
+    /// Capacity conservation under adversarial magnitudes: capacities
+    /// spanning ~21 orders of magnitude on the same route used to be able
+    /// to defeat the old absolute-epsilon saturation test (which then hit
+    /// a "fix everything at current rates" fallback that could leave links
+    /// oversubscribed or flows without a saturated bottleneck). The
+    /// hardened fix-point — relative-to-original-capacity saturation plus
+    /// forcing the argmin link saturated each round — must conserve every
+    /// link's capacity, keep all rates finite and positive, and bottleneck
+    /// every flow.
+    #[test]
+    fn maxmin_conserves_capacity_wild_magnitudes(
+        (routes, caps) in (3usize..8).prop_flat_map(|nl| {
+            let links = proptest::collection::vec(
+                prop_oneof![
+                    1e-9f64..1e-3,
+                    0.5f64..2e3,
+                    1e6f64..1e12,
+                ],
+                nl,
+            );
+            let flows = proptest::collection::vec(
+                proptest::collection::btree_set(0..nl, 1..=nl)
+                    .prop_map(|s| s.into_iter().collect::<Vec<_>>()),
+                1..12,
+            );
+            (flows, links)
+        })
+    ) {
+        let rates = max_min_fair(&routes, &caps);
+        let used: Vec<f64> = (0..caps.len())
+            .map(|l| {
+                routes
+                    .iter()
+                    .zip(&rates)
+                    .filter(|(r, _)| r.contains(&l))
+                    .map(|(_, &x)| x)
+                    .sum()
+            })
+            .collect();
+        for (l, &cap) in caps.iter().enumerate() {
+            prop_assert!(used[l] <= cap * (1.0 + 1e-6), "link {l}: {} > {cap}", used[l]);
+        }
+        for (f, route) in routes.iter().enumerate() {
+            prop_assert!(rates[f].is_finite() && rates[f] > 0.0, "flow {f}: {}", rates[f]);
+            let bottlenecked = route
+                .iter()
+                .any(|&l| used[l] >= caps[l] * (1.0 - 1e-6));
+            prop_assert!(bottlenecked, "flow {f} has slack everywhere");
+        }
+    }
+
     /// CPU share is bounded by one core and by an equal split of total
     /// capacity, and shrinks as load grows.
     #[test]

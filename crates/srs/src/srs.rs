@@ -138,8 +138,7 @@ impl Srs {
     ) -> Option<Vec<f64>> {
         let meta = {
             let m = self.ibp.retrieve(ctx, &self.meta_key(name))?;
-            *m.downcast_ref::<DistMeta>()
-                .expect("dist metadata type")
+            *m.downcast_ref::<DistMeta>().expect("dist metadata type")
         };
         let old = meta.dist;
         assert_eq!(old.n, new_dist.n, "redistribution must preserve length");
@@ -163,9 +162,7 @@ impl Srs {
             let c = self
                 .ibp
                 .retrieve_partial(ctx, &self.chunk_key(name, r), cost)?;
-            let v = c
-                .downcast::<Vec<f64>>()
-                .expect("checkpoint chunk type");
+            let v = c.downcast::<Vec<f64>>().expect("checkpoint chunk type");
             chunks.insert(r, v);
         }
         let mut out = Vec::with_capacity(my_len);
@@ -247,10 +244,7 @@ mod tests {
         for rank in 0..3 {
             let srs2 = srs.clone();
             eng.spawn(&format!("w{rank}"), xs[rank], move |ctx| {
-                let data: Vec<f64> = old
-                    .globals_of(rank)
-                    .map(|gl| gl as f64 * 1.5)
-                    .collect();
+                let data: Vec<f64> = old.globals_of(rank).map(|gl| gl as f64 * 1.5).collect();
                 srs2.store_distributed(ctx, "A", old, rank, data, 8.0 * n as f64);
             });
         }

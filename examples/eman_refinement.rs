@@ -35,12 +35,18 @@ fn main() {
     }
     for (name, s) in [
         ("heft", schedule_heft(&wf, &grid, &nws, &resources)),
-        ("round-robin", schedule_round_robin(&wf, &grid, &nws, &resources)),
+        (
+            "round-robin",
+            schedule_round_robin(&wf, &grid, &nws, &resources),
+        ),
         ("random", schedule_random(&wf, &grid, &nws, &resources, 1)),
     ] {
         println!("  {name:<14} {:>10.1} s", s.makespan);
     }
-    println!("\nwinning strategy: {} ({:.1} s)", best.strategy, best.makespan);
+    println!(
+        "\nwinning strategy: {} ({:.1} s)",
+        best.strategy, best.makespan
+    );
 
     println!("\nclassification placement (the parallel stage):");
     for &c in &stages.classify {

@@ -37,5 +37,9 @@ fn main() {
     for &(t, logical) in &r.swaps {
         println!("swap: logical rank {logical:.0} moved at t = {t:.1} s");
     }
-    println!("completed {} iterations at t = {:.1} s", r.progress.len(), r.end_time);
+    println!(
+        "completed {} iterations at t = {:.1} s",
+        r.progress.len(),
+        r.end_time
+    );
 }

@@ -101,9 +101,18 @@ fn economy_allocates_cluster_capacity() {
     let supply: f64 = grid.hosts().iter().map(|h| h.cores as f64).sum();
     let producers = vec![Producer { capacity: supply }];
     let consumers = vec![
-        Consumer { budget: 60.0, max_demand: 10.0 },
-        Consumer { budget: 30.0, max_demand: 10.0 },
-        Consumer { budget: 10.0, max_demand: 10.0 },
+        Consumer {
+            budget: 60.0,
+            max_demand: 10.0,
+        },
+        Consumer {
+            budget: 30.0,
+            max_demand: 10.0,
+        },
+        Consumer {
+            budget: 10.0,
+            max_demand: 10.0,
+        },
     ];
     let mut m = CommodityMarket::default();
     let eq = m.clear(&producers, &consumers, 500, 0.01);

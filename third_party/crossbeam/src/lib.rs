@@ -1,0 +1,34 @@
+//! Minimal, API-compatible shim for the subset of `crossbeam` this
+//! workspace uses: unbounded MPSC channels. Backed by `std::sync::mpsc`,
+//! which matches the `send`/`recv`/`try_recv` call shapes used here.
+
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+
+    /// An unbounded channel, mirroring `crossbeam::channel::unbounded`.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn send_and_receive() {
+        let (tx, rx) = unbounded();
+        tx.send(7u32).unwrap();
+        let tx2 = tx.clone();
+        tx2.send(8).unwrap();
+        assert_eq!(rx.recv().unwrap(), 7);
+        assert_eq!(rx.recv().unwrap(), 8);
+    }
+
+    #[test]
+    fn disconnect_observed() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+}

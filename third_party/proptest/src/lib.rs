@@ -1,0 +1,632 @@
+//! Minimal, API-compatible shim for the subset of `proptest` this
+//! workspace uses.
+//!
+//! Provides the `proptest!` runner macro, the [`strategy::Strategy`]
+//! combinator trait (`prop_map`, `prop_flat_map`), range/tuple/`Just`
+//! strategies, `prop_oneof!`, collection strategies, and the
+//! `prop_assert*` family. Cases are generated from a deterministic
+//! per-test seed; failures print the case seed. No shrinking is
+//! performed, and `proptest-regressions` files are not read — recorded
+//! regressions should be reified as explicit tests.
+
+pub mod test_runner {
+    /// Per-run configuration, mirroring `proptest::test_runner::Config`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+        /// Maximum rejected cases (via `prop_assume!`) before giving up.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 64,
+                max_global_rejects: 4096,
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..Default::default()
+            }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case failed an assertion.
+        Fail(String),
+        /// The case was rejected by `prop_assume!` and should be retried.
+        Reject(String),
+    }
+
+    /// Deterministic RNG used to generate case inputs (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)` with 53 bits of precision.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform in `[0, span)`; `span` must be nonzero.
+        pub fn below(&mut self, span: u64) -> u64 {
+            debug_assert!(span > 0);
+            loop {
+                let x = self.next_u64();
+                let m = (x as u128).wrapping_mul(span as u128);
+                let lo = m as u64;
+                if lo < span.wrapping_neg() % span {
+                    continue;
+                }
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Seed for one attempt of one test: FNV-1a over the test path mixed
+    /// with the attempt counter. Stable across runs for reproducibility.
+    pub fn case_seed(test_path: &str, attempt: u32) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h ^ ((attempt as u64) << 1 | 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of random values, mirroring `proptest::strategy::Strategy`
+    /// (minus shrinking).
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                whence,
+                f,
+            }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, T> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, S2> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: &'static str,
+        f: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..10_000 {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter {:?}: no value accepted", self.whence)
+        }
+    }
+
+    /// Uniform choice among boxed alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        variants: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(variants: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!variants.is_empty(), "prop_oneof! needs alternatives");
+            Union { variants }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let k = rng.below(self.variants.len() as u64) as usize;
+            self.variants[k].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (a, b) = (*self.start(), *self.end());
+                    assert!(a <= b, "empty range strategy");
+                    let span = (b as i128 - a as i128) as u128 + 1;
+                    if span > u64::MAX as u128 {
+                        return rng.next_u64() as $t;
+                    }
+                    a.wrapping_add(rng.below(span as u64) as $t)
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + rng.next_f64() as $t * (self.end - self.start)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (a, b) = (*self.start(), *self.end());
+                    assert!(a <= b, "empty range strategy");
+                    a + rng.next_f64() as $t * (b - a)
+                }
+            }
+        )*};
+    }
+
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($n:ident),+))*) => {$(
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($n,)+) = self;
+                    ($($n.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A collection size specification: an exact count or a range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        /// Inclusive upper bound.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            if self.min == self.max {
+                self.min
+            } else {
+                self.min + rng.below((self.max - self.min + 1) as u64) as usize
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec`: a `Vec` of values from `element` with a
+    /// length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::btree_set`: a set of distinct values with a
+    /// target size drawn from `size`. If the element domain is too small
+    /// to reach the target, the set is as large as the domain allows.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let n = self.size.pick(rng);
+            let mut out = BTreeSet::new();
+            let mut tries = 0usize;
+            while out.len() < n && tries < 100 + 50 * n {
+                out.insert(self.element.generate(rng));
+                tries += 1;
+            }
+            out
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+    /// `proptest::prelude::prop` module alias used by some call styles.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$({ let _ = $weight; $crate::strategy::Strategy::boxed($strat) }),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($strat)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`",
+            *l,
+            *r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: `{:?}` != `{:?}`", *l, *r);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr);) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let __path = concat!(module_path!(), "::", stringify!($name));
+            let mut __passed: u32 = 0;
+            let mut __rejected: u32 = 0;
+            let mut __attempt: u32 = 0;
+            while __passed < __cfg.cases {
+                let __seed = $crate::test_runner::case_seed(__path, __attempt);
+                __attempt += 1;
+                let __outcome = {
+                    let mut __rng = $crate::test_runner::TestRng::new(__seed);
+                    let __run = ::std::panic::AssertUnwindSafe(
+                        || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                            $body
+                            ::std::result::Result::Ok(())
+                        },
+                    );
+                    ::std::panic::catch_unwind(__run)
+                };
+                match __outcome {
+                    Ok(Ok(())) => __passed += 1,
+                    Ok(Err($crate::test_runner::TestCaseError::Fail(msg))) => {
+                        panic!(
+                            "proptest case failed: {} [test {}, case seed {:#018x}]",
+                            msg, __path, __seed
+                        );
+                    }
+                    Ok(Err($crate::test_runner::TestCaseError::Reject(msg))) => {
+                        __rejected += 1;
+                        if __rejected > __cfg.max_global_rejects {
+                            panic!(
+                                "proptest: too many rejected cases ({}): {} [test {}]",
+                                __rejected, msg, __path
+                            );
+                        }
+                    }
+                    Err(payload) => {
+                        eprintln!(
+                            "proptest case panicked [test {}, case seed {:#018x}]",
+                            __path, __seed
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Tag {
+        A(u32),
+        B(u8),
+    }
+
+    fn tag() -> impl Strategy<Value = Tag> {
+        prop_oneof![(1u32..100).prop_map(Tag::A), (0u8..4).prop_map(Tag::B),]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respected(x in 3u32..17, f in 0.5f64..1.5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.5..1.5).contains(&f));
+        }
+
+        #[test]
+        fn flat_map_and_collections((n, v) in (1usize..5).prop_flat_map(|n| {
+            (Just(n), crate::collection::vec(0u32..10, n))
+        })) {
+            prop_assert_eq!(v.len(), n);
+        }
+
+        #[test]
+        fn oneof_hits_all_variants(t in tag()) {
+            match t {
+                Tag::A(x) => prop_assert!((1..100).contains(&x)),
+                Tag::B(x) => prop_assert!(x < 4),
+            }
+        }
+
+        #[test]
+        fn assume_rejects(x in 0u32..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn btree_set_sizes(s in crate::collection::btree_set(0usize..50, 2..=5)) {
+            prop_assert!(s.len() >= 2 && s.len() <= 5);
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let s = crate::collection::vec(0u64..1000, 3..9);
+        let a: Vec<u64> = s.generate(&mut TestRng::new(99));
+        let b: Vec<u64> = s.generate(&mut TestRng::new(99));
+        assert_eq!(a, b);
+    }
+}
