@@ -28,10 +28,11 @@ use grads_binder::{
     prepare_and_bind, Breakdown, CompilationPackage, Cop, Gis, ManagerCosts, LOCAL_BINDER,
 };
 use grads_contract::{
-    run_contract_monitor, Contract, ContractMonitor, DonePredicate, Response, ViolationHandler,
+    run_contract_monitor_obs, Contract, ContractMonitor, DonePredicate, Response, ViolationHandler,
 };
 use grads_mpi::launch_from;
 use grads_nws::NwsService;
+use grads_obs::{DecisionAction, DecisionKind, Obs};
 use grads_reschedule::{
     MigrationDecision, MigrationRescheduler, OverheadPolicy, Reschedulable, ReschedulerMode,
 };
@@ -238,6 +239,11 @@ pub struct QrExperimentConfig {
     pub max_procs: usize,
     /// Hard cap on virtual time.
     pub t_max: f64,
+    /// Observability sink threaded through the kernel, the contract
+    /// monitor, and the rescheduler. Disabled by default; attach
+    /// [`Obs::enabled`] to collect metrics and decision events without
+    /// changing the run (see `tests/obs_determinism.rs`).
+    pub obs: Obs,
 }
 
 impl QrExperimentConfig {
@@ -266,6 +272,7 @@ impl QrExperimentConfig {
             min_procs: 4,
             max_procs: 8,
             t_max: 100_000.0,
+            obs: Obs::disabled(),
         }
     }
 }
@@ -285,6 +292,9 @@ pub struct QrExperimentResult {
     pub incarnations: usize,
     /// Rank slots of the final incarnation.
     pub final_hosts: Vec<HostId>,
+    /// The kernel's run report (end time, trace, per-host accounting) —
+    /// what the obs determinism regression compares bit-for-bit.
+    pub report: RunReport,
 }
 
 fn sorted(hs: &[HostId]) -> Vec<HostId> {
@@ -297,6 +307,7 @@ fn sorted(hs: &[HostId]) -> Vec<HostId> {
 /// [`grads_sim::topology::macrogrid_qr`]).
 pub fn run_qr_experiment(grid: Grid, ecfg: QrExperimentConfig) -> QrExperimentResult {
     let mut eng = Engine::new(grid.clone());
+    eng.set_obs(ecfg.obs.clone());
     let all_hosts: Vec<HostId> = (0..grid.hosts().len() as u32).map(HostId).collect();
 
     // Middleware: GIS with software everywhere, shared NWS, SRS fabric.
@@ -445,6 +456,16 @@ pub fn run_qr_experiment(grid: Grid, ecfg: QrExperimentConfig) -> QrExperimentRe
                     }
                 },
             );
+            if incarnations > 1 {
+                // The restarted world is up: the migration actuation that
+                // began at the stop request is complete.
+                ecfg.obs.event(
+                    ctx.now(),
+                    DecisionKind::ActuationComplete {
+                        action: DecisionAction::Migrate,
+                    },
+                );
+            }
 
             // -------- contract + monitor --------
             let predicted_total = {
@@ -474,7 +495,8 @@ pub fn run_qr_experiment(grid: Grid, ecfg: QrExperimentConfig) -> QrExperimentRe
                 let running3 = running.clone();
                 let cop3 = cop.clone();
                 let all3 = all_hosts.clone();
-                Arc::new(move |_mctx, _v| {
+                let obs3 = ecfg.obs.clone();
+                Arc::new(move |mctx, _v| {
                     if srs3.rss.stop_requested() {
                         // A migration is already in motion; let the
                         // monitor retire.
@@ -483,7 +505,7 @@ pub fn run_qr_experiment(grid: Grid, ecfg: QrExperimentConfig) -> QrExperimentRe
                     let n = nws3.lock();
                     let cands = cop3.candidates(&grid3, &n, &all3);
                     let mut d = rescheduler
-                        .decide_best(running3.as_ref(), &cands, &grid3, &n)
+                        .decide_best_obs(running3.as_ref(), &cands, &grid3, &n, &obs3)
                         .expect("candidates exist");
                     // Moving onto the very machines the app already holds
                     // is not a migration, whatever the (forecast-polluted)
@@ -501,6 +523,12 @@ pub fn run_qr_experiment(grid: Grid, ecfg: QrExperimentConfig) -> QrExperimentRe
                     }
                     if d.migrate {
                         srs3.rss.request_stop();
+                        obs3.event(
+                            mctx.now(),
+                            DecisionKind::ActuationStarted {
+                                action: DecisionAction::Migrate,
+                            },
+                        );
                         Response::Migrated
                     } else {
                         Response::Declined
@@ -515,12 +543,21 @@ pub fn run_qr_experiment(grid: Grid, ecfg: QrExperimentConfig) -> QrExperimentRe
             let period = ecfg.monitor_period;
             let mon_contract = contract.clone();
             let mon_handler = handler.clone();
+            let mon_obs = ecfg.obs.clone();
             ctx.spawn(
                 &format!("contract-monitor-e{epoch}"),
                 mgr_host,
                 move |mctx| {
                     let mut mon = ContractMonitor::new(mon_contract);
-                    run_contract_monitor(mctx, &stats, &mut mon, period, mon_done, mon_handler);
+                    run_contract_monitor_obs(
+                        mctx,
+                        &stats,
+                        &mut mon,
+                        period,
+                        mon_done,
+                        mon_handler,
+                        &mon_obs,
+                    );
                 },
             );
 
@@ -556,12 +593,14 @@ pub fn run_qr_experiment(grid: Grid, ecfg: QrExperimentConfig) -> QrExperimentRe
             decision: final_m.lock().clone(),
             incarnations,
             final_hosts,
+            report: RunReport::default(),
         });
     });
 
     let tmax = ecfg.t_max * 1.2;
-    eng.run_until(tmax);
-    let r = out.lock().take().expect("experiment completed");
+    let report = eng.run_until(tmax);
+    let mut r = out.lock().take().expect("experiment completed");
+    r.report = report;
     r
 }
 

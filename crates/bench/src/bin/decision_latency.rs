@@ -1,0 +1,83 @@
+//! Decision-loop latency breakdown for the fig3 QR-migration scenario.
+//!
+//! Replays the §4.1.2 stop/restart experiment with an observability sink
+//! attached and prints (1) the monitor → detect → decide → actuate chains
+//! reconstructed from the decision-event stream, with every stage
+//! timestamped in virtual seconds, (2) the slowdown-onset → detection lag
+//! (the load-arrival time is scenario knowledge the event stream cannot
+//! carry), and (3) the full deterministic metrics snapshot as JSON, so two
+//! runs can be diffed textually.
+//!
+//! Usage: `cargo run --release -p grads-bench --bin decision_latency
+//! [n_nominal [n_real]]` (defaults 20000 / 64). See EXPERIMENTS.md for a
+//! worked reading of the output.
+
+use grads_core::obs::{chain_table_header, chain_table_row, DecisionAction, Obs};
+use grads_core::prelude::*;
+use grads_core::sim::topology::macrogrid_qr;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n_nominal: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(20000);
+    let n_real: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(64);
+
+    let obs = Obs::enabled();
+    let mut cfg = QrExperimentConfig::paper(n_nominal);
+    cfg.qr.n_real = n_real;
+    cfg.qr.block = 4;
+    cfg.qr.poll_every = 4;
+    cfg.load_at = 60.0;
+    cfg.monitor_period = 10.0;
+    cfg.t_max = 50_000.0;
+    cfg.obs = obs.clone();
+    let load_at = cfg.load_at;
+
+    let r = run_qr_experiment(macrogrid_qr(), cfg);
+
+    println!("decision_latency — fig3 QR-migration scenario (N = {n_nominal}, n_real = {n_real})");
+    println!(
+        "outcome: migrated = {}, incarnations = {}, total_time = {:.1} s (virtual)\n",
+        r.migrated, r.incarnations, r.total_time
+    );
+
+    println!("decision chains (all times virtual seconds):");
+    println!("{}", chain_table_header());
+    let chains = obs.chains();
+    for c in &chains {
+        println!("{}", chain_table_row(c));
+    }
+    if chains.is_empty() {
+        println!("(no violations detected)");
+    }
+
+    if let Some(c) = chains.iter().find(|c| c.action == DecisionAction::Migrate) {
+        println!("\nmonitor→actuate latency breakdown (migrate chain):");
+        println!(
+            "  onset→poll    {:>8.1} s   (load at t = {:.0}; next monitor poll that saw it)",
+            c.t_poll - load_at,
+            load_at
+        );
+        println!(
+            "  poll→violation{:>8.1} s   (ratio window crossing the tolerance limit)",
+            c.detect_latency()
+        );
+        if let Some(d) = c.decide_latency() {
+            println!(
+                "  violation→decide{:>6.1} s   (rescheduler model evaluation)",
+                d
+            );
+        }
+        if let Some(a) = c.actuate_latency() {
+            println!(
+                "  actuate       {:>8.1} s   (stop, checkpoint, rebind, relaunch)",
+                a
+            );
+        }
+        if let Some(e2e) = c.t_actuation_end.map(|e| e - load_at) {
+            println!("  onset→running {:>8.1} s   end-to-end", e2e);
+        }
+    }
+
+    println!("\nmetrics snapshot (deterministic JSON — diff two runs with `diff`):");
+    println!("{}", obs.snapshot().to_json());
+}

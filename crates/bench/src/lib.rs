@@ -10,7 +10,10 @@
 //! * `heuristics_table` — min-min / max-min / sufferage vs baselines over
 //!   randomized workloads;
 //! * `ablation_weights`, `ablation_resched`, `ablation_swap` — design-
-//!   choice ablations.
+//!   choice ablations;
+//! * `decision_latency` — the fig3 migration scenario with the `grads-obs`
+//!   sink attached: monitor → detect → decide → actuate latency chains plus
+//!   a deterministic JSON metrics snapshot for run-to-run diffing.
 //!
 //! `benches/microbench.rs` holds the Criterion microbenchmarks of the
 //! substrate itself.

@@ -59,7 +59,12 @@ pub enum Outcome {
     Violation(Violation),
     /// Average ratio below the lower limit: the contract was pessimistic;
     /// the monitor tightened its limits.
-    Renegotiated { new_upper: f64, new_lower: f64 },
+    Renegotiated {
+        /// The tightened upper tolerance limit.
+        new_upper: f64,
+        /// The tightened lower tolerance limit.
+        new_lower: f64,
+    },
 }
 
 /// Details handed to the rescheduler on a violation.

@@ -7,6 +7,14 @@
 //! its tolerance limits when the rescheduler declines to act, and
 //! renegotiates when predictions prove pessimistic ([`contract`]).
 //! [`monitor`] packages the periodic in-simulation monitoring loop.
+//!
+//! Paper map: contracts and violation detection are §3's rescheduling
+//! substrate; the fuzzy-logic violation decision follows the Autopilot
+//! approach the paper builds on. Observability variants
+//! ([`run_contract_monitor_obs`]) additionally emit `grads-obs` decision
+//! events so the monitor → detect → decide → actuate path is measurable.
+
+#![warn(missing_docs)]
 
 pub mod actuator;
 pub mod contract;
@@ -17,5 +25,7 @@ pub mod viewer;
 pub use actuator::{poll_period_controller, ActuatorBus, FuzzyController};
 pub use contract::{Contract, ContractMonitor, Outcome, Violation};
 pub use fuzzy::{violation_engine, FuzzyEngine, Membership};
-pub use monitor::{run_contract_monitor, DonePredicate, Response, ViolationHandler};
+pub use monitor::{
+    run_contract_monitor, run_contract_monitor_obs, DonePredicate, Response, ViolationHandler,
+};
 pub use viewer::{control_events, render_timeline, TimelineEvent};

@@ -8,6 +8,7 @@
 
 use crate::contract::{ContractMonitor, Outcome, Violation};
 use grads_mpi::RankStats;
+use grads_obs::{DecisionAction, DecisionKind, Obs};
 use grads_sim::prelude::*;
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -46,6 +47,36 @@ pub fn run_contract_monitor(
     done: DonePredicate,
     on_violation: ViolationHandler,
 ) {
+    run_contract_monitor_obs(
+        ctx,
+        stats,
+        monitor,
+        period,
+        done,
+        on_violation,
+        &Obs::disabled(),
+    );
+}
+
+/// [`run_contract_monitor`] with an observability sink attached.
+///
+/// Identical monitoring behavior — the plain variant delegates here with a
+/// disabled handle — plus, when `obs` is enabled, a typed decision-event
+/// stream (`MonitorPoll`, `ContractEval`, `Renegotiated`,
+/// `ViolationDetected`, `Decision`) stamped with `ctx.now()` virtual times,
+/// and `contract.*` counters. Recording never sleeps, never reads time on
+/// its own, and never branches the control flow, so an obs-enabled run is
+/// bit-identical to a disabled one (see `tests/obs_determinism.rs`).
+#[allow(clippy::too_many_arguments)]
+pub fn run_contract_monitor_obs(
+    ctx: &mut Ctx,
+    stats: &[Arc<Mutex<RankStats>>],
+    monitor: &mut ContractMonitor,
+    period: f64,
+    done: DonePredicate,
+    on_violation: ViolationHandler,
+    obs: &Obs,
+) {
     let mut cursors = vec![0usize; stats.len()];
     while !done() {
         ctx.sleep(period);
@@ -57,15 +88,50 @@ pub fn run_contract_monitor(
             }
             cursors[r] = st.phase_times.len();
         }
+        obs.counter_add("contract.polls", 1);
+        obs.counter_add("contract.reports", reports.len() as u64);
+        obs.event_with(ctx.now(), || DecisionKind::MonitorPoll {
+            reports: reports.len(),
+        });
         for (phase, dt) in reports {
+            obs.event_with(ctx.now(), || {
+                let predicted = monitor.contract.predicted.get(&phase).copied();
+                DecisionKind::ContractEval {
+                    phase: phase.clone(),
+                    ratio: predicted.map_or(f64::NAN, |p| dt / p),
+                }
+            });
             match monitor.observe(&phase, dt) {
                 Outcome::Ok => {}
                 Outcome::Renegotiated { new_upper, .. } => {
                     ctx.trace("contract_renegotiated", new_upper);
+                    obs.counter_add("contract.renegotiations", 1);
+                    obs.event(ctx.now(), DecisionKind::Renegotiated { new_upper });
                 }
                 Outcome::Violation(v) => {
                     ctx.trace("contract_violation", v.avg_ratio);
-                    match on_violation(ctx, &v) {
+                    obs.counter_add("contract.violations", 1);
+                    obs.event_with(ctx.now(), || DecisionKind::ViolationDetected {
+                        phase: v.phase.clone(),
+                        avg_ratio: v.avg_ratio,
+                        score: v.score,
+                    });
+                    let resp = on_violation(ctx, &v);
+                    let action = match resp {
+                        Response::Declined => DecisionAction::Ignore,
+                        Response::Migrated => DecisionAction::Migrate,
+                        Response::Swapped => DecisionAction::Swap,
+                    };
+                    obs.counter_add(
+                        match action {
+                            DecisionAction::Migrate => "contract.decisions_migrate",
+                            DecisionAction::Swap => "contract.decisions_swap",
+                            DecisionAction::Ignore => "contract.decisions_ignore",
+                        },
+                        1,
+                    );
+                    obs.event(ctx.now(), DecisionKind::Decision { action });
+                    match resp {
                         Response::Declined => monitor.relax(),
                         Response::Migrated => return,
                         Response::Swapped => {

@@ -15,6 +15,7 @@
 //! | Migration + swap rescheduling | [`reschedule`] | §4 |
 //! | GIS + binder + application manager | [`binder`] | §2 |
 //! | QR, N-body, EMAN applications | [`apps`] | §3.3, §4.1–4.2 |
+//! | Decision-loop observability | [`obs`] | §3 (profiling substrate) |
 //!
 //! The [`prelude`] pulls in the names most programs need. See the
 //! repository `examples/` for runnable end-to-end scenarios and
@@ -25,6 +26,7 @@ pub use grads_binder as binder;
 pub use grads_contract as contract;
 pub use grads_mpi as mpi;
 pub use grads_nws as nws;
+pub use grads_obs as obs;
 pub use grads_perf as perf;
 pub use grads_reschedule as reschedule;
 pub use grads_sched as sched;
@@ -44,6 +46,7 @@ pub mod prelude {
     };
     pub use grads_mpi::{launch, BlockCyclic, Comm, RankStats, SwapWorld};
     pub use grads_nws::{Ensemble, NwsService};
+    pub use grads_obs::{DecisionAction, DecisionEvent, DecisionKind, MetricsSnapshot, Obs};
     pub use grads_perf::{
         ComponentModel, FittedModel, MrdModel, OpCountModel, PerfMatrix, RankWeights, ResourceInfo,
     };

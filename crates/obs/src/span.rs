@@ -1,0 +1,355 @@
+//! Structured decision tracing: typed, virtual-time-stamped events on the
+//! monitor → rescheduler path, plus the chain reconstruction that turns
+//! them into a monitor → detect → decide → actuate latency breakdown.
+//!
+//! The contract monitor emits [`DecisionKind::MonitorPoll`],
+//! [`DecisionKind::ContractEval`] and [`DecisionKind::ViolationDetected`];
+//! the rescheduler (or its violation handler) emits
+//! [`DecisionKind::Decision`] and the actuation pair. Because every
+//! recorder runs inside the deterministic kernel (one simulated process
+//! at a time), append order equals virtual-time order and the log itself
+//! is reproducible.
+
+/// What a violation was resolved into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionAction {
+    /// Stop/checkpoint/restart migration (§4.1).
+    Migrate,
+    /// Process swap within an over-provisioned launch (§4.2).
+    Swap,
+    /// Decline: not profitable; the monitor relaxes its tolerances.
+    Ignore,
+}
+
+impl DecisionAction {
+    /// Short lowercase label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DecisionAction::Migrate => "migrate",
+            DecisionAction::Swap => "swap",
+            DecisionAction::Ignore => "ignore",
+        }
+    }
+}
+
+/// One typed event on the decision path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionEvent {
+    /// Virtual time the event was recorded at.
+    pub t: f64,
+    /// What happened.
+    pub kind: DecisionKind,
+}
+
+/// Kinds of decision events.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecisionKind {
+    /// The contract monitor woke and drained `reports` sensor reports.
+    MonitorPoll {
+        /// Sensor reports drained on this poll.
+        reports: usize,
+    },
+    /// One sensor report was compared against its contract prediction.
+    ContractEval {
+        /// Monitored phase name.
+        phase: String,
+        /// Actual/predicted ratio of this report.
+        ratio: f64,
+    },
+    /// The monitor tightened its limits (execution faster than predicted).
+    Renegotiated {
+        /// The new upper tolerance limit.
+        new_upper: f64,
+    },
+    /// The averaged ratio crossed the upper tolerance: a violation.
+    ViolationDetected {
+        /// Violating phase.
+        phase: String,
+        /// Average actual/predicted ratio over the window.
+        avg_ratio: f64,
+        /// Fuzzy violation score in `[0, 1]`.
+        score: f64,
+    },
+    /// The rescheduler resolved a violation.
+    Decision {
+        /// The verdict.
+        action: DecisionAction,
+    },
+    /// Actuation of a non-ignore decision began (stop request issued,
+    /// swap requested, …).
+    ActuationStarted {
+        /// What is being actuated.
+        action: DecisionAction,
+    },
+    /// Actuation finished (restarted world launched, swap applied, …).
+    ActuationComplete {
+        /// What was actuated.
+        action: DecisionAction,
+    },
+}
+
+/// One reconstructed violation-to-actuation chain with every stage
+/// timestamped in virtual seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionChain {
+    /// The monitor poll that surfaced the violating reports.
+    pub t_poll: f64,
+    /// When the violation was detected.
+    pub t_violation: f64,
+    /// Violating phase.
+    pub phase: String,
+    /// Average ratio at detection.
+    pub avg_ratio: f64,
+    /// The resolved action ([`DecisionAction::Ignore`] until a
+    /// `Decision` event arrives).
+    pub action: DecisionAction,
+    /// When the rescheduler returned its verdict.
+    pub t_decision: Option<f64>,
+    /// When actuation began, for non-ignore decisions.
+    pub t_actuation_start: Option<f64>,
+    /// When actuation completed.
+    pub t_actuation_end: Option<f64>,
+}
+
+impl DecisionChain {
+    /// Poll → violation: how long detection took inside the monitor
+    /// (ratio windows crossing the limit). Slowdown-onset → poll is
+    /// scenario knowledge the caller adds (it knows when load landed).
+    pub fn detect_latency(&self) -> f64 {
+        self.t_violation - self.t_poll
+    }
+
+    /// Violation → rescheduler verdict.
+    pub fn decide_latency(&self) -> Option<f64> {
+        self.t_decision.map(|t| t - self.t_violation)
+    }
+
+    /// Actuation start → complete (checkpoint, rebind, relaunch, …).
+    pub fn actuate_latency(&self) -> Option<f64> {
+        match (self.t_actuation_start, self.t_actuation_end) {
+            (Some(s), Some(e)) => Some(e - s),
+            _ => None,
+        }
+    }
+
+    /// Poll → actuation complete, when the chain actuated.
+    pub fn end_to_end(&self) -> Option<f64> {
+        self.t_actuation_end.map(|e| e - self.t_poll)
+    }
+}
+
+/// Reconstruct decision chains from an event log.
+///
+/// A chain opens at each [`DecisionKind::ViolationDetected`] (adopting
+/// the most recent poll time) and absorbs the first following decision,
+/// actuation-start and actuation-complete events. A new violation closes
+/// any chain still open — so declined violations become `Ignore` chains
+/// with no actuation, exactly what the latency table should show.
+pub fn decision_chains(events: &[DecisionEvent]) -> Vec<DecisionChain> {
+    let mut chains = Vec::new();
+    let mut last_poll: Option<f64> = None;
+    let mut open: Option<DecisionChain> = None;
+    for e in events {
+        match &e.kind {
+            DecisionKind::MonitorPoll { .. } => last_poll = Some(e.t),
+            DecisionKind::ViolationDetected {
+                phase, avg_ratio, ..
+            } => {
+                if let Some(c) = open.take() {
+                    chains.push(c);
+                }
+                open = Some(DecisionChain {
+                    t_poll: last_poll.unwrap_or(e.t),
+                    t_violation: e.t,
+                    phase: phase.clone(),
+                    avg_ratio: *avg_ratio,
+                    action: DecisionAction::Ignore,
+                    t_decision: None,
+                    t_actuation_start: None,
+                    t_actuation_end: None,
+                });
+            }
+            DecisionKind::Decision { action } => {
+                if let Some(c) = open.as_mut() {
+                    if c.t_decision.is_none() {
+                        c.t_decision = Some(e.t);
+                        c.action = *action;
+                    }
+                }
+            }
+            DecisionKind::ActuationStarted { .. } => {
+                if let Some(c) = open.as_mut() {
+                    if c.t_actuation_start.is_none() {
+                        c.t_actuation_start = Some(e.t);
+                    }
+                }
+            }
+            DecisionKind::ActuationComplete { .. } => {
+                if let Some(mut c) = open.take() {
+                    if c.t_actuation_end.is_none() {
+                        c.t_actuation_end = Some(e.t);
+                    }
+                    chains.push(c);
+                }
+            }
+            DecisionKind::ContractEval { .. } | DecisionKind::Renegotiated { .. } => {}
+        }
+    }
+    if let Some(c) = open.take() {
+        chains.push(c);
+    }
+    chains
+}
+
+fn opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.1}"),
+        None => "-".to_string(),
+    }
+}
+
+/// Header matching [`chain_table_row`] (all times virtual seconds).
+pub fn chain_table_header() -> String {
+    format!(
+        "{:<14} {:>8} {:>9} {:>9} {:>8} {:>9} {:>8} {:>9} {:>9}",
+        "phase", "t_poll", "t_viol", "t_decide", "action", "avg_ratio", "detect", "actuate", "e2e"
+    )
+}
+
+/// Render one chain as a fixed-width latency-breakdown row.
+pub fn chain_table_row(c: &DecisionChain) -> String {
+    format!(
+        "{:<14} {:>8.1} {:>9.1} {:>9} {:>8} {:>9.2} {:>8.1} {:>9} {:>9}",
+        c.phase,
+        c.t_poll,
+        c.t_violation,
+        opt(c.t_decision),
+        c.action.label(),
+        c.avg_ratio,
+        c.detect_latency(),
+        opt(c.actuate_latency()),
+        opt(c.end_to_end()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: f64, kind: DecisionKind) -> DecisionEvent {
+        DecisionEvent { t, kind }
+    }
+
+    #[test]
+    fn full_chain_reconstructs() {
+        let log = vec![
+            ev(10.0, DecisionKind::MonitorPoll { reports: 0 }),
+            ev(20.0, DecisionKind::MonitorPoll { reports: 3 }),
+            ev(
+                20.0,
+                DecisionKind::ContractEval {
+                    phase: "iter".into(),
+                    ratio: 2.0,
+                },
+            ),
+            ev(
+                20.0,
+                DecisionKind::ViolationDetected {
+                    phase: "iter".into(),
+                    avg_ratio: 2.0,
+                    score: 0.9,
+                },
+            ),
+            // Handler actuates before the monitor records the verdict —
+            // the real call order in the QR driver.
+            ev(
+                20.0,
+                DecisionKind::ActuationStarted {
+                    action: DecisionAction::Migrate,
+                },
+            ),
+            ev(
+                20.0,
+                DecisionKind::Decision {
+                    action: DecisionAction::Migrate,
+                },
+            ),
+            ev(
+                95.0,
+                DecisionKind::ActuationComplete {
+                    action: DecisionAction::Migrate,
+                },
+            ),
+        ];
+        let chains = decision_chains(&log);
+        assert_eq!(chains.len(), 1);
+        let c = &chains[0];
+        assert_eq!(c.action, DecisionAction::Migrate);
+        assert_eq!(c.t_poll, 20.0);
+        assert_eq!(c.detect_latency(), 0.0);
+        assert_eq!(c.decide_latency(), Some(0.0));
+        assert_eq!(c.actuate_latency(), Some(75.0));
+        assert_eq!(c.end_to_end(), Some(75.0));
+    }
+
+    #[test]
+    fn declined_violation_becomes_ignore_chain() {
+        let log = vec![
+            ev(5.0, DecisionKind::MonitorPoll { reports: 2 }),
+            ev(
+                5.0,
+                DecisionKind::ViolationDetected {
+                    phase: "iter".into(),
+                    avg_ratio: 1.8,
+                    score: 0.6,
+                },
+            ),
+            ev(
+                5.0,
+                DecisionKind::Decision {
+                    action: DecisionAction::Ignore,
+                },
+            ),
+            ev(15.0, DecisionKind::MonitorPoll { reports: 2 }),
+            ev(
+                15.0,
+                DecisionKind::ViolationDetected {
+                    phase: "iter".into(),
+                    avg_ratio: 2.4,
+                    score: 0.9,
+                },
+            ),
+            ev(
+                15.0,
+                DecisionKind::Decision {
+                    action: DecisionAction::Migrate,
+                },
+            ),
+        ];
+        let chains = decision_chains(&log);
+        assert_eq!(chains.len(), 2);
+        assert_eq!(chains[0].action, DecisionAction::Ignore);
+        assert!(chains[0].t_actuation_start.is_none());
+        assert_eq!(chains[1].action, DecisionAction::Migrate);
+        assert_eq!(chains[1].t_poll, 15.0);
+    }
+
+    #[test]
+    fn table_renders_every_chain_state() {
+        let c = DecisionChain {
+            t_poll: 1.0,
+            t_violation: 2.0,
+            phase: "iter".into(),
+            avg_ratio: 1.5,
+            action: DecisionAction::Ignore,
+            t_decision: None,
+            t_actuation_start: None,
+            t_actuation_end: None,
+        };
+        let header = chain_table_header();
+        let row = chain_table_row(&c);
+        assert!(header.contains("detect"));
+        assert!(row.contains("ignore"));
+        assert!(row.contains('-'), "missing stages render as '-': {row}");
+    }
+}

@@ -9,6 +9,12 @@
 //!   comparison runs, migration-on-request, and opportunistic rescheduling;
 //! * [`swap_policy`] — process-swapping policies (greedy / worst-first /
 //!   never) and the periodic in-simulation swap rescheduler.
+//!
+//! Both deciders have `_obs` variants that stream `grads-obs` decision
+//! events and `reschedule.*`/`swap.*` counters without changing behavior,
+//! so the §3 monitor → rescheduler path can be profiled end-to-end.
+
+#![warn(missing_docs)]
 
 pub mod migrate;
 pub mod swap_policy;
@@ -17,4 +23,6 @@ pub use migrate::{
     opportunistic_check, MigrationDecision, MigrationRescheduler, OverheadPolicy, Reschedulable,
     ReschedulerMode,
 };
-pub use swap_policy::{plan_swaps, run_swap_rescheduler, PlannedSwap, SwapPolicy};
+pub use swap_policy::{
+    plan_pack, plan_swaps, run_swap_rescheduler, run_swap_rescheduler_obs, PlannedSwap, SwapPolicy,
+};

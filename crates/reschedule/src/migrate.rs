@@ -13,6 +13,7 @@
 //! Figure 3 reports. Both are reproduced here.
 
 use grads_nws::NwsService;
+use grads_obs::Obs;
 use grads_sim::prelude::*;
 
 /// How the rescheduler estimates migration overhead.
@@ -138,6 +139,40 @@ impl MigrationRescheduler {
             .iter()
             .map(|c| self.evaluate(app, c, grid, nws))
             .max_by(|a, b| a.benefit.total_cmp(&b.benefit))
+    }
+
+    /// [`MigrationRescheduler::decide_best`] with an observability sink:
+    /// identical decision, plus `reschedule.*` counters (candidate sets
+    /// evaluated, migrate/stay verdicts) and gauges describing the winning
+    /// decision's prediction terms (§4.1's remaining-current vs.
+    /// remaining-new + overhead comparison). Pure decision logic carries no
+    /// virtual clock, so this records no timed events — callers with a
+    /// `Ctx` stamp the surrounding `Decision`/actuation events themselves.
+    pub fn decide_best_obs(
+        &self,
+        app: &dyn Reschedulable,
+        candidates: &[Vec<HostId>],
+        grid: &Grid,
+        nws: &NwsService,
+        obs: &Obs,
+    ) -> Option<MigrationDecision> {
+        obs.counter_add("reschedule.candidate_sets", candidates.len() as u64);
+        let best = self.decide_best(app, candidates, grid, nws);
+        if let Some(d) = &best {
+            obs.counter_add(
+                if d.migrate {
+                    "reschedule.decisions_migrate"
+                } else {
+                    "reschedule.decisions_stay"
+                },
+                1,
+            );
+            obs.gauge_set("reschedule.last_benefit", d.benefit);
+            obs.gauge_set("reschedule.last_remaining_current", d.remaining_current);
+            obs.gauge_set("reschedule.last_remaining_new", d.remaining_new);
+            obs.gauge_set("reschedule.last_overhead_used", d.overhead_used);
+        }
+        best
     }
 }
 

@@ -7,6 +7,7 @@
 
 use grads_mpi::SwapWorld;
 use grads_nws::NwsService;
+use grads_obs::{DecisionAction, DecisionKind, Obs};
 use grads_sim::prelude::*;
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -16,16 +17,26 @@ use std::sync::Arc;
 pub enum SwapPolicy {
     /// Swap every active machine for which some unused inactive machine is
     /// at least `factor`× faster (greedy pairing, worst active first).
-    Greedy { factor: f64 },
+    Greedy {
+        /// Required speed advantage of the inactive machine.
+        factor: f64,
+    },
     /// Swap at most the single worst active machine per decision round.
-    WorstFirst { factor: f64 },
+    WorstFirst {
+        /// Required speed advantage of the inactive machine.
+        factor: f64,
+    },
     /// Move the *whole* active set into one inactive cluster when that
     /// cluster can hold it and its slowest member beats the current
     /// bottleneck by `factor` — what the paper's demonstration did
     /// (*"migrated all three working application processes to the UIUC
     /// cluster"*). Falls back to greedy pairing when no cluster
     /// qualifies.
-    PackCluster { factor: f64 },
+    PackCluster {
+        /// Required speed advantage of the destination cluster's slowest
+        /// selected slot over the current active bottleneck.
+        factor: f64,
+    },
     /// Never swap (baseline).
     Never,
 }
@@ -159,6 +170,27 @@ pub fn run_swap_rescheduler(
     period: f64,
     done: &(dyn Fn() -> bool + Send + Sync),
 ) {
+    run_swap_rescheduler_obs(ctx, sw, grid, nws, policy, period, done, &Obs::disabled());
+}
+
+/// [`run_swap_rescheduler`] with an observability sink: identical swap
+/// behavior (the plain variant delegates here with a disabled handle),
+/// plus `swap.*` counters (decision rounds, planned and actuated swaps)
+/// and `Decision`/`ActuationStarted` events with `DecisionAction::Swap`
+/// stamped at `ctx.now()`. Swap completion happens asynchronously at the
+/// application's next swap point, so no `ActuationComplete` is recorded
+/// here.
+#[allow(clippy::too_many_arguments)]
+pub fn run_swap_rescheduler_obs(
+    ctx: &mut Ctx,
+    sw: &SwapWorld,
+    grid: &Grid,
+    nws: &Arc<Mutex<NwsService>>,
+    policy: SwapPolicy,
+    period: f64,
+    done: &(dyn Fn() -> bool + Send + Sync),
+    obs: &Obs,
+) {
     while !done() {
         ctx.sleep(period);
         let (active, inactive) = {
@@ -195,9 +227,26 @@ pub fn run_swap_rescheduler(
             }
             _ => plan_swaps(policy, &active, &inactive),
         };
+        obs.counter_add("swap.rounds", 1);
+        obs.counter_add("swap.planned", planned.len() as u64);
+        if !planned.is_empty() {
+            obs.event(
+                ctx.now(),
+                DecisionKind::Decision {
+                    action: DecisionAction::Swap,
+                },
+            );
+        }
         for s in planned {
             if sw.request_swap(s.logical, s.to_phys).is_ok() {
                 ctx.trace("swap", s.logical as f64);
+                obs.counter_add("swap.actuated", 1);
+                obs.event(
+                    ctx.now(),
+                    DecisionKind::ActuationStarted {
+                        action: DecisionAction::Swap,
+                    },
+                );
             }
         }
     }

@@ -24,7 +24,9 @@ pub use economy::{
     Producer,
 };
 pub use heuristics::{makespan, map_tasks, Heuristic, Placement};
-pub use mpi_sched::{candidate_sets, select_mpi_resources, MpiPredictor, ResourceChoice};
+pub use mpi_sched::{
+    candidate_sets, select_mpi_resources, select_mpi_resources_obs, MpiPredictor, ResourceChoice,
+};
 pub use workflow::{
     evaluate_placement, schedule_greedy_ecost, schedule_heft, schedule_random,
     schedule_round_robin, Schedule, WorkflowScheduler,

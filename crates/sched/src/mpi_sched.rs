@@ -8,6 +8,7 @@
 //! using the application's own performance model.
 
 use grads_nws::NwsService;
+use grads_obs::Obs;
 use grads_sim::prelude::*;
 
 /// A candidate (or selected) processor set with its predicted time.
@@ -81,6 +82,33 @@ pub fn select_mpi_resources(
                 })
             }
         }
+    }
+    best
+}
+
+/// [`select_mpi_resources`] with an observability sink: identical choice,
+/// plus `sched.*` counters (selection calls, candidate sets scored) and
+/// gauges describing the winner (predicted time, processor count) so the
+/// launch half of the decision loop shows up next to the monitoring half
+/// in one metrics snapshot.
+pub fn select_mpi_resources_obs(
+    grid: &Grid,
+    nws: &NwsService,
+    eligible: &[HostId],
+    min_procs: usize,
+    max_procs: usize,
+    predict: &MpiPredictor<'_>,
+    obs: &Obs,
+) -> Option<ResourceChoice> {
+    obs.counter_add("sched.selections", 1);
+    if obs.is_enabled() {
+        let n = candidate_sets(grid, nws, eligible, min_procs, max_procs).len();
+        obs.counter_add("sched.candidate_sets", n as u64);
+    }
+    let best = select_mpi_resources(grid, nws, eligible, min_procs, max_procs, predict);
+    if let Some(c) = &best {
+        obs.gauge_set("sched.selected_predicted", c.predicted);
+        obs.gauge_set("sched.selected_procs", c.hosts.len() as f64);
     }
     best
 }

@@ -54,7 +54,7 @@ pub enum RecomputeMode {
 ///
 /// `PartialEq` is bitwise on every floating-point field; two reports compare
 /// equal only if the runs were numerically identical.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunReport {
     /// Virtual time when the run ended.
     pub end_time: f64,
@@ -359,6 +359,10 @@ pub struct Engine {
     /// live action/flow. When the heap is mostly stale it is rebuilt.
     stale_events: usize,
     events_processed: u64,
+    stale_discarded: u64,
+    compactions: u64,
+    recomputes: u64,
+    obs: grads_obs::Obs,
     scratch: RateScratch,
     /// If true (the default), `run` panics when any simulated process
     /// panicked, so test failures inside processes surface in the harness.
@@ -440,6 +444,10 @@ impl Engine {
             dirty_link_mark,
             stale_events: 0,
             events_processed: 0,
+            stale_discarded: 0,
+            compactions: 0,
+            recomputes: 0,
+            obs: grads_obs::Obs::disabled(),
             scratch,
             panic_on_failure: true,
         }
@@ -459,6 +467,21 @@ impl Engine {
     /// The active rate recomputation strategy.
     pub fn recompute_mode(&self) -> RecomputeMode {
         self.mode
+    }
+
+    /// Attach an observability sink. Kernel counters (events applied,
+    /// stale discards, heap compactions, recompute count) and per-recompute
+    /// dirty-set-size histograms are flushed into it when the run finishes.
+    /// Recording never reads or perturbs virtual time; with the default
+    /// disabled handle the kernel only maintains plain integer counters it
+    /// tracks anyway.
+    pub fn set_obs(&mut self, obs: grads_obs::Obs) {
+        self.obs = obs;
+    }
+
+    /// The attached observability sink (disabled by default).
+    pub fn obs(&self) -> &grads_obs::Obs {
+        &self.obs
     }
 
     fn push_ev(events: &mut BinaryHeap<Event>, seq: &mut u64, t: f64, kind: EventKind) {
@@ -613,6 +636,7 @@ impl Engine {
             };
             if stale {
                 self.stale_events = self.stale_events.saturating_sub(1);
+                self.stale_discarded += 1;
                 continue;
             }
             self.advance_to(ev.t);
@@ -658,6 +682,18 @@ impl Engine {
                     self.link_bytes[l as usize] += moved;
                 }
             }
+        }
+        if self.obs.is_enabled() {
+            self.obs
+                .counter_add("sim.events_applied", self.events_processed);
+            self.obs
+                .counter_add("sim.events_stale_discarded", self.stale_discarded);
+            self.obs
+                .counter_add("sim.heap_compactions", self.compactions);
+            self.obs.counter_add("sim.recomputes", self.recomputes);
+            self.obs.gauge_set("sim.end_time", self.now);
+            self.obs
+                .gauge_set("sim.final_heap_len", self.events.len() as f64);
         }
         RunReport {
             end_time: self.now,
@@ -720,10 +756,25 @@ impl Engine {
         }
         self.events = BinaryHeap::from(kept);
         self.stale_events = 0;
+        self.compactions += 1;
     }
 
     /// Re-derive rates and reschedule completions after a churn.
     fn recompute(&mut self) {
+        self.recomputes += 1;
+        // Dirty marking happens in every mode, so the dirty-set sizes are
+        // meaningful (if unused) under Legacy/Full too. Gated: building two
+        // histogram observations per churn is the only non-counter cost.
+        if self.obs.is_enabled() {
+            self.obs.observe(
+                "sim.dirty_hosts_per_recompute",
+                self.dirty_hosts.len() as f64,
+            );
+            self.obs.observe(
+                "sim.dirty_links_per_recompute",
+                self.dirty_links.len() as f64,
+            );
+        }
         match self.mode {
             RecomputeMode::Legacy => self.recompute_legacy(),
             RecomputeMode::Full => self.recompute_scoped(true),

@@ -1,0 +1,87 @@
+//! Determinism regression for the observability layer.
+//!
+//! The obs contract (see DESIGN.md) is that recording must not perturb the
+//! simulation: an obs-enabled fig3 QR-migration run must be bit-identical
+//! to a disabled one on `end_time` and the full trace, and two obs-enabled
+//! runs must record identical metric snapshots, JSON exports, and decision
+//! event logs.
+
+use grads_core::obs::{DecisionAction, DecisionKind, Obs};
+use grads_core::prelude::*;
+use grads_core::sim::topology::macrogrid_qr;
+
+/// The fig3 QR-migration scenario at harness scale — same shape as the
+/// apps crate's migration test: load lands at t = 60, the monitor detects
+/// the violation, and the rescheduler migrates UTK → UIUC.
+fn fig3_cfg(obs: Obs) -> QrExperimentConfig {
+    let mut cfg = QrExperimentConfig::paper(20000);
+    cfg.qr.n_real = 48;
+    cfg.qr.block = 4;
+    cfg.qr.poll_every = 4;
+    cfg.load_at = 60.0;
+    cfg.monitor_period = 10.0;
+    cfg.t_max = 50_000.0;
+    cfg.obs = obs;
+    cfg
+}
+
+#[test]
+fn obs_on_and_off_are_bit_identical() {
+    let off = run_qr_experiment(macrogrid_qr(), fig3_cfg(Obs::disabled()));
+    let on_obs = Obs::enabled();
+    let on = run_qr_experiment(macrogrid_qr(), fig3_cfg(on_obs.clone()));
+
+    assert!(on.migrated && off.migrated, "scenario must migrate");
+    assert_eq!(
+        on.report.end_time.to_bits(),
+        off.report.end_time.to_bits(),
+        "end_time must be bit-identical with obs on vs. off: {} vs {}",
+        on.report.end_time,
+        off.report.end_time
+    );
+    assert_eq!(
+        on.report.trace, off.report.trace,
+        "trace must be identical with obs on vs. off"
+    );
+    assert_eq!(on.report, off.report, "full run report must be identical");
+
+    // The enabled run actually recorded the decision loop.
+    let snap = on_obs.snapshot();
+    assert!(snap.counter("sim.events_applied").unwrap_or(0) > 0);
+    assert!(snap.counter("contract.polls").unwrap_or(0) > 0);
+    assert!(
+        snap.counter("contract.decisions_migrate").unwrap_or(0) >= 1,
+        "snapshot: {}",
+        snap.to_json()
+    );
+    let events = on_obs.events();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.kind, DecisionKind::ViolationDetected { .. })),
+        "violation event expected"
+    );
+    let chains = on_obs.chains();
+    let migration = chains
+        .iter()
+        .find(|c| c.action == DecisionAction::Migrate)
+        .expect("a migrate chain");
+    assert!(migration.t_actuation_end.is_some(), "actuation completed");
+    assert!(migration.end_to_end().unwrap() > 0.0);
+}
+
+#[test]
+fn two_obs_enabled_runs_record_identically() {
+    let a = Obs::enabled();
+    let b = Obs::enabled();
+    let ra = run_qr_experiment(macrogrid_qr(), fig3_cfg(a.clone()));
+    let rb = run_qr_experiment(macrogrid_qr(), fig3_cfg(b.clone()));
+    assert_eq!(ra.report, rb.report);
+    assert_eq!(a.snapshot(), b.snapshot(), "metric snapshots must match");
+    assert_eq!(
+        a.snapshot().to_json(),
+        b.snapshot().to_json(),
+        "JSON exports must be byte-identical"
+    );
+    assert_eq!(a.events(), b.events(), "decision event logs must match");
+}
