@@ -270,6 +270,10 @@ pub struct NbodyExperimentResult {
     pub swaps: Vec<(f64, f64)>,
     /// Completion time of the application.
     pub end_time: f64,
+    /// Kernel events processed over the whole run — a cheap fingerprint of
+    /// the emulation's work (scaling sweeps track events per simulated
+    /// second across topology sizes).
+    pub events_processed: u64,
 }
 
 /// Run the §4.2.2 process-swapping experiment: the N-body application on
@@ -352,6 +356,7 @@ pub fn run_nbody_experiment(
         progress,
         swaps,
         end_time,
+        events_processed: report.events_processed,
     }
 }
 

@@ -30,9 +30,9 @@ use grads_binder::{
 use grads_contract::{
     run_contract_monitor_obs, Contract, ContractMonitor, DonePredicate, Response, ViolationHandler,
 };
-use grads_mpi::launch_from;
+use grads_mpi::{host_labels, launch_from_traced};
 use grads_nws::NwsService;
-use grads_obs::{DecisionAction, DecisionKind, Obs};
+use grads_obs::{DecisionAction, DecisionKind, Obs, Recorder, WorldTag};
 use grads_reschedule::{
     MigrationDecision, MigrationRescheduler, OverheadPolicy, Reschedulable, ReschedulerMode,
 };
@@ -244,6 +244,11 @@ pub struct QrExperimentConfig {
     /// [`Obs::enabled`] to collect metrics and decision events without
     /// changing the run (see `tests/obs_determinism.rs`).
     pub obs: Obs,
+    /// Per-rank flight recorder. Disabled by default; attach
+    /// [`Recorder::enabled`] to capture state timelines, matched messages
+    /// and incarnation bridges for wait-state / critical-path analysis
+    /// (same determinism contract as `obs`).
+    pub recorder: Recorder,
 }
 
 impl QrExperimentConfig {
@@ -273,6 +278,7 @@ impl QrExperimentConfig {
             max_procs: 8,
             t_max: 100_000.0,
             obs: Obs::disabled(),
+            recorder: Recorder::disabled(),
         }
     }
 }
@@ -308,6 +314,7 @@ fn sorted(hs: &[HostId]) -> Vec<HostId> {
 pub fn run_qr_experiment(grid: Grid, ecfg: QrExperimentConfig) -> QrExperimentResult {
     let mut eng = Engine::new(grid.clone());
     eng.set_obs(ecfg.obs.clone());
+    eng.set_recorder(ecfg.recorder.clone());
     let all_hosts: Vec<HostId> = (0..grid.hosts().len() as u32).map(HostId).collect();
 
     // Middleware: GIS with software everywhere, shared NWS, SRS fabric.
@@ -365,6 +372,11 @@ pub fn run_qr_experiment(grid: Grid, ecfg: QrExperimentConfig) -> QrExperimentRe
         let mut hosts: Vec<HostId>;
         let mut final_hosts;
         let mut migrated = false;
+        // Flight-recorder continuity across incarnations: when a migration
+        // stops epoch N and launches epoch N+1, a bridge links rank 0 of
+        // the old world (at stop time) to every rank of the new one.
+        let mut prev_wtag = WorldTag::NONE;
+        let mut t_stop = 0.0;
         loop {
             // -------- prepare: discover, map, model, bind, start --------
             let (chosen, _bound, bd) = prepare_and_bind(ctx, &cop, &gis, &grid2, &nws, &ecfg.costs)
@@ -390,10 +402,12 @@ pub fn run_qr_experiment(grid: Grid, ecfg: QrExperimentConfig) -> QrExperimentRe
             let history_w = history_m.clone();
             let done_w = done_m.clone();
             let bd_w = breakdown_m.clone();
-            let world = launch_from(
+            let (world, wtag) = launch_from_traced(
                 ctx,
+                &ecfg.recorder,
                 &format!("qr-e{epoch}"),
                 &hosts,
+                &host_labels(&grid2, &hosts),
                 epoch,
                 move |rctx, comm| {
                     let t0 = rctx.now();
@@ -459,6 +473,7 @@ pub fn run_qr_experiment(grid: Grid, ecfg: QrExperimentConfig) -> QrExperimentRe
             if incarnations > 1 {
                 // The restarted world is up: the migration actuation that
                 // began at the stop request is complete.
+                ecfg.recorder.bridge(prev_wtag, 0, t_stop, wtag);
                 ecfg.obs.event(
                     ctx.now(),
                     DecisionKind::ActuationComplete {
@@ -466,6 +481,7 @@ pub fn run_qr_experiment(grid: Grid, ecfg: QrExperimentConfig) -> QrExperimentRe
                     },
                 );
             }
+            prev_wtag = wtag;
 
             // -------- contract + monitor --------
             let predicted_total = {
@@ -580,6 +596,7 @@ pub fn run_qr_experiment(grid: Grid, ecfg: QrExperimentConfig) -> QrExperimentRe
             }
             // Migration: open the next epoch and loop back to re-prepare.
             migrated = true;
+            t_stop = ctx.now();
             srs.rss.begin_restart();
             *decision_m.lock() = None;
         }

@@ -1,0 +1,143 @@
+//! Per-rank flight-recorder replay of the fig3 QR-migration scenario.
+//!
+//! Runs the §4.1.2 stop/restart experiment with the flight recorder
+//! attached and prints (1) the per-rank wait-state breakdown of every
+//! incarnation (compute / send-wait / recv-wait / late-sender /
+//! collective / idle, à la Scalasca), (2) the P×P communication matrix of
+//! each world, and (3) the critical path through the whole run — including
+//! the migration bridge — attributed per host, split into the
+//! before-migration and after-migration halves. The path is verified to
+//! tile `[0, makespan]` exactly: consecutive segments share endpoints
+//! bitwise and the durations sum to the virtual makespan.
+//!
+//! A Chrome Trace Event JSON (loadable in `chrome://tracing` or
+//! `ui.perfetto.dev`) is written as a side artifact; CI uploads it and
+//! smoke-checks that it parses and covers every rank.
+//!
+//! Usage: `cargo run --release -p grads-bench --bin rank_timeline
+//! [n_nominal [n_real]] [--export PATH]` (defaults 20000 / 64,
+//! `target/rank_timeline_trace.json`).
+
+use grads_core::obs::{PathSegment, SegKind};
+use grads_core::prelude::*;
+use grads_core::sim::topology::macrogrid_qr;
+use std::collections::BTreeMap;
+
+fn main() {
+    let mut n_nominal: usize = 20000;
+    let mut n_real: usize = 64;
+    let mut export = String::from("target/rank_timeline_trace.json");
+    let mut pos = 0usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--export" {
+            export = args.next().expect("--export takes a path");
+        } else if let Ok(v) = a.parse::<usize>() {
+            match pos {
+                0 => n_nominal = v,
+                1 => n_real = v,
+                _ => {}
+            }
+            pos += 1;
+        } else {
+            panic!("unrecognized argument {a:?}");
+        }
+    }
+
+    let rec = Recorder::enabled();
+    let mut cfg = QrExperimentConfig::paper(n_nominal);
+    cfg.qr.n_real = n_real;
+    cfg.qr.block = 4;
+    cfg.qr.poll_every = 4;
+    cfg.load_at = 60.0;
+    cfg.monitor_period = 10.0;
+    cfg.t_max = 50_000.0;
+    cfg.recorder = rec.clone();
+
+    let r = run_qr_experiment(macrogrid_qr(), cfg);
+    let tl = rec.timeline();
+
+    println!(
+        "rank_timeline — fig3 QR-migration flight recording (N = {n_nominal}, n_real = {n_real})"
+    );
+    println!(
+        "outcome: migrated = {}, incarnations = {}, total_time = {:.1} s (virtual)",
+        r.migrated, r.incarnations, r.total_time
+    );
+    let makespan = tl.makespan();
+    println!("recorded makespan (last rank exit) = {makespan:.3} s\n");
+
+    println!("per-rank wait-state breakdown:");
+    println!("{}", tl.summary());
+
+    for w in &tl.worlds {
+        println!("communication matrix, world {} (count/bytes):", w.name);
+        println!("{}", tl.comm_matrix(w.tag).render());
+    }
+
+    // -------- critical path --------
+    let path = tl.critical_path();
+    assert!(!path.is_empty(), "a completed run has a critical path");
+    assert_eq!(path[0].t0, 0.0, "path starts at virtual time zero");
+    assert_eq!(
+        path.last().unwrap().t1,
+        makespan,
+        "path ends at the makespan"
+    );
+    for pair in path.windows(2) {
+        assert_eq!(
+            pair[0].t1.to_bits(),
+            pair[1].t0.to_bits(),
+            "consecutive segments share endpoints bitwise"
+        );
+    }
+    let total: f64 = path.iter().map(|s| s.dur()).sum();
+    assert!(
+        (total - makespan).abs() <= 1e-9 * makespan.max(1.0),
+        "segment durations sum to the makespan: {total} vs {makespan}"
+    );
+
+    println!(
+        "critical path: {} segments tiling [0, {makespan:.3}] exactly (duration sum {total:.3})",
+        path.len()
+    );
+    // The migration shows up as a Bridge segment; split the path there.
+    let cut = path
+        .iter()
+        .position(|s| matches!(s.kind, SegKind::Bridge { .. }));
+    let halves: Vec<(&str, &[PathSegment])> = match cut {
+        Some(i) => vec![
+            ("before migration", &path[..i]),
+            ("migration bridge", &path[i..i + 1]),
+            ("after migration", &path[i + 1..]),
+        ],
+        None => vec![("whole run (no migration on the path)", &path[..])],
+    };
+    for (label, segs) in halves {
+        let span: f64 = segs.iter().map(|s| s.dur()).sum();
+        println!("\n  {label}: {} segments, {span:.3} s", segs.len());
+        let mut by_state: BTreeMap<&str, f64> = BTreeMap::new();
+        for s in segs {
+            *by_state.entry(s.name()).or_default() += s.dur();
+        }
+        for (name, d) in &by_state {
+            println!("    {name:<12} {d:>10.3} s");
+        }
+        let hosts = tl.critical_path_by_host(segs);
+        let host_line: Vec<String> = hosts.iter().map(|(h, d)| format!("{h} {d:.3} s")).collect();
+        println!("    by host: {}", host_line.join(", "));
+    }
+
+    // -------- Chrome trace artifact --------
+    let json = tl.to_chrome_trace();
+    if let Some(dir) = std::path::Path::new(&export).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create export directory");
+        }
+    }
+    std::fs::write(&export, &json).expect("write chrome trace");
+    println!(
+        "\nchrome trace: {} bytes -> {export} (load in chrome://tracing or ui.perfetto.dev)",
+        json.len()
+    );
+}

@@ -13,12 +13,20 @@
 //! 2. the same topology parsed from its DML description,
 //! 3. a perturbed variant (±10% host speeds, +20% WAN latency).
 //!
+//! A second exercise sweeps the topology *size*: 2, 4 and 8 worker
+//! clusters of 3 hosts each (MicroGrid-shaped: alternating 550/450 MHz
+//! clusters, 125 MB/s / 50 µs LANs, 8 Mb/s WAN mesh, a 1.7 GHz monitor
+//! host). Each topology runs twice; end time and kernel event count must
+//! be bit-identical between the runs (the determinism contract holds at
+//! every scale), and the kernel's event rate per simulated second is
+//! reported as the emulation-cost trend.
+//!
 //! Usage: `cargo run --release -p grads-bench --bin validation_microgrid`
 
 use grads_core::apps::{run_nbody_experiment, NbodyConfig, NbodyExperimentConfig};
 use grads_core::sim::parse_dml;
 use grads_core::sim::prelude::*;
-use grads_core::sim::topology::microgrid_nbody;
+use grads_core::sim::topology::{microgrid_nbody, GridBuilder, HostSpec};
 
 const MICROGRID_DML: &str = r#"
 cluster UTK {
@@ -81,6 +89,78 @@ fn run(grid: Grid, label: &str) -> (String, f64, usize, f64) {
     (label.to_string(), swap_t, r.swaps.len(), r.end_time)
 }
 
+/// MicroGrid-shaped topology with `k` worker clusters of 3 hosts each
+/// plus a fast monitor host: alternating 550/450 MHz clusters, LAN
+/// 125 MB/s / 50 µs, WAN mesh at 8 Mb/s (11 ms worker–worker, 30 ms to
+/// the monitor) — `microgrid_nbody` generalized along the cluster axis.
+fn sweep_grid(k: usize) -> (Grid, Vec<HostId>, HostId) {
+    let mut b = GridBuilder::new();
+    let mut workers = Vec::new();
+    let mut cls = Vec::new();
+    for i in 0..k {
+        let c = b.cluster(&format!("W{i}"));
+        b.local_link(c, 125e6, 50e-6);
+        let speed = if i % 2 == 0 { 550e6 } else { 450e6 };
+        workers.extend(b.add_hosts(c, 3, &HostSpec::with_speed(speed)));
+        cls.push(c);
+    }
+    let mon = b.cluster("MON");
+    b.local_link(mon, 125e6, 50e-6);
+    let mh = b.add_host(mon, &HostSpec::with_speed(1.7e9));
+    for i in 0..k {
+        for j in i + 1..k {
+            b.connect(cls[i], cls[j], 8e6, 0.011);
+        }
+        b.connect(mon, cls[i], 8e6, 0.030);
+    }
+    (b.build().expect("static topology"), workers, mh)
+}
+
+fn cluster_sweep() {
+    println!("\ncluster-count sweep — event rate and per-topology determinism\n");
+    println!(
+        "{:<10} {:>6} {:>12} {:>14} {:>14}",
+        "clusters", "hosts", "events", "completion(s)", "events/sim-s"
+    );
+    for k in [2usize, 4, 8] {
+        let run_once = || {
+            let (g, workers, mon) = sweep_grid(k);
+            let cfg = NbodyExperimentConfig {
+                app: NbodyConfig {
+                    n_bodies: 96,
+                    iters: 150,
+                    flops_per_pair: 2e5,
+                    ..Default::default()
+                },
+                t_max: 4000.0,
+                ..Default::default()
+            };
+            run_nbody_experiment(g, &workers, mon, cfg)
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(
+            a.end_time.to_bits(),
+            b.end_time.to_bits(),
+            "end time must be bit-identical across runs at {k} clusters"
+        );
+        assert_eq!(
+            a.events_processed, b.events_processed,
+            "kernel event count must be identical across runs at {k} clusters"
+        );
+        assert_eq!(a.swaps.len(), b.swaps.len());
+        let rate = a.events_processed as f64 / a.end_time;
+        println!(
+            "{k:<10} {:>6} {:>12} {:>14.1} {:>14.1}",
+            3 * k + 1,
+            a.events_processed,
+            a.end_time,
+            rate
+        );
+    }
+    println!("\nDETERMINISTIC: repeated runs agree bitwise at every topology size.");
+}
+
 fn main() {
     println!("V-MICRO — decision stability across topology descriptions\n");
     println!(
@@ -116,4 +196,5 @@ fn main() {
         println!("WARNING: decisions diverged under perturbation — inspect before trusting");
         println!("emulation-derived conclusions at this parameter scale.");
     }
+    cluster_sweep();
 }

@@ -38,7 +38,7 @@ pub mod prelude {
     pub use grads_apps::{
         eman_grid, eman_workflow, run_ft_experiment, run_nbody_experiment, run_qr_experiment,
         EmanConfig, FtExperimentConfig, JacobiConfig, LuConfig, NbodyConfig, NbodyExperimentConfig,
-        PsaConfig, QrConfig, QrExperimentConfig,
+        PsaConfig, QrConfig, QrExperimentConfig, QrExperimentResult,
     };
     pub use grads_binder::{prepare_and_bind, Breakdown, Cop, Gis, ManagerCosts};
     pub use grads_contract::{
@@ -46,7 +46,10 @@ pub mod prelude {
     };
     pub use grads_mpi::{launch, BlockCyclic, Comm, RankStats, SwapWorld};
     pub use grads_nws::{Ensemble, NwsService};
-    pub use grads_obs::{DecisionAction, DecisionEvent, DecisionKind, MetricsSnapshot, Obs};
+    pub use grads_obs::{
+        DecisionAction, DecisionEvent, DecisionKind, MetricsSnapshot, Obs, RankBreakdown,
+        RankState, Recorder, Timeline,
+    };
     pub use grads_perf::{
         ComponentModel, FittedModel, MrdModel, OpCountModel, PerfMatrix, RankWeights, ResourceInfo,
     };

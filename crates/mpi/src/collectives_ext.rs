@@ -22,6 +22,7 @@ impl Comm {
         T: Clone + Send + 'static,
         F: Fn(T, T) -> T,
     {
+        let g = self.coll_begin(ctx);
         let r = self.rank();
         let mut acc = value;
         if r > 0 {
@@ -31,6 +32,7 @@ impl Comm {
         if r + 1 < self.size() {
             self.send(ctx, r + 1, TAG_SCAN, bytes, Box::new(acc.clone()));
         }
+        self.coll_end(ctx, g, "scan");
         acc
     }
 
@@ -53,11 +55,14 @@ impl Comm {
             self.size(),
             "reduce_scatter needs one element per rank"
         );
+        let g = self.coll_begin(ctx);
         let total_bytes = bytes_per_elem * self.size() as f64;
         let reduced = self.reduce_t(ctx, 0, total_bytes, contrib, |a, b| {
             a.into_iter().zip(b).map(|(x, y)| op(x, y)).collect()
         });
-        self.scatter_t(ctx, 0, bytes_per_elem, reduced)
+        let out = self.scatter_t(ctx, 0, bytes_per_elem, reduced);
+        self.coll_end(ctx, g, "reduce_scatter");
+        out
     }
 
     /// All-to-all personalized exchange: rank `r` sends `data[d]` to rank
@@ -76,6 +81,7 @@ impl Comm {
             data.len(),
             "alltoall needs one element per rank"
         );
+        let g = self.coll_begin(ctx);
         let me = self.rank();
         let mut out: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
         for (d, v) in data.into_iter().enumerate() {
@@ -91,6 +97,7 @@ impl Comm {
             }
             out[s] = Some(self.recv_t::<T>(ctx, s, TAG_A2A));
         }
+        self.coll_end(ctx, g, "alltoall");
         out.into_iter()
             .map(|o| o.expect("element received"))
             .collect()

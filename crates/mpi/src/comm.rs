@@ -13,6 +13,7 @@
 //! calls to a subset of the full process set."*
 
 use crate::world::RankStats;
+use grads_obs::{MsgKind, RankState, Recorder, WorldTag};
 use grads_sim::prelude::*;
 use grads_sim::process::mail_key;
 use parking_lot::Mutex;
@@ -66,6 +67,16 @@ pub struct Comm {
     send_seq: HashMap<(usize, u64), u64>,
     recv_seq: HashMap<(usize, u64), u64>,
     stats: Arc<Mutex<RankStats>>,
+    /// Flight recorder (disabled by default; see [`Comm::set_recorder`]).
+    rec: Recorder,
+    wtag: WorldTag,
+    /// Which recorder track this communicator writes to: the rank for
+    /// ordinary worlds, the physical slot for swap worlds.
+    track_rank: usize,
+    /// Collective nesting depth: > 0 while inside a collective, so inner
+    /// point-to-point traffic is flagged [`MsgKind::Collective`] and not
+    /// double-counted as blocked intervals.
+    coll_depth: u32,
 }
 
 impl Comm {
@@ -94,7 +105,28 @@ impl Comm {
             send_seq: HashMap::new(),
             recv_seq: HashMap::new(),
             stats,
+            rec: Recorder::disabled(),
+            wtag: WorldTag::NONE,
+            track_rank: rank,
+            coll_depth: 0,
         }
+    }
+
+    /// Attach a flight recorder. `track_rank` selects the recorder track
+    /// this communicator's intervals and message halves land on — the rank
+    /// itself for ordinary worlds, the physical slot for swap worlds
+    /// (where logical ranks move between processes). Message halves always
+    /// carry *logical* src/dst ranks, which is what matching keys on.
+    pub fn set_recorder(&mut self, rec: Recorder, wtag: WorldTag, track_rank: usize) {
+        self.rec = rec;
+        self.wtag = wtag;
+        self.track_rank = track_rank;
+    }
+
+    /// The attached flight recorder and this communicator's world tag /
+    /// track (disabled by default).
+    pub fn recorder(&self) -> (&Recorder, WorldTag, usize) {
+        (&self.rec, self.wtag, self.track_rank)
     }
 
     /// This rank.
@@ -121,8 +153,45 @@ impl Comm {
     pub fn compute(&mut self, ctx: &mut Ctx, flops: f64) {
         let t0 = ctx.now();
         ctx.compute(flops);
-        let dt = ctx.now() - t0;
-        self.stats.lock().compute_s += dt;
+        let t1 = ctx.now();
+        self.stats.lock().compute_s += t1 - t0;
+        if t1 > t0 {
+            self.rec
+                .interval(self.wtag, self.track_rank, RankState::Compute, t0, t1);
+        }
+    }
+
+    /// The message class of point-to-point traffic at the current
+    /// collective nesting depth.
+    #[inline]
+    fn msg_kind(&self) -> MsgKind {
+        if self.coll_depth > 0 {
+            MsgKind::Collective
+        } else {
+            MsgKind::Pt2pt
+        }
+    }
+
+    /// Record one send half plus, outside collectives, the blocked
+    /// interval a rendezvous wait produced.
+    #[inline]
+    fn rec_send(&self, dst: usize, tag: u64, bytes: f64, t0: f64, t1: f64, eager: bool) {
+        self.rec.send_msg(
+            self.wtag,
+            self.track_rank,
+            self.rank,
+            dst,
+            tag,
+            bytes,
+            t0,
+            t1,
+            eager,
+            self.msg_kind(),
+        );
+        if self.coll_depth == 0 && t1 > t0 {
+            self.rec
+                .interval(self.wtag, self.track_rank, RankState::SendBlocked, t0, t1);
+        }
     }
 
     fn key(&mut self, src: usize, dst: usize, tag: u64, sending: bool) -> MailKey {
@@ -149,16 +218,20 @@ impl Comm {
         let t0 = ctx.now();
         let key = self.key(self.rank, dst, tag, true);
         let host = self.mapping.host_of(dst);
-        if bytes <= self.eager_threshold {
+        let eager = bytes <= self.eager_threshold;
+        if eager {
             ctx.isend(key, host, bytes, payload);
         } else {
             ctx.send(key, host, bytes, payload);
         }
-        let dt = ctx.now() - t0;
-        let mut s = self.stats.lock();
-        s.comm_s += dt;
-        s.sends += 1;
-        s.bytes_sent += bytes;
+        let t1 = ctx.now();
+        {
+            let mut s = self.stats.lock();
+            s.comm_s += t1 - t0;
+            s.sends += 1;
+            s.bytes_sent += bytes;
+        }
+        self.rec_send(dst, tag, bytes, t0, t1, eager);
     }
 
     /// Synchronous send: always rendezvous, regardless of size.
@@ -167,11 +240,14 @@ impl Comm {
         let key = self.key(self.rank, dst, tag, true);
         let host = self.mapping.host_of(dst);
         ctx.send(key, host, bytes, payload);
-        let dt = ctx.now() - t0;
-        let mut s = self.stats.lock();
-        s.comm_s += dt;
-        s.sends += 1;
-        s.bytes_sent += bytes;
+        let t1 = ctx.now();
+        {
+            let mut s = self.stats.lock();
+            s.comm_s += t1 - t0;
+            s.sends += 1;
+            s.bytes_sent += bytes;
+        }
+        self.rec_send(dst, tag, bytes, t0, t1, false);
     }
 
     /// Buffered send: always eager, regardless of size.
@@ -180,11 +256,14 @@ impl Comm {
         let key = self.key(self.rank, dst, tag, true);
         let host = self.mapping.host_of(dst);
         ctx.isend(key, host, bytes, payload);
-        let dt = ctx.now() - t0;
-        let mut s = self.stats.lock();
-        s.comm_s += dt;
-        s.sends += 1;
-        s.bytes_sent += bytes;
+        let t1 = ctx.now();
+        {
+            let mut s = self.stats.lock();
+            s.comm_s += t1 - t0;
+            s.sends += 1;
+            s.bytes_sent += bytes;
+        }
+        self.rec_send(dst, tag, bytes, t0, t1, true);
     }
 
     /// Blocking receive from logical rank `src` with `tag`.
@@ -192,10 +271,18 @@ impl Comm {
         let t0 = ctx.now();
         let key = self.key(src, self.rank, tag, false);
         let p = ctx.recv(key);
-        let dt = ctx.now() - t0;
-        let mut s = self.stats.lock();
-        s.comm_s += dt;
-        s.recvs += 1;
+        let t1 = ctx.now();
+        {
+            let mut s = self.stats.lock();
+            s.comm_s += t1 - t0;
+            s.recvs += 1;
+        }
+        self.rec
+            .recv_msg(self.wtag, self.track_rank, src, self.rank, tag, t0, t1);
+        if self.coll_depth == 0 && t1 > t0 {
+            self.rec
+                .interval(self.wtag, self.track_rank, RankState::RecvBlocked, t0, t1);
+        }
         p
     }
 
@@ -224,9 +311,50 @@ impl Comm {
     // Collectives (binomial trees, like MPICH's small-message algorithms)
     // ------------------------------------------------------------------
 
+    /// Enter a collective: bump the nesting depth and, on the outermost
+    /// entry of a recording communicator, capture the start time. The
+    /// extra `ctx.now()` is determinism-invisible (`Request::Now` pushes
+    /// no event and burns no sequence number).
+    pub(crate) fn coll_begin(&mut self, ctx: &mut Ctx) -> Option<f64> {
+        self.coll_depth += 1;
+        (self.coll_depth == 1 && self.rec.is_enabled()).then(|| ctx.now())
+    }
+
+    /// Leave a collective begun with [`Comm::coll_begin`], recording the
+    /// outermost span as one [`RankState::Collective`] interval.
+    pub(crate) fn coll_end(&mut self, ctx: &mut Ctx, begin: Option<f64>, op: &'static str) {
+        self.coll_depth -= 1;
+        if let Some(t0) = begin {
+            let t1 = ctx.now();
+            if t1 > t0 {
+                self.rec.interval_detail(
+                    self.wtag,
+                    self.track_rank,
+                    RankState::Collective,
+                    Some(op),
+                    t0,
+                    t1,
+                );
+            }
+        }
+    }
+
     /// Broadcast `value` from `root` to every rank; all ranks return it.
     /// Non-root ranks pass `None`.
     pub fn bcast_t<T: Clone + Send + 'static>(
+        &mut self,
+        ctx: &mut Ctx,
+        root: usize,
+        bytes: f64,
+        value: Option<T>,
+    ) -> T {
+        let g = self.coll_begin(ctx);
+        let out = self.bcast_impl(ctx, root, bytes, value);
+        self.coll_end(ctx, g, "bcast");
+        out
+    }
+
+    fn bcast_impl<T: Clone + Send + 'static>(
         &mut self,
         ctx: &mut Ctx,
         root: usize,
@@ -279,6 +407,24 @@ impl Comm {
         T: Send + 'static,
         F: Fn(T, T) -> T,
     {
+        let g = self.coll_begin(ctx);
+        let out = self.reduce_impl(ctx, root, bytes, value, op);
+        self.coll_end(ctx, g, "reduce");
+        out
+    }
+
+    fn reduce_impl<T, F>(
+        &mut self,
+        ctx: &mut Ctx,
+        root: usize,
+        bytes: f64,
+        value: T,
+        op: F,
+    ) -> Option<T>
+    where
+        T: Send + 'static,
+        F: Fn(T, T) -> T,
+    {
         assert!(root < self.size, "reduce root out of range");
         let vrank = (self.rank + self.size - root) % self.size;
         let mut val = value;
@@ -306,13 +452,22 @@ impl Comm {
         T: Clone + Send + 'static,
         F: Fn(T, T) -> T,
     {
+        let g = self.coll_begin(ctx);
         let reduced = self.reduce_t(ctx, 0, bytes, value, op);
-        self.bcast_t(ctx, 0, bytes, reduced)
+        let out = self.bcast_t(ctx, 0, bytes, reduced);
+        self.coll_end(ctx, g, "allreduce");
+        out
     }
 
     /// Barrier: binomial fan-in to rank 0, then fan-out release. All
     /// messages are zero-byte (pure latency).
     pub fn barrier(&mut self, ctx: &mut Ctx) {
+        let g = self.coll_begin(ctx);
+        self.barrier_impl(ctx);
+        self.coll_end(ctx, g, "barrier");
+    }
+
+    fn barrier_impl(&mut self, ctx: &mut Ctx) {
         let (rank, size) = (self.rank, self.size);
         if size == 1 {
             return;
@@ -354,8 +509,21 @@ impl Comm {
 
     /// Gather every rank's `value` at `root` (rank order); only `root`
     /// returns `Some`.
-    #[allow(clippy::needless_range_loop)] // rank-indexed slots
     pub fn gather_t<T: Send + 'static>(
+        &mut self,
+        ctx: &mut Ctx,
+        root: usize,
+        bytes: f64,
+        value: T,
+    ) -> Option<Vec<T>> {
+        let g = self.coll_begin(ctx);
+        let out = self.gather_impl(ctx, root, bytes, value);
+        self.coll_end(ctx, g, "gather");
+        out
+    }
+
+    #[allow(clippy::needless_range_loop)] // rank-indexed slots
+    fn gather_impl<T: Send + 'static>(
         &mut self,
         ctx: &mut Ctx,
         root: usize,
@@ -387,6 +555,19 @@ impl Comm {
         bytes_per_rank: f64,
         values: Option<Vec<T>>,
     ) -> T {
+        let g = self.coll_begin(ctx);
+        let out = self.scatter_impl(ctx, root, bytes_per_rank, values);
+        self.coll_end(ctx, g, "scatter");
+        out
+    }
+
+    fn scatter_impl<T: Send + 'static>(
+        &mut self,
+        ctx: &mut Ctx,
+        root: usize,
+        bytes_per_rank: f64,
+        values: Option<Vec<T>>,
+    ) -> T {
         assert!(root < self.size, "scatter root out of range");
         if self.rank == root {
             let values = values.expect("root must provide scatter values");
@@ -412,8 +593,11 @@ impl Comm {
         bytes: f64,
         value: T,
     ) -> Vec<T> {
+        let g = self.coll_begin(ctx);
         let gathered = self.gather_t(ctx, 0, bytes, value);
-        self.bcast_t(ctx, 0, bytes * self.size as f64, gathered)
+        let out = self.bcast_t(ctx, 0, bytes * self.size as f64, gathered);
+        self.coll_end(ctx, g, "allgather");
+        out
     }
 }
 

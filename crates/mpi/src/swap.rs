@@ -14,8 +14,9 @@
 //! be modified"* — but no restart, no checkpoint reads across the wide
 //! area, and almost no application changes.
 
-use crate::comm::{Comm, Mapping, DEFAULT_EAGER_THRESHOLD};
-use crate::world::{next_world_id, RankStats};
+use crate::comm::{Comm, Mapping, DEFAULT_EAGER_THRESHOLD, INTERNAL_TAG_BASE};
+use crate::world::{host_labels, next_world_id, RankStats};
+use grads_obs::{MsgKind, RankState, Recorder, WorldTag};
 use grads_sim::prelude::*;
 use grads_sim::process::mail_key;
 use parking_lot::Mutex;
@@ -24,6 +25,11 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 const SWAP_NS: u64 = 0x5357_4150; // "SWAP"
+
+/// Recorder tag for swap-state handoff messages. Both halves key on the
+/// *destination* slot (the receiver does not know who hands over to it),
+/// which is unambiguous: activations of one slot are strictly sequential.
+const SWAP_HANDOFF_TAG: u64 = INTERNAL_TAG_BASE + 32;
 
 /// Message delivered to a physical process's activation mailbox.
 enum SwapMsg {
@@ -87,6 +93,10 @@ pub struct SwapWorld {
     shared: Arc<Mutex<SwapShared>>,
     /// Per-physical-slot profiling stats.
     pub stats: Arc<Vec<Arc<Mutex<RankStats>>>>,
+    /// Flight recorder; one track per *physical slot* (logical ranks move
+    /// between slots, so slot timelines are the stable view).
+    rec: Recorder,
+    wtag: WorldTag,
 }
 
 impl SwapWorld {
@@ -114,7 +124,21 @@ impl SwapWorld {
                 swaps_done: 0,
             })),
             stats: Arc::new(stats),
+            rec: Recorder::disabled(),
+            wtag: WorldTag::NONE,
         }
+    }
+
+    /// Attach a flight recorder to every slot of this world. Usually done
+    /// by [`launch_swap_world_traced`], which also registers the tracks.
+    pub fn set_recorder(&mut self, rec: Recorder, wtag: WorldTag) {
+        self.rec = rec;
+        self.wtag = wtag;
+    }
+
+    /// The attached flight recorder and world tag (disabled by default).
+    pub fn recorder(&self) -> (&Recorder, WorldTag) {
+        (&self.rec, self.wtag)
     }
 
     /// Total machine-pool size.
@@ -202,6 +226,7 @@ impl SwapWorld {
         };
         let key = self.activation_key(to_phys);
         let dst = self.phys_hosts[to_phys];
+        let t0 = self.rec.is_enabled().then(|| ctx.now());
         ctx.send(
             key,
             dst,
@@ -211,6 +236,28 @@ impl SwapWorld {
                 state: Box::new(state),
             }),
         );
+        if let Some(t0) = t0 {
+            let t1 = ctx.now();
+            // The outgoing slot's handoff is migration downtime, and the
+            // state transfer is a recorded (Swap-class) message so the
+            // critical path can cross it.
+            if t1 > t0 {
+                self.rec
+                    .interval(self.wtag, phys, RankState::Migrating, t0, t1);
+            }
+            self.rec.send_msg(
+                self.wtag,
+                phys,
+                to_phys,
+                to_phys,
+                SWAP_HANDOFF_TAG,
+                state_bytes,
+                t0,
+                t1,
+                false,
+                MsgKind::Swap,
+            );
+        }
         None
     }
 
@@ -222,8 +269,9 @@ impl SwapWorld {
         phys: usize,
     ) -> Option<(usize, S)> {
         let key = self.activation_key(phys);
+        let t0 = self.rec.is_enabled().then(|| ctx.now());
         let msg = ctx.recv(key);
-        match *msg
+        let takeover = match *msg
             .downcast::<SwapMsg>()
             .expect("swap mailbox carries SwapMsg")
         {
@@ -234,7 +282,22 @@ impl SwapWorld {
                 Some((logical, state))
             }
             SwapMsg::Shutdown => None,
+        };
+        if let Some(t0) = t0 {
+            let t1 = ctx.now();
+            if t1 > t0 {
+                self.rec
+                    .interval(self.wtag, phys, RankState::SwappedOut, t0, t1);
+            }
+            // Shutdown releases are not recorded as messages (the matching
+            // send half would be pure middleware noise); takeovers are, so
+            // the state transfer appears in the timeline.
+            if takeover.is_some() {
+                self.rec
+                    .recv_msg(self.wtag, phys, phys, phys, SWAP_HANDOFF_TAG, t0, t1);
+            }
         }
+        takeover
     }
 
     /// Release every inactive slot with a shutdown message. Call once from
@@ -259,7 +322,7 @@ impl SwapWorld {
     pub fn make_comm(&self, phys: usize, logical: usize) -> Comm {
         let shared = self.shared.clone();
         let hosts = self.phys_hosts.clone();
-        Comm::new(
+        let mut comm = Comm::new(
             self.world_id,
             0,
             logical,
@@ -268,7 +331,11 @@ impl SwapWorld {
             DEFAULT_EAGER_THRESHOLD,
             false,
             self.stats[phys].clone(),
-        )
+        );
+        // Recorded intervals land on the *slot*'s track even though message
+        // endpoints carry logical ranks.
+        comm.set_recorder(self.rec.clone(), self.wtag, phys);
+        comm
     }
 }
 
@@ -337,14 +404,39 @@ where
     FI: Fn(usize) -> S + Send + Sync + 'static,
     FS: Fn(&mut Ctx, &mut Comm, &mut S) -> bool + Send + Sync + 'static,
 {
-    let sw = SwapWorld::new(phys_hosts.to_vec(), n_active);
+    launch_swap_world_traced(eng, name, phys_hosts, n_active, state_bytes, init, step).0
+}
+
+/// [`launch_swap_world`], wired into the engine's flight recorder: one
+/// recorder track per *physical slot* (labelled with its host), so swap
+/// activity shows up as `SwappedOut`/`Migrating` intervals and swap-state
+/// handoff messages. With the engine's default disabled recorder this is
+/// exactly [`launch_swap_world`].
+pub fn launch_swap_world_traced<S, FI, FS>(
+    eng: &mut Engine,
+    name: &str,
+    phys_hosts: &[HostId],
+    n_active: usize,
+    state_bytes: f64,
+    init: FI,
+    step: FS,
+) -> (SwapWorld, WorldTag)
+where
+    S: Send + 'static,
+    FI: Fn(usize) -> S + Send + Sync + 'static,
+    FS: Fn(&mut Ctx, &mut Comm, &mut S) -> bool + Send + Sync + 'static,
+{
+    let rec = eng.recorder().clone();
+    let wtag = rec.register_world(name, &host_labels(eng.grid(), phys_hosts));
+    let mut sw = SwapWorld::new(phys_hosts.to_vec(), n_active);
+    sw.set_recorder(rec.clone(), wtag);
     let init = Arc::new(init);
     let step = Arc::new(step);
     for (phys, &host) in phys_hosts.iter().enumerate() {
         let sw2 = sw.clone();
         let init2 = init.clone();
         let step2 = step.clone();
-        eng.spawn(&format!("{name}-p{phys}"), host, move |ctx| {
+        let pid = eng.spawn(&format!("{name}-p{phys}"), host, move |ctx| {
             run_swappable(
                 ctx,
                 &sw2,
@@ -354,8 +446,9 @@ where
                 |c, comm, s| step2(c, comm, s),
             );
         });
+        rec.bind_pid(pid.0, wtag, phys);
     }
-    sw
+    (sw, wtag)
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 //! sensors read these, §5).
 
 use crate::comm::{Comm, Mapping, DEFAULT_EAGER_THRESHOLD};
+use grads_obs::{Recorder, WorldTag};
 use grads_sim::prelude::*;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -75,8 +76,21 @@ pub struct World {
 /// Shared stats cells plus per-rank `(communicator, entry point)` pairs.
 type RankParts<F> = (Vec<Arc<Mutex<RankStats>>>, Vec<(Comm, Arc<F>)>);
 
+/// Human-readable host labels for a rank→host assignment — what the
+/// flight recorder shows on each track (`Recorder::register_world`).
+pub fn host_labels(grid: &Grid, hosts: &[HostId]) -> Vec<String> {
+    hosts.iter().map(|&h| grid.host(h).name.clone()).collect()
+}
+
 #[allow(clippy::needless_range_loop)] // rank-indexed construction
-fn build_rank_closures<F>(id: u64, epoch: u64, hosts: &[HostId], f: Arc<F>) -> RankParts<F>
+fn build_rank_closures<F>(
+    id: u64,
+    epoch: u64,
+    hosts: &[HostId],
+    f: Arc<F>,
+    rec: &Recorder,
+    wtag: WorldTag,
+) -> RankParts<F>
 where
     F: Fn(&mut Ctx, &mut Comm) + Send + Sync + 'static,
 {
@@ -87,7 +101,7 @@ where
         .collect();
     let mut parts = Vec::with_capacity(n);
     for rank in 0..n {
-        let comm = Comm::new(
+        let mut comm = Comm::new(
             id,
             epoch,
             rank,
@@ -97,6 +111,7 @@ where
             true,
             stats[rank].clone(),
         );
+        comm.set_recorder(rec.clone(), wtag, rank);
         parts.push((comm, f.clone()));
     }
     (stats, parts)
@@ -108,22 +123,46 @@ pub fn launch_at<F>(eng: &mut Engine, t: f64, name: &str, hosts: &[HostId], f: F
 where
     F: Fn(&mut Ctx, &mut Comm) + Send + Sync + 'static,
 {
+    launch_at_traced(eng, t, name, hosts, f).0
+}
+
+/// [`launch_at`], wired into the engine's flight recorder: registers one
+/// track per rank (labelled with its host) and binds rank pids so the
+/// kernel stamps lifecycle edges. With the engine's default disabled
+/// recorder this is exactly [`launch_at`]; the returned tag is
+/// [`WorldTag::NONE`].
+pub fn launch_at_traced<F>(
+    eng: &mut Engine,
+    t: f64,
+    name: &str,
+    hosts: &[HostId],
+    f: F,
+) -> (World, WorldTag)
+where
+    F: Fn(&mut Ctx, &mut Comm) + Send + Sync + 'static,
+{
+    let rec = eng.recorder().clone();
+    let wtag = rec.register_world(name, &host_labels(eng.grid(), hosts));
     let id = next_world_id();
-    let (stats, parts) = build_rank_closures(id, 0, hosts, Arc::new(f));
+    let (stats, parts) = build_rank_closures(id, 0, hosts, Arc::new(f), &rec, wtag);
     let mut procs = Vec::with_capacity(hosts.len());
     for (rank, (mut comm, f)) in parts.into_iter().enumerate() {
         let pid = eng.spawn_delayed(t, &format!("{name}-{rank}"), hosts[rank], move |ctx| {
             f(ctx, &mut comm)
         });
+        rec.bind_pid(pid.0, wtag, rank);
         procs.push(pid);
     }
-    World {
-        id,
-        name: name.to_string(),
-        hosts: hosts.to_vec(),
-        stats,
-        procs,
-    }
+    (
+        World {
+            id,
+            name: name.to_string(),
+            hosts: hosts.to_vec(),
+            stats,
+            procs,
+        },
+        wtag,
+    )
 }
 
 /// Launch a world starting at virtual time 0.
@@ -134,6 +173,15 @@ where
     launch_at(eng, 0.0, name, hosts, f)
 }
 
+/// [`launch`], wired into the engine's flight recorder (see
+/// [`launch_at_traced`]).
+pub fn launch_traced<F>(eng: &mut Engine, name: &str, hosts: &[HostId], f: F) -> (World, WorldTag)
+where
+    F: Fn(&mut Ctx, &mut Comm) + Send + Sync + 'static,
+{
+    launch_at_traced(eng, 0.0, name, hosts, f)
+}
+
 /// Launch a world from inside the simulation (e.g. the application manager
 /// or a restart after migration). `epoch` distinguishes message keys of
 /// successive incarnations of a migrated application.
@@ -141,22 +189,46 @@ pub fn launch_from<F>(ctx: &mut Ctx, name: &str, hosts: &[HostId], epoch: u64, f
 where
     F: Fn(&mut Ctx, &mut Comm) + Send + Sync + 'static,
 {
+    launch_from_traced(ctx, &Recorder::disabled(), name, hosts, &[], epoch, f).0
+}
+
+/// [`launch_from`], wired into a flight recorder. In-simulation spawners
+/// have no engine access, so the caller passes the recorder handle and
+/// the per-rank host labels (`labels[r]` serves rank `r`; see
+/// [`host_labels`]) explicitly.
+pub fn launch_from_traced<F>(
+    ctx: &mut Ctx,
+    rec: &Recorder,
+    name: &str,
+    hosts: &[HostId],
+    labels: &[String],
+    epoch: u64,
+    f: F,
+) -> (World, WorldTag)
+where
+    F: Fn(&mut Ctx, &mut Comm) + Send + Sync + 'static,
+{
+    let wtag = rec.register_world(name, labels);
     let id = next_world_id();
-    let (stats, parts) = build_rank_closures(id, epoch, hosts, Arc::new(f));
+    let (stats, parts) = build_rank_closures(id, epoch, hosts, Arc::new(f), rec, wtag);
     let mut procs = Vec::with_capacity(hosts.len());
     for (rank, (mut comm, f)) in parts.into_iter().enumerate() {
         let pid = ctx.spawn(&format!("{name}-{rank}"), hosts[rank], move |cctx| {
             f(cctx, &mut comm)
         });
+        rec.bind_pid(pid.0, wtag, rank);
         procs.push(pid);
     }
-    World {
-        id,
-        name: name.to_string(),
-        hosts: hosts.to_vec(),
-        stats,
-        procs,
-    }
+    (
+        World {
+            id,
+            name: name.to_string(),
+            hosts: hosts.to_vec(),
+            stats,
+            procs,
+        },
+        wtag,
+    )
 }
 
 #[cfg(test)]

@@ -36,11 +36,16 @@
 
 pub mod metrics;
 pub mod span;
+pub mod timeline;
 
 pub use metrics::{Histogram, MetricsSnapshot, Registry, HISTOGRAM_LE};
 pub use span::{
     chain_table_header, chain_table_row, decision_chains, DecisionAction, DecisionChain,
     DecisionEvent, DecisionKind,
+};
+pub use timeline::{
+    CommMatrix, MsgKind, MsgRecord, PathSegment, RankBreakdown, RankState, Recorder, SegKind,
+    Timeline, TrackId, WorldTag,
 };
 
 use parking_lot::Mutex;

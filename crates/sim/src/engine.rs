@@ -50,6 +50,58 @@ pub enum RecomputeMode {
     Incremental,
 }
 
+/// When the kernel rebuilds the event heap to shed stale completion
+/// events (completions whose generation no longer matches a live
+/// action/flow).
+///
+/// Compaction runs only when **both** thresholds are exceeded: more than
+/// `min_stale` stale events are pending *and* they make up more than
+/// `min_stale_fraction` of the heap. The default (64 / 0.5) matches the
+/// previously hard-coded policy bit-for-bit. Compaction is purely a heap
+/// rebuild — pop order is a strict total order on `(t, class, key, seq)`,
+/// so no policy choice can reorder live events or perturb results; the
+/// `compaction_policy_does_not_perturb_results` regression holds the
+/// kernel to that.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompactionPolicy {
+    /// Compact only when more than this many stale events are pending.
+    /// `usize::MAX` disables compaction entirely.
+    pub min_stale: usize,
+    /// Compact only when stale events exceed this fraction of the heap
+    /// (`0.5` = more than half the heap is dead weight).
+    pub min_stale_fraction: f64,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        CompactionPolicy {
+            min_stale: 64,
+            min_stale_fraction: 0.5,
+        }
+    }
+}
+
+impl CompactionPolicy {
+    /// Never compact (keeps every stale event until it is popped and
+    /// discarded individually).
+    pub fn never() -> Self {
+        CompactionPolicy {
+            min_stale: usize::MAX,
+            min_stale_fraction: 1.0,
+        }
+    }
+
+    /// Whether a heap with `stale` stale events out of `len` total should
+    /// be compacted now.
+    #[inline]
+    pub fn should_compact(&self, stale: usize, len: usize) -> bool {
+        // `stale as f64` is exact for any realistic heap (< 2^53 events),
+        // so with the default 0.5 fraction this is bit-identical to the
+        // old `stale * 2 <= len` integer test.
+        stale > self.min_stale && (stale as f64) > self.min_stale_fraction * (len as f64)
+    }
+}
+
 /// Outcome of a simulation run.
 ///
 /// `PartialEq` is bitwise on every floating-point field; two reports compare
@@ -362,7 +414,9 @@ pub struct Engine {
     stale_discarded: u64,
     compactions: u64,
     recomputes: u64,
+    compaction: CompactionPolicy,
     obs: grads_obs::Obs,
+    rec: grads_obs::Recorder,
     scratch: RateScratch,
     /// If true (the default), `run` panics when any simulated process
     /// panicked, so test failures inside processes surface in the harness.
@@ -447,7 +501,9 @@ impl Engine {
             stale_discarded: 0,
             compactions: 0,
             recomputes: 0,
+            compaction: CompactionPolicy::default(),
             obs: grads_obs::Obs::disabled(),
+            rec: grads_obs::Recorder::disabled(),
             scratch,
             panic_on_failure: true,
         }
@@ -482,6 +538,36 @@ impl Engine {
     /// The attached observability sink (disabled by default).
     pub fn obs(&self) -> &grads_obs::Obs {
         &self.obs
+    }
+
+    /// Attach a flight recorder. The kernel stamps track lifecycle edges
+    /// into it (process start, exit, panic, host-failure death, and
+    /// close-out at a `run_until` cutoff) for processes bound via
+    /// [`grads_obs::Recorder::bind_pid`]; middleware records everything
+    /// else. Like [`Engine::set_obs`], recording never reads or perturbs
+    /// virtual time, and the default disabled handle costs one `Option`
+    /// test per lifecycle edge.
+    pub fn set_recorder(&mut self, rec: grads_obs::Recorder) {
+        self.rec = rec;
+    }
+
+    /// The attached flight recorder (disabled by default).
+    pub fn recorder(&self) -> &grads_obs::Recorder {
+        &self.rec
+    }
+
+    /// Tune when the event heap sheds stale completion events. The
+    /// default matches the historical hard-coded policy (more than 64
+    /// stale *and* more than half the heap). Any policy yields identical
+    /// simulation results; the knob trades rebuild cost against heap
+    /// bloat on churn-heavy workloads.
+    pub fn set_compaction_policy(&mut self, p: CompactionPolicy) {
+        self.compaction = p;
+    }
+
+    /// The active heap-compaction policy.
+    pub fn compaction_policy(&self) -> CompactionPolicy {
+        self.compaction
     }
 
     fn push_ev(events: &mut BinaryHeap<Event>, seq: &mut u64, t: f64, kind: EventKind) {
@@ -683,6 +769,9 @@ impl Engine {
                 }
             }
         }
+        // Processes alive (or killed) at the cutoff get their tracks
+        // closed at the run's end time.
+        self.rec.close_open_tracks(self.now);
         if self.obs.is_enabled() {
             self.obs
                 .counter_add("sim.events_applied", self.events_processed);
@@ -735,7 +824,10 @@ impl Engine {
     /// dominate it. Pop order is a strict total order on
     /// `(t, class, key, seq)`, so rebuilding cannot reorder live events.
     fn maybe_compact(&mut self) {
-        if self.stale_events <= 64 || self.stale_events * 2 <= self.events.len() {
+        if !self
+            .compaction
+            .should_compact(self.stale_events, self.events.len())
+        {
             return;
         }
         let drained = std::mem::take(&mut self.events).into_vec();
@@ -1129,6 +1221,7 @@ impl Engine {
                 let name = slot.name.clone();
                 self.completed.push(name.clone());
                 self.record(Some(pid), TraceKind::ProcExit { name });
+                self.rec.track_end(pid.0, self.now);
             }
             Request::Panic(msg) => {
                 let slot = &mut self.procs[pid.0 as usize];
@@ -1136,6 +1229,7 @@ impl Engine {
                 let name = slot.name.clone();
                 self.failed.push((name.clone(), msg.clone()));
                 self.record(Some(pid), TraceKind::ProcFail { name, message: msg });
+                self.rec.track_end(pid.0, self.now);
             }
         }
     }
@@ -1309,6 +1403,7 @@ impl Engine {
             EventKind::Start(pid) => {
                 let name = self.procs[pid.0 as usize].name.clone();
                 self.record(Some(pid), TraceKind::ProcStart { name });
+                self.rec.track_start(pid.0, self.now);
                 self.resume(pid, Grant::Unit);
             }
             EventKind::SleepDone(pid) => self.resume(pid, Grant::Unit),
@@ -1392,6 +1487,7 @@ impl Engine {
                     .collect();
                 for pid in &pids {
                     self.procs[pid.0 as usize].state = PState::Died;
+                    self.rec.track_end(pid.0, self.now);
                 }
                 let ids = std::mem::take(&mut self.host_actions[h]);
                 for &idu in &ids {

@@ -46,7 +46,7 @@ pub mod trace;
 
 /// Convenient re-exports of the commonly used types.
 pub mod prelude {
-    pub use crate::engine::{Engine, RecomputeMode, RunReport};
+    pub use crate::engine::{CompactionPolicy, Engine, RecomputeMode, RunReport};
     pub use crate::process::{mail_key, Ctx, MailKey, Payload, ProcId, SendMode};
     pub use crate::topology::{
         macrogrid_qr, microgrid_nbody, Arch, ClusterId, Grid, GridBuilder, Host, HostId, HostSpec,

@@ -11,6 +11,11 @@ use grads_sim::prelude::*;
 
 /// Build and run the mixed fault scenario under the given recompute mode.
 fn scenario(mode: RecomputeMode) -> RunReport {
+    scenario_with(mode, CompactionPolicy::default())
+}
+
+/// Same scenario, with an explicit heap-compaction policy.
+fn scenario_with(mode: RecomputeMode, policy: CompactionPolicy) -> RunReport {
     let mut b = GridBuilder::new();
     let mut clusters = Vec::new();
     let mut hosts = Vec::new();
@@ -31,6 +36,7 @@ fn scenario(mode: RecomputeMode) -> RunReport {
 
     let mut eng = Engine::new(b.build().unwrap());
     eng.set_recompute_mode(mode);
+    eng.set_compaction_policy(policy);
     eng.panic_on_failure = false;
     // External load competing with the workers' compute actions.
     eng.add_load_window(hosts[0], 0.5, Some(3.0), 1.5);
@@ -114,6 +120,37 @@ fn incremental_matches_legacy_to_tolerance() {
     }
     for (x, y) in inc.link_bytes.iter().zip(&leg.link_bytes) {
         assert!((x - y).abs() <= 1e-6 * x.abs().max(1.0));
+    }
+}
+
+/// Heap compaction is a pure heap rebuild: any policy — the default, never
+/// compacting, or compacting at every opportunity — must produce
+/// bit-identical results (end time, trace, totals, events processed). Only
+/// the stale-discard bookkeeping may differ, and in the expected
+/// direction: never-compact pops every stale event individually.
+#[test]
+fn compaction_policy_does_not_perturb_results() {
+    let mode = RecomputeMode::Incremental;
+    let baseline = scenario_with(mode, CompactionPolicy::default());
+    let never = scenario_with(mode, CompactionPolicy::never());
+    let eager = scenario_with(
+        mode,
+        CompactionPolicy {
+            min_stale: 0,
+            min_stale_fraction: 0.0,
+        },
+    );
+    for (label, r) in [("never", &never), ("eager", &eager)] {
+        assert_eq!(baseline.end_time, r.end_time, "{label}: end_time");
+        assert_eq!(baseline.trace, r.trace, "{label}: trace");
+        assert_eq!(baseline.host_flops, r.host_flops, "{label}: host_flops");
+        assert_eq!(baseline.link_bytes, r.link_bytes, "{label}: link_bytes");
+        assert_eq!(
+            baseline.events_processed, r.events_processed,
+            "{label}: events_processed"
+        );
+        assert_eq!(baseline.completed, r.completed, "{label}: completed");
+        assert_eq!(baseline.died, r.died, "{label}: died");
     }
 }
 

@@ -71,6 +71,63 @@ fn obs_on_and_off_are_bit_identical() {
 }
 
 #[test]
+fn recorder_on_and_off_are_bit_identical() {
+    let off = run_qr_experiment(macrogrid_qr(), fig3_cfg(Obs::disabled()));
+    let rec = Recorder::enabled();
+    let mut cfg = fig3_cfg(Obs::disabled());
+    cfg.recorder = rec.clone();
+    let on = run_qr_experiment(macrogrid_qr(), cfg);
+
+    assert!(on.migrated && off.migrated, "scenario must migrate");
+    assert_eq!(
+        on.report.end_time.to_bits(),
+        off.report.end_time.to_bits(),
+        "end_time must be bit-identical with the flight recorder on vs. off"
+    );
+    assert_eq!(on.report, off.report, "full run report must be identical");
+
+    // The enabled run recorded a substantive timeline: two incarnations,
+    // messages matched, a bridge linking them, and a critical path that
+    // tiles the makespan.
+    let tl = rec.timeline();
+    assert_eq!(tl.worlds.len(), 2, "both incarnations recorded");
+    assert!(!tl.msgs.is_empty());
+    assert!(
+        tl.bridges.iter().any(|b| b.is_some()),
+        "migration bridge recorded"
+    );
+    let path = tl.critical_path();
+    assert!(!path.is_empty());
+    assert_eq!(path.last().unwrap().t1, tl.makespan());
+}
+
+#[test]
+fn two_recorder_enabled_runs_record_identical_timelines() {
+    let run = || {
+        let rec = Recorder::enabled();
+        let mut cfg = fig3_cfg(Obs::disabled());
+        cfg.recorder = rec.clone();
+        let r = run_qr_experiment(macrogrid_qr(), cfg);
+        (rec.timeline(), r)
+    };
+    let (ta, ra) = run();
+    let (tb, rb) = run();
+    assert_eq!(ra.report, rb.report);
+    // Timeline equality is bitwise on every float.
+    assert_eq!(ta, tb, "timelines must be bit-identical");
+    assert_eq!(
+        ta.to_chrome_trace(),
+        tb.to_chrome_trace(),
+        "Chrome trace exports must be byte-identical"
+    );
+    assert_eq!(
+        ta.summary(),
+        tb.summary(),
+        "text summaries must be byte-identical"
+    );
+}
+
+#[test]
 fn two_obs_enabled_runs_record_identically() {
     let a = Obs::enabled();
     let b = Obs::enabled();
