@@ -10,6 +10,7 @@
 //!
 //! Usage: `cargo run --release -p grads-bench --bin ablation_failover`
 
+use grads_bench::sweep::{default_workers, run_sweep};
 use grads_core::apps::{run_ft_experiment, FtExperimentConfig};
 use grads_core::sim::topology::macrogrid_qr;
 
@@ -23,7 +24,10 @@ fn main() {
         "{:>14} {:>16} {:>16} {:>12} {:>12}",
         "ckpt cadence", "healthy total(s)", "failure total(s)", "lost steps", "recoveries"
     );
-    for &every in &[1usize, 2, 4, 8, 16] {
+    // Each cadence cell (healthy + failure run) is independent — fan out
+    // over the sweep runner; rows print in cadence order.
+    let cadences = [1usize, 2, 4, 8, 16];
+    let rows = run_sweep(&cadences, default_workers(), |_, &every| {
         let healthy = FtExperimentConfig {
             ckpt_every_chunks: every,
             fail_at: 1e9,
@@ -36,10 +40,13 @@ fn main() {
         };
         let rf = run_ft_experiment(grid.clone(), &workers, depot, faulty);
         assert!(rh.completed && rf.completed, "runs must complete");
-        println!(
+        format!(
             "{:>10} chnk {:>16.1} {:>16.1} {:>12} {:>12}",
             every, rh.total_time, rf.total_time, rf.lost_steps, rf.recoveries
-        );
+        )
+    });
+    for row in rows {
+        println!("{row}");
     }
     println!("\nshape to check: healthy-run time grows as the cadence tightens (checkpoint");
     println!("traffic to the stable depot), failure-run lost work shrinks; the sweet spot");

@@ -8,6 +8,7 @@
 //!
 //! Usage: `cargo run --release -p grads-bench --bin ablation_resched [N]`
 
+use grads_bench::sweep::{default_workers, run_sweep};
 use grads_core::apps::{run_qr_experiment, QrExperimentConfig};
 use grads_core::reschedule::ReschedulerMode;
 use grads_core::sim::topology::macrogrid_qr;
@@ -23,42 +24,51 @@ fn main() {
         "load", "t_inj", "stay(s)", "migrate(s)", "winner", "default", "verdict"
     );
 
+    // The 3×3 grid of (load, t_inj) cells — three full experiment runs
+    // each — fans out over the sweep runner; rows print in grid order.
+    let mut cells = Vec::new();
     for &amount in &[2.0f64, 6.0, 12.0] {
         for &t_inj in &[100.0f64, 300.0, 600.0] {
-            let mk = |mode: ReschedulerMode| {
-                let mut c = QrExperimentConfig::paper(n);
-                c.load_amount = amount;
-                c.load_at = t_inj;
-                c.mode = mode;
-                run_qr_experiment(macrogrid_qr(), c)
-            };
-            let stay = mk(ReschedulerMode::ForceStay);
-            let go = mk(ReschedulerMode::ForceMigrate);
-            let dflt = mk(ReschedulerMode::Default);
-            let tie = (stay.total_time - go.total_time).abs() < 0.02 * stay.total_time;
-            let winner = if tie {
-                "tie"
-            } else if go.total_time < stay.total_time {
-                "migrate"
-            } else {
-                "stay"
-            };
-            let verdict = if tie {
-                "tie"
-            } else if dflt.migrated == (go.total_time < stay.total_time) {
-                "RIGHT"
-            } else {
-                "WRONG"
-            };
-            println!(
-                "{amount:>6.0} {t_inj:>8.0} | {:>10.1} {:>10.1} {:>9} | {:>8} {:>7}",
-                stay.total_time,
-                go.total_time,
-                winner,
-                if dflt.migrated { "migrate" } else { "stay" },
-                verdict
-            );
+            cells.push((amount, t_inj));
         }
+    }
+    let rows = run_sweep(&cells, default_workers(), |_, &(amount, t_inj)| {
+        let mk = |mode: ReschedulerMode| {
+            let mut c = QrExperimentConfig::paper(n);
+            c.load_amount = amount;
+            c.load_at = t_inj;
+            c.mode = mode;
+            run_qr_experiment(macrogrid_qr(), c)
+        };
+        let stay = mk(ReschedulerMode::ForceStay);
+        let go = mk(ReschedulerMode::ForceMigrate);
+        let dflt = mk(ReschedulerMode::Default);
+        let tie = (stay.total_time - go.total_time).abs() < 0.02 * stay.total_time;
+        let winner = if tie {
+            "tie"
+        } else if go.total_time < stay.total_time {
+            "migrate"
+        } else {
+            "stay"
+        };
+        let verdict = if tie {
+            "tie"
+        } else if dflt.migrated == (go.total_time < stay.total_time) {
+            "RIGHT"
+        } else {
+            "WRONG"
+        };
+        format!(
+            "{amount:>6.0} {t_inj:>8.0} | {:>10.1} {:>10.1} {:>9} | {:>8} {:>7}",
+            stay.total_time,
+            go.total_time,
+            winner,
+            if dflt.migrated { "migrate" } else { "stay" },
+            verdict
+        )
+    });
+    for row in rows {
+        println!("{row}");
     }
     println!("\nshape to check (per [21]): heavier and earlier load favours migration;");
     println!("light or late load does not amortize the checkpoint-read cost, and the");

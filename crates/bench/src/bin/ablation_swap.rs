@@ -6,6 +6,7 @@
 //!
 //! Usage: `cargo run --release -p grads-bench --bin ablation_swap`
 
+use grads_bench::sweep::{default_workers, run_sweep};
 use grads_core::apps::{run_nbody_experiment, NbodyConfig, NbodyExperimentConfig};
 use grads_core::reschedule::SwapPolicy;
 use grads_core::sim::topology::microgrid_nbody;
@@ -37,11 +38,16 @@ fn main() {
         ("worst-first(2.0)", SwapPolicy::WorstFirst { factor: 2.0 }),
         ("pack-cluster(1.5)", SwapPolicy::PackCluster { factor: 1.5 }),
     ];
-    for (name, policy) in policies {
+    // One independent experiment per policy — fan out over the sweep
+    // runner; rows come back in policy order.
+    let rows = run_sweep(&policies, default_workers(), |_, &(name, policy)| {
         let mut cfg = base.clone();
         cfg.policy = policy;
         let r = run_nbody_experiment(grid.clone(), &workers, monitor, cfg);
-        println!("{name:<24} {:>14.1} {:>8}", r.end_time, r.swaps.len());
+        format!("{name:<24} {:>14.1} {:>8}", r.end_time, r.swaps.len())
+    });
+    for row in rows {
+        println!("{row}");
     }
     println!("\nshape to check: any reasonable threshold recovers most of the loss; an");
     println!("over-strict threshold (4.0) behaves like never-swap; the mechanism itself");

@@ -16,6 +16,7 @@
 //! [n_nominal [n_real]]` (defaults 20000 / 64). See EXPERIMENTS.md for a
 //! worked reading of the output.
 
+use grads_bench::sweep::{default_workers, run_sweep};
 use grads_core::obs::{chain_table_header, chain_table_row, DecisionAction, Obs};
 use grads_core::prelude::*;
 use grads_core::sim::topology::macrogrid_qr;
@@ -90,12 +91,16 @@ fn main() {
     println!("{}", obs.snapshot().to_json());
 
     // -------- poll_every sweep: detection lag vs chunk granularity --------
+    // Scenarios are independent engine runs, so they fan out over the
+    // sweep runner; rows come back in scenario order, byte-identical to a
+    // serial run (pinned by `tests/sweep_determinism.rs`).
     println!("\npoll_every sweep (steps per sensor report; all times virtual seconds):");
     println!(
         "{:<12} {:>12} {:>14} {:>14} {:>10} {:>14}",
         "poll_every", "onset→poll", "poll→violation", "onset→running", "migrated", "total_time"
     );
-    for pe in [1usize, 2, 4, 8, 16] {
+    let polls = [1usize, 2, 4, 8, 16];
+    let rows = run_sweep(&polls, default_workers(), |_, &pe| {
         let (o, res) = run_fig3(n_nominal, n_real, pe);
         let chains = o.chains();
         match chains.iter().find(|c| c.action == DecisionAction::Migrate) {
@@ -104,7 +109,7 @@ fn main() {
                     .t_actuation_end
                     .map(|e| format!("{:>14.1}", e - load_at))
                     .unwrap_or_else(|| format!("{:>14}", "-"));
-                println!(
+                format!(
                     "{:<12} {:>12.1} {:>14.1} {} {:>10} {:>14.1}",
                     pe,
                     c.t_poll - load_at,
@@ -112,13 +117,16 @@ fn main() {
                     e2e,
                     res.migrated,
                     res.total_time
-                );
+                )
             }
-            None => println!(
+            None => format!(
                 "{:<12} {:>12} {:>14} {:>14} {:>10} {:>14.1}",
                 pe, "-", "-", "-", res.migrated, res.total_time
             ),
         }
+    });
+    for row in rows {
+        println!("{row}");
     }
     println!("\n(conclusion recorded in ROADMAP.md — detection lag scales with the");
     println!(" sensor-report cadence, i.e. roughly linearly with poll_every; the");

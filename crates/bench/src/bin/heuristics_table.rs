@@ -8,6 +8,7 @@
 //!
 //! Usage: `cargo run --release -p grads-bench --bin heuristics_table [trials]`
 
+use grads_bench::sweep::{default_workers, run_sweep};
 use grads_core::nws::NwsService;
 use grads_core::perf::{FittedModel, OpCountModel, ResourceInfo};
 use grads_core::sched::{
@@ -99,9 +100,11 @@ fn main() {
         "round-robin",
         "random",
     ];
-    let mut sums = vec![0.0f64; names.len()];
-    let mut wins = vec![0usize; names.len()];
-    for trial in 0..trials {
+    // Trials are seeded independently, so they fan out over the sweep
+    // runner; per-trial makespan vectors come back in trial order and the
+    // accumulation below is a deterministic fold over them.
+    let trial_ids: Vec<usize> = (0..trials).collect();
+    let per_trial = run_sweep(&trial_ids, default_workers(), |_, &trial| {
         let mut rng = StdRng::seed_from_u64(1000 + trial as u64);
         let grid = random_grid(&mut rng);
         let wf = random_workflow(&mut rng);
@@ -124,6 +127,11 @@ fn main() {
         makespans.push(schedule_greedy_ecost(&wf, &grid, &nws, &resources).makespan);
         makespans.push(schedule_round_robin(&wf, &grid, &nws, &resources).makespan);
         makespans.push(schedule_random(&wf, &grid, &nws, &resources, trial as u64).makespan);
+        makespans
+    });
+    let mut sums = vec![0.0f64; names.len()];
+    let mut wins = vec![0usize; names.len()];
+    for makespans in &per_trial {
         let best = makespans.iter().copied().fold(f64::INFINITY, f64::min);
         for (i, &m) in makespans.iter().enumerate() {
             sums[i] += m;

@@ -18,6 +18,7 @@
 //!
 //! Usage: `cargo run --release -p grads-bench --bin kernel_scale [rounds]`
 
+use grads_bench::sweep::{json_num, json_obj, merge_bench_section};
 use grads_core::sim::prelude::*;
 use std::time::Instant;
 
@@ -56,10 +57,34 @@ fn build_grid() -> (Grid, Vec<HostId>) {
     (b.build().expect("valid grid"), hosts)
 }
 
+/// Substrate under test: the default fast path (direct handoff + indexed
+/// queue), or a reverted substrate via `GRADS_KERNEL_TUNE` — `seed`
+/// (channel pair + stale-mark heap), `stale` (queue only), `channel`
+/// (transport only) — so before/after numbers for the substrate swap, and
+/// one-axis isolation runs, all come from the same binary.
+fn tune_from_env() -> EngineTune {
+    match std::env::var("GRADS_KERNEL_TUNE").as_deref() {
+        Ok("seed") => EngineTune {
+            handoff: HandoffMode::Channel,
+            queue: EventQueueMode::StaleMark,
+        },
+        Ok("stale") => EngineTune {
+            queue: EventQueueMode::StaleMark,
+            ..Default::default()
+        },
+        Ok("channel") => EngineTune {
+            handoff: HandoffMode::Channel,
+            ..Default::default()
+        },
+        _ => EngineTune::default(),
+    }
+}
+
 fn run_once(mode: RecomputeMode, rounds: usize) -> (RunReport, f64) {
     let (grid, hosts) = build_grid();
     let mut eng = Engine::new(grid);
     eng.set_recompute_mode(mode);
+    eng.apply_tune(tune_from_env());
     for i in 0..NPROC {
         let me = hosts[i];
         let peers = hosts.clone();
@@ -168,4 +193,29 @@ fn main() {
     println!("shape to check: Incremental >= 2x Legacy events/sec — the dirty-set path");
     println!("skips the global re-stamp, re-solves only affected sharing components,");
     println!("and never clones route vectors.");
+
+    let mut fields: Vec<(&str, String)> = vec![
+        ("rounds", rounds.to_string()),
+        ("processes", NPROC.to_string()),
+        ("events_applied", ref_ev.to_string()),
+        ("virtual_end_time_s", json_num(ref_end)),
+    ];
+    for (mode, r, secs) in &rows {
+        let key: &str = match mode {
+            RecomputeMode::Legacy => "legacy_events_per_s",
+            RecomputeMode::Full => "full_events_per_s",
+            RecomputeMode::Incremental => "incremental_events_per_s",
+        };
+        fields.push((key, json_num(r.events_processed as f64 / secs)));
+    }
+    // Tuned (non-default) substrates write their own section so an A/B
+    // run never clobbers the default-substrate snapshot.
+    let section = match std::env::var("GRADS_KERNEL_TUNE").as_deref() {
+        Ok("seed") => "kernel_scale_seed_substrate",
+        Ok("stale") => "kernel_scale_stale_queue",
+        Ok("channel") => "kernel_scale_channel_handoff",
+        _ => "kernel_scale",
+    };
+    merge_bench_section(section, &json_obj(&fields));
+    println!("\nwrote {section} section of BENCH_sim.json");
 }

@@ -23,6 +23,7 @@
 //!
 //! Usage: `cargo run --release -p grads-bench --bin validation_microgrid`
 
+use grads_bench::sweep::{default_workers, run_sweep};
 use grads_core::apps::{run_nbody_experiment, NbodyConfig, NbodyExperimentConfig};
 use grads_core::sim::parse_dml;
 use grads_core::sim::prelude::*;
@@ -122,7 +123,11 @@ fn cluster_sweep() {
         "{:<10} {:>6} {:>12} {:>14} {:>14}",
         "clusters", "hosts", "events", "completion(s)", "events/sim-s"
     );
-    for k in [2usize, 4, 8] {
+    // Each topology size (and each of its two verification runs) is an
+    // independent engine scenario — fan the whole grid out over the sweep
+    // runner and render rows in size order.
+    let sizes = [2usize, 4, 8];
+    let rows = run_sweep(&sizes, default_workers(), |_, &k| {
         let run_once = || {
             let (g, workers, mon) = sweep_grid(k);
             let cfg = NbodyExperimentConfig {
@@ -150,13 +155,16 @@ fn cluster_sweep() {
         );
         assert_eq!(a.swaps.len(), b.swaps.len());
         let rate = a.events_processed as f64 / a.end_time;
-        println!(
+        format!(
             "{k:<10} {:>6} {:>12} {:>14.1} {:>14.1}",
             3 * k + 1,
             a.events_processed,
             a.end_time,
             rate
-        );
+        )
+    });
+    for row in rows {
+        println!("{row}");
     }
     println!("\nDETERMINISTIC: repeated runs agree bitwise at every topology size.");
 }
@@ -167,14 +175,19 @@ fn main() {
         "{:<22} {:>10} {:>8} {:>14}",
         "topology", "swap at(s)", "swaps", "completion(s)"
     );
-    let runs = [
-        run(microgrid_nbody(), "builder (reference)"),
-        run(parse_dml(MICROGRID_DML).expect("valid DML"), "DML-parsed"),
-        run(
-            parse_dml(PERTURBED_DML).expect("valid DML"),
-            "perturbed ±10%",
-        ),
+    type NamedTopology = (&'static str, fn() -> Grid);
+    let topologies: [NamedTopology; 3] = [
+        ("builder (reference)", microgrid_nbody),
+        ("DML-parsed", || {
+            parse_dml(MICROGRID_DML).expect("valid DML")
+        }),
+        ("perturbed ±10%", || {
+            parse_dml(PERTURBED_DML).expect("valid DML")
+        }),
     ];
+    let runs = run_sweep(&topologies, default_workers(), |_, &(label, mk)| {
+        run(mk(), label)
+    });
     for (label, swap_t, swaps, end) in &runs {
         println!("{label:<22} {swap_t:>10.1} {swaps:>8} {end:>14.1}");
     }

@@ -18,6 +18,8 @@
 //! `benches/microbench.rs` holds the Criterion microbenchmarks of the
 //! substrate itself.
 
+pub mod sweep;
+
 /// Render one breakdown row of the Figure 3 table.
 pub fn breakdown_row(label: &str, b: &grads_core::binder::Breakdown) -> String {
     format!(

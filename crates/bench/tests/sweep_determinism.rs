@@ -1,0 +1,55 @@
+//! Determinism gate for the parallel sweep runner: fanning independent
+//! scenarios over worker threads must not change a single byte of what a
+//! serial run produces — per-scenario JSON snapshots and report lines
+//! alike — because results are collected by scenario index, never by
+//! completion order, and each scenario's engine run is deterministic.
+
+use grads_bench::sweep::run_sweep;
+use grads_core::obs::Obs;
+use grads_core::prelude::*;
+use grads_core::sim::topology::macrogrid_qr;
+
+/// One reduced-size fig3-shaped scenario per `poll_every` value; returns
+/// its report line plus the full metrics snapshot as JSON.
+fn poll_sweep(workers: usize) -> Vec<String> {
+    let polls = [2usize, 4, 8];
+    run_sweep(&polls, workers, |i, &pe| {
+        let obs = Obs::enabled();
+        let mut cfg = QrExperimentConfig::paper(20000);
+        cfg.qr.n_real = 24;
+        cfg.qr.block = 4;
+        cfg.qr.poll_every = pe;
+        cfg.load_at = 60.0;
+        cfg.monitor_period = 10.0;
+        cfg.t_max = 50_000.0;
+        cfg.obs = obs.clone();
+        let r = run_qr_experiment(macrogrid_qr(), cfg);
+        format!(
+            "[{i}] poll_every={pe} migrated={} incarnations={} total={:.6}\n{}",
+            r.migrated,
+            r.incarnations,
+            r.total_time,
+            obs.snapshot().to_json()
+        )
+    })
+}
+
+#[test]
+fn parallel_sweep_is_byte_identical_to_serial() {
+    let serial = poll_sweep(1);
+    let par4 = poll_sweep(4);
+    assert_eq!(serial.len(), par4.len());
+    for (i, (a, b)) in serial.iter().zip(&par4).enumerate() {
+        assert_eq!(a, b, "scenario {i}: parallel output diverged from serial");
+    }
+}
+
+#[test]
+fn oversubscribed_sweep_preserves_order_and_results() {
+    // More workers than items, and a worker count that does not divide
+    // the item count — index-ordered collection must still hold.
+    let items: Vec<u64> = (0..7).collect();
+    let serial = run_sweep(&items, 1, |i, &x| format!("{i}:{}", x * 3));
+    let wide = run_sweep(&items, 16, |i, &x| format!("{i}:{}", x * 3));
+    assert_eq!(serial, wide);
+}

@@ -35,7 +35,7 @@ pub fn control_events(trace: &Trace) -> Vec<TimelineEvent> {
                 marker: 'X',
                 label: format!("host {host} failed"),
             }),
-            TraceKind::Custom { label, value } => match label.as_str() {
+            TraceKind::Custom { label, value } => match label.as_ref() {
                 "contract_violation" => Some(TimelineEvent {
                     t: r.t,
                     marker: 'V',

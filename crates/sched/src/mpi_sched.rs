@@ -36,13 +36,21 @@ pub fn candidate_sets(
     min_procs: usize,
     max_procs: usize,
 ) -> Vec<(ClusterId, Vec<HostId>)> {
+    // Eligibility bitset over dense host ids: one O(|eligible|) pass here
+    // instead of an O(|eligible|) scan per host per cluster below.
+    let mut is_eligible = vec![false; grid.hosts().len()];
+    for h in eligible {
+        if let Some(slot) = is_eligible.get_mut(h.0 as usize) {
+            *slot = true;
+        }
+    }
     let mut out = Vec::new();
     for (ci, cluster) in grid.clusters().iter().enumerate() {
         let mut hosts: Vec<HostId> = cluster
             .hosts
             .iter()
             .copied()
-            .filter(|h| eligible.contains(h))
+            .filter(|h| is_eligible[h.0 as usize])
             .collect();
         if hosts.is_empty() {
             continue;
@@ -134,6 +142,51 @@ mod tests {
             let total: f64 = hosts.iter().map(|&h| nws.effective_speed(grid, h)).sum();
             flops / total
         }
+    }
+
+    /// The eligibility bitset does not change candidate enumeration: a
+    /// scrambled, duplicated eligible list yields exactly the same
+    /// candidate sets, in the same order, as the sorted one — order comes
+    /// from cluster iteration and forecast speed, never from `eligible`.
+    #[test]
+    fn candidate_order_is_independent_of_eligible_order() {
+        let grid = setup();
+        let nws = NwsService::new();
+        let sorted: Vec<HostId> = (0..12).map(HostId).collect();
+        let scrambled: Vec<HostId> = [7u32, 0, 11, 3, 3, 9, 1, 10, 2, 8, 5, 4, 6, 0]
+            .into_iter()
+            .map(HostId)
+            .collect();
+        let a = candidate_sets(&grid, &nws, &sorted, 2, 12);
+        let b = candidate_sets(&grid, &nws, &scrambled, 2, 12);
+        assert!(!a.is_empty());
+        assert_eq!(a, b);
+        // Within each candidate, hosts are fastest-first with id tie-break.
+        for (_, hosts) in &a {
+            for w in hosts.windows(2) {
+                let (x, y) = (w[0], w[1]);
+                let sx = nws.effective_speed(&grid, x);
+                let sy = nws.effective_speed(&grid, y);
+                assert!(sx > sy || (sx == sy && x < y), "{x:?} before {y:?}");
+            }
+        }
+    }
+
+    /// A partial eligible set restricted to the slow cluster still
+    /// enumerates correctly through the bitset path.
+    #[test]
+    fn partial_eligibility_filters_hosts() {
+        let grid = setup();
+        let nws = NwsService::new();
+        let uiuc_only: Vec<HostId> = grid.hosts_of("UIUC")[..5].to_vec();
+        let sets = candidate_sets(&grid, &nws, &uiuc_only, 2, 12);
+        assert!(sets
+            .iter()
+            .all(|(c, _)| *c == grid.cluster_by_name("UIUC").unwrap()));
+        assert_eq!(sets.last().unwrap().1.len(), 5);
+        assert!(sets
+            .iter()
+            .all(|(_, hs)| hs.iter().all(|h| uiuc_only.contains(h))));
     }
 
     #[test]

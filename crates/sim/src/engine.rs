@@ -22,14 +22,19 @@
 //! [`RecomputeMode::Legacy`] preserves the pre-change kernel — global
 //! re-solve, unconditional re-stamping — as a benchmark baseline.
 
-use crate::process::{Ctx, Grant, KillToken, MailKey, Payload, ProcFn, ProcId, Request, SendMode};
+use crate::equeue::{class_key, Event, EventKind, IndexedHeap, NO_HANDLE};
+use crate::handoff::{HandoffSlot, KernelThread};
+use crate::maildir::{MailDir, QueuedSend};
+use crate::process::{
+    Ctx, Endpoint, Grant, KillToken, MailKey, Payload, ProcFn, ProcId, Request, SendMode,
+};
 use crate::sharing::{cpu_share, max_min_fair, FairScratch};
 use crate::topology::{Grid, HostId, LinkId};
 use crate::trace::{Trace, TraceKind, TraceRecord};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Once;
+use std::sync::{Arc, Once, OnceLock};
 use std::thread::JoinHandle;
 
 /// How the kernel re-derives rates when the demand set churns.
@@ -48,6 +53,53 @@ pub enum RecomputeMode {
     /// the sharing components reachable from churned links are re-solved.
     #[default]
     Incremental,
+}
+
+/// Which process ↔ kernel transport newly spawned processes use.
+///
+/// Both transports carry the same messages in the same order — the kernel
+/// and exactly one running process alternate — so results are bit-identical
+/// across modes; `tests/determinism.rs` holds the kernel to that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HandoffMode {
+    /// The seed transport: one shared request mpsc into the kernel plus a
+    /// per-process grant mpsc back. Two heap-allocated channel nodes and
+    /// two OS wakeups per primitive. Kept as the benchmark baseline.
+    Channel,
+    /// Per-process single-slot rendezvous (`sim::handoff`): one atomic
+    /// state word, in-place message cells, spin-then-park waiting. The
+    /// default.
+    #[default]
+    Direct,
+}
+
+/// Which event-queue implementation the kernel uses.
+///
+/// Both queues pop in the same strict total order on `(t, class, key, seq)`
+/// and both receive exactly the same live events, so results are
+/// bit-identical across modes (`tests/prop_equeue.rs`,
+/// `tests/determinism.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EventQueueMode {
+    /// The seed queue: plain binary heap; cancelled completions stay in the
+    /// heap as stale events, discarded on pop and shed by
+    /// [`CompactionPolicy`] rebuilds. Kept as the benchmark baseline.
+    StaleMark,
+    /// Position-tracked heap (`equeue::IndexedHeap`):
+    /// cancellations remove their event in O(log n), the heap holds only
+    /// live events and compaction never runs. The default.
+    #[default]
+    Indexed,
+}
+
+/// Substrate tuning knobs bundled for experiment drivers. Apply with
+/// [`Engine::apply_tune`] before spawning processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineTune {
+    /// Transport for subsequently spawned processes.
+    pub handoff: HandoffMode,
+    /// Event-queue implementation.
+    pub queue: EventQueueMode,
 }
 
 /// When the kernel rebuilds the event heap to shed stale completion
@@ -154,78 +206,15 @@ impl RunReport {
     }
 }
 
-#[derive(Debug, Clone)]
-enum EventKind {
-    Start(ProcId),
-    HostFail { host: HostId },
-    CpuDone { id: usize, gen: u64 },
-    FlowActivate { id: usize },
-    FlowDone { id: usize, gen: u64 },
-    SleepDone(ProcId),
-    LoadOn { host: HostId, amount: f64 },
-    LoadOff { host: HostId, amount: f64 },
-}
-
-/// Tie-break class and entity key for an event, precomputed at push time.
-///
-/// Events at equal timestamps pop in `(class, key)` order rather than
-/// insertion order, so the pop sequence is independent of *how often* rates
-/// were re-stamped — a prerequisite for the incremental and full recompute
-/// paths (which push different numbers of events) to stay bit-identical.
-fn class_key(kind: &EventKind) -> (u8, u64) {
-    match kind {
-        EventKind::Start(pid) => (0, pid.0 as u64),
-        EventKind::LoadOn { host, .. } => (1, host.0 as u64),
-        EventKind::LoadOff { host, .. } => (2, host.0 as u64),
-        EventKind::HostFail { host } => (3, host.0 as u64),
-        EventKind::SleepDone(pid) => (4, pid.0 as u64),
-        EventKind::FlowActivate { id } => (5, *id as u64),
-        EventKind::CpuDone { id, .. } => (6, *id as u64),
-        EventKind::FlowDone { id, .. } => (7, *id as u64),
-    }
-}
-
-#[derive(Debug)]
-struct Event {
-    t: f64,
-    class: u8,
-    key: u64,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.t == other.t
-            && self.class == other.class
-            && self.key == other.key
-            && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    // Reversed so that BinaryHeap pops the earliest (t, class, key, seq).
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        other
-            .t
-            .total_cmp(&self.t)
-            .then_with(|| other.class.cmp(&self.class))
-            .then_with(|| other.key.cmp(&self.key))
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
 struct CpuAction {
     host: usize,
     pid: ProcId,
     remaining: f64,
     rate: f64,
     gen: u64,
+    /// Pending `CpuDone` handle in the indexed queue ([`NO_HANDLE`] when no
+    /// completion is scheduled or the queue is in stale-mark mode).
+    ev: u32,
 }
 
 enum OnDone {
@@ -249,6 +238,9 @@ struct Flow {
     active: bool,
     /// Position in `Engine::active_flows`, or `u32::MAX` when not listed.
     act_idx: u32,
+    /// Pending `FlowDone` handle in the indexed queue ([`NO_HANDLE`] when no
+    /// completion is scheduled or the queue is in stale-mark mode).
+    ev: u32,
     payload: Option<Payload>,
     on_done: OnDone,
 }
@@ -261,20 +253,6 @@ struct RouteEntry {
     latency: f64,
 }
 
-struct QueuedSend {
-    sender: ProcId,
-    src: HostId,
-    bytes: f64,
-    payload: Payload,
-}
-
-#[derive(Default)]
-struct Mailbox {
-    arrived: VecDeque<Payload>,
-    queued_sync: VecDeque<QueuedSend>,
-    waiting: VecDeque<ProcId>,
-}
-
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum PState {
     Alive,
@@ -284,10 +262,27 @@ enum PState {
     Died,
 }
 
+/// Kernel-side end of one process's transport.
+enum ProcPort {
+    Channel(Sender<Grant>),
+    Direct(Arc<HandoffSlot>),
+}
+
+impl ProcPort {
+    fn send_grant(&self, g: Grant) {
+        match self {
+            ProcPort::Channel(tx) => {
+                let _ = tx.send(g);
+            }
+            ProcPort::Direct(slot) => slot.send_grant(g),
+        }
+    }
+}
+
 struct ProcSlot {
-    name: String,
+    name: Arc<str>,
     host: HostId,
-    grant_tx: Sender<Grant>,
+    port: ProcPort,
     join: Option<JoinHandle<()>>,
     state: PState,
 }
@@ -344,6 +339,36 @@ struct RateScratch {
     route_tmp: Vec<u32>,
 }
 
+/// The kernel's pending-event queue, in one of the [`EventQueueMode`]
+/// implementations. Both pop the identical `(t, class, key, seq)` order.
+enum EventQueue {
+    Stale(BinaryHeap<Event>),
+    Indexed(IndexedHeap),
+}
+
+impl EventQueue {
+    fn len(&self) -> usize {
+        match self {
+            EventQueue::Stale(h) => h.len(),
+            EventQueue::Indexed(h) => h.len(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Event> {
+        match self {
+            EventQueue::Stale(h) => h.peek(),
+            EventQueue::Indexed(h) => h.peek(),
+        }
+    }
+
+    fn pop(&mut self) -> Option<Event> {
+        match self {
+            EventQueue::Stale(h) => h.pop(),
+            EventQueue::Indexed(h) => h.pop(),
+        }
+    }
+}
+
 /// The grid emulator.
 ///
 /// ```
@@ -367,11 +392,11 @@ pub struct Engine {
     now: f64,
     last_advance: f64,
     seq: u64,
-    events: BinaryHeap<Event>,
+    events: EventQueue,
     procs: Vec<ProcSlot>,
     cpu: Vec<Option<CpuAction>>,
     flows: Vec<Option<Flow>>,
-    mailboxes: HashMap<MailKey, Mailbox>,
+    mailboxes: MailDir,
     host_load: Vec<f64>,
     host_alive: Vec<bool>,
     host_flops: Vec<f64>,
@@ -384,6 +409,11 @@ pub struct Engine {
     running: Option<ProcId>,
     req_tx: Sender<(ProcId, Request)>,
     req_rx: Receiver<(ProcId, Request)>,
+    handoff: HandoffMode,
+    /// The OS thread the run loop executes on; direct-handoff processes
+    /// unpark it when publishing a request. Set when `run_until` starts
+    /// (the engine may be built on a different thread than it runs on).
+    kernel_thread: KernelThread,
     trace: Trace,
     completed: Vec<String>,
     failed: Vec<(String, String)>,
@@ -467,11 +497,11 @@ impl Engine {
             now: 0.0,
             last_advance: 0.0,
             seq: 0,
-            events: BinaryHeap::new(),
+            events: EventQueue::Indexed(IndexedHeap::default()),
             procs: Vec::new(),
             cpu: Vec::new(),
             flows: Vec::new(),
-            mailboxes: HashMap::new(),
+            mailboxes: MailDir::new(),
             host_load: vec![0.0; nhosts],
             host_alive: vec![true; nhosts],
             host_flops: vec![0.0; nhosts],
@@ -481,6 +511,8 @@ impl Engine {
             running: None,
             req_tx,
             req_rx,
+            handoff: HandoffMode::default(),
+            kernel_thread: Arc::new(OnceLock::new()),
             trace: Trace::default(),
             completed: Vec::new(),
             failed: Vec::new(),
@@ -523,6 +555,60 @@ impl Engine {
     /// The active rate recomputation strategy.
     pub fn recompute_mode(&self) -> RecomputeMode {
         self.mode
+    }
+
+    /// Select the process ↔ kernel transport for *subsequently spawned*
+    /// processes (default: [`HandoffMode::Direct`]). Call before spawning;
+    /// already-spawned processes keep their transport (mixing modes in one
+    /// run is fine — each process's port is dispatched independently).
+    pub fn set_handoff_mode(&mut self, m: HandoffMode) {
+        self.handoff = m;
+    }
+
+    /// The transport newly spawned processes will use.
+    pub fn handoff_mode(&self) -> HandoffMode {
+        self.handoff
+    }
+
+    /// Select the event-queue implementation (default:
+    /// [`EventQueueMode::Indexed`]). Call before `run`: already-scheduled
+    /// start/load/failure events migrate, but completion events (which only
+    /// exist once the run is underway) would lose their cancellation
+    /// handles.
+    pub fn set_event_queue_mode(&mut self, m: EventQueueMode) {
+        match (&mut self.events, m) {
+            (EventQueue::Stale(h), EventQueueMode::Indexed) => {
+                let mut ih = IndexedHeap::default();
+                // Insertion order is irrelevant: pop order is a strict
+                // total order on (t, class, key, seq).
+                for ev in std::mem::take(h).into_vec() {
+                    ih.push(ev);
+                }
+                self.events = EventQueue::Indexed(ih);
+            }
+            (EventQueue::Indexed(ih), EventQueueMode::StaleMark) => {
+                let mut v = Vec::with_capacity(ih.len());
+                while let Some(ev) = ih.pop() {
+                    v.push(ev);
+                }
+                self.events = EventQueue::Stale(BinaryHeap::from(v));
+            }
+            _ => {}
+        }
+    }
+
+    /// The active event-queue implementation.
+    pub fn event_queue_mode(&self) -> EventQueueMode {
+        match self.events {
+            EventQueue::Stale(_) => EventQueueMode::StaleMark,
+            EventQueue::Indexed(_) => EventQueueMode::Indexed,
+        }
+    }
+
+    /// Apply a bundle of substrate tuning knobs. Call before spawning.
+    pub fn apply_tune(&mut self, t: EngineTune) {
+        self.set_handoff_mode(t.handoff);
+        self.set_event_queue_mode(t.queue);
     }
 
     /// Attach an observability sink. Kernel counters (events applied,
@@ -570,21 +656,93 @@ impl Engine {
         self.compaction
     }
 
-    fn push_ev(events: &mut BinaryHeap<Event>, seq: &mut u64, t: f64, kind: EventKind) {
+    /// Push an event, returning its indexed-queue handle ([`NO_HANDLE`] in
+    /// stale-mark mode). Static over disjoint fields so recompute loops can
+    /// push while iterating `self.cpu` / `self.flows`.
+    fn push_ev(events: &mut EventQueue, seq: &mut u64, t: f64, kind: EventKind) -> u32 {
         let (class, key) = class_key(&kind);
         let s = *seq;
         *seq += 1;
-        events.push(Event {
+        let ev = Event {
             t,
             class,
             key,
             seq: s,
             kind,
-        });
+        };
+        match events {
+            EventQueue::Stale(h) => {
+                h.push(ev);
+                NO_HANDLE
+            }
+            EventQueue::Indexed(h) => h.push(ev),
+        }
     }
 
-    fn push_event(&mut self, t: f64, kind: EventKind) {
-        Self::push_ev(&mut self.events, &mut self.seq, t, kind);
+    fn push_event(&mut self, t: f64, kind: EventKind) -> u32 {
+        Self::push_ev(&mut self.events, &mut self.seq, t, kind)
+    }
+
+    /// Cancel a pending completion event: stale-mark mode counts it for
+    /// the compaction policy and lets the pop loop discard it; indexed mode
+    /// removes it from the heap outright. `handle` is reset to
+    /// [`NO_HANDLE`] either way.
+    fn cancel_ev(events: &mut EventQueue, stale_events: &mut usize, handle: &mut u32) {
+        match events {
+            EventQueue::Stale(_) => *stale_events += 1,
+            EventQueue::Indexed(h) => {
+                // NO_HANDLE happens when the completion was never scheduled
+                // (infinite rate); nothing to remove then.
+                if *handle != NO_HANDLE {
+                    h.remove(*handle);
+                }
+            }
+        }
+        *handle = NO_HANDLE;
+    }
+
+    /// Cancel an entity's pending completion event (if `had_pending`) and
+    /// schedule its successor in one step. Stale-mark mode does exactly
+    /// what [`Self::cancel_ev`] + [`Self::push_ev`] would (counter bump,
+    /// then a fresh push); indexed mode overwrites the event in place via
+    /// [`IndexedHeap::replace`] — one short sift instead of a removal plus
+    /// a push, which is what keeps the indexed queue competitive on the
+    /// legacy recompute path's re-stamp-everything storm.
+    fn restamp_ev(
+        events: &mut EventQueue,
+        stale_events: &mut usize,
+        seq: &mut u64,
+        handle: &mut u32,
+        had_pending: bool,
+        t: f64,
+        kind: EventKind,
+    ) {
+        let (class, key) = class_key(&kind);
+        let s = *seq;
+        *seq += 1;
+        let ev = Event {
+            t,
+            class,
+            key,
+            seq: s,
+            kind,
+        };
+        match events {
+            EventQueue::Stale(h) => {
+                if had_pending {
+                    *stale_events += 1;
+                }
+                h.push(ev);
+                *handle = NO_HANDLE;
+            }
+            EventQueue::Indexed(h) => {
+                *handle = if had_pending {
+                    h.replace(*handle, ev)
+                } else {
+                    h.push(ev)
+                };
+            }
+        }
     }
 
     fn mark_host_dirty(&mut self, h: usize) {
@@ -612,41 +770,53 @@ impl Engine {
 
     fn spawn_at(&mut self, t: f64, name: &str, host: HostId, f: ProcFn) -> ProcId {
         let pid = ProcId(self.procs.len() as u32);
-        let (grant_tx, grant_rx) = unbounded();
-        let req_tx = self.req_tx.clone();
-        let mut ctx = Ctx {
-            pid,
-            host,
-            req_tx: req_tx.clone(),
-            grant_rx,
+        let name: Arc<str> = Arc::from(name);
+        let (port, ep) = match self.handoff {
+            HandoffMode::Channel => {
+                let (grant_tx, grant_rx) = unbounded();
+                (
+                    ProcPort::Channel(grant_tx),
+                    Endpoint::Channel {
+                        req_tx: self.req_tx.clone(),
+                        grant_rx,
+                    },
+                )
+            }
+            HandoffMode::Direct => {
+                let slot = Arc::new(HandoffSlot::new(self.kernel_thread.clone()));
+                (ProcPort::Direct(slot.clone()), Endpoint::Direct(slot))
+            }
         };
+        let mut ctx = Ctx::new(pid, host, ep);
         let join = std::thread::Builder::new()
             .name(format!("sim-{name}"))
             .spawn(move || {
                 // Gate on the start grant so the process does not run before
                 // its scheduled start time.
-                match ctx.grant_rx.recv() {
-                    Ok(Grant::Unit) => {}
-                    _ => return,
+                if !ctx.wait_start() {
+                    return;
                 }
                 let result = catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
                 match result {
-                    Ok(()) => {
-                        let _ = req_tx.send((pid, Request::Exit));
-                    }
+                    Ok(()) => ctx.notify(Request::Exit),
                     Err(e) => {
                         if e.downcast_ref::<KillToken>().is_none() {
-                            let _ = req_tx.send((pid, Request::Panic(panic_message(&*e))));
+                            ctx.notify(Request::Panic(panic_message(&*e)));
                         }
                     }
                 }
             })
             .expect("spawn simulated process thread");
+        if let ProcPort::Direct(slot) = &port {
+            // Recorded by the kernel from the join handle (not by the
+            // process thread itself) so grants never race the store.
+            slot.set_proc_thread(join.thread().clone());
+        }
         let alive = self.host_alive[host.0 as usize];
         self.procs.push(ProcSlot {
-            name: name.to_string(),
+            name,
             host,
-            grant_tx,
+            port,
             join: Some(join),
             state: if alive { PState::Alive } else { PState::Died },
         });
@@ -683,19 +853,26 @@ impl Engine {
     /// blocked — whichever comes first. All surviving processes are killed
     /// and their threads joined before returning.
     pub fn run_until(mut self, tmax: f64) -> RunReport {
+        let _ = self.kernel_thread.set(std::thread::current());
         loop {
             if let Some(pid) = self.running.take() {
-                let (rpid, req) = match self.req_rx.recv() {
-                    Ok(x) => x,
-                    Err(_) => break,
+                let req = match &self.procs[pid.0 as usize].port {
+                    ProcPort::Channel(_) => {
+                        let (rpid, req) = match self.req_rx.recv() {
+                            Ok(x) => x,
+                            Err(_) => break,
+                        };
+                        debug_assert_eq!(rpid, pid, "request from non-running process");
+                        req
+                    }
+                    ProcPort::Direct(slot) => slot.wait_request(),
                 };
-                debug_assert_eq!(rpid, pid, "request from non-running process");
-                self.handle_request(rpid, req);
+                self.handle_request(pid, req);
                 continue;
             }
             if let Some((pid, grant)) = self.runnable.pop_front() {
                 if self.procs[pid.0 as usize].state == PState::Alive {
-                    let _ = self.procs[pid.0 as usize].grant_tx.send(grant);
+                    self.procs[pid.0 as usize].port.send_grant(grant);
                     self.running = Some(pid);
                 }
                 continue;
@@ -738,12 +915,12 @@ impl Engine {
         for p in &self.procs {
             match p.state {
                 PState::Alive => {
-                    unfinished.push(p.name.clone());
-                    let _ = p.grant_tx.send(Grant::Kill);
+                    unfinished.push(p.name.to_string());
+                    p.port.send_grant(Grant::Kill);
                 }
                 PState::Died => {
-                    died.push(p.name.clone());
-                    let _ = p.grant_tx.send(Grant::Kill);
+                    died.push(p.name.to_string());
+                    p.port.send_grant(Grant::Kill);
                 }
                 _ => {}
             }
@@ -821,16 +998,21 @@ impl Engine {
     }
 
     /// Rebuild the event heap without stale completion events once they
-    /// dominate it. Pop order is a strict total order on
-    /// `(t, class, key, seq)`, so rebuilding cannot reorder live events.
+    /// dominate it. Stale-mark mode only — the indexed queue removes
+    /// cancelled events eagerly and never accumulates dead weight. Pop
+    /// order is a strict total order on `(t, class, key, seq)`, so
+    /// rebuilding cannot reorder live events.
     fn maybe_compact(&mut self) {
+        let EventQueue::Stale(heap) = &mut self.events else {
+            return;
+        };
         if !self
             .compaction
-            .should_compact(self.stale_events, self.events.len())
+            .should_compact(self.stale_events, heap.len())
         {
             return;
         }
-        let drained = std::mem::take(&mut self.events).into_vec();
+        let drained = std::mem::take(heap).into_vec();
         let mut kept = Vec::with_capacity(drained.len() - self.stale_events);
         for ev in drained {
             let keep = match ev.kind {
@@ -846,7 +1028,7 @@ impl Engine {
                 kept.push(ev);
             }
         }
-        self.events = BinaryHeap::from(kept);
+        *heap = BinaryHeap::from(kept);
         self.stale_events = 0;
         self.compactions += 1;
     }
@@ -888,19 +1070,29 @@ impl Engine {
         for (id, slot) in self.cpu.iter_mut().enumerate() {
             if let Some(a) = slot {
                 let h = &self.grid.hosts()[a.host];
-                if a.gen != 0 && a.rate > 0.0 {
-                    self.stale_events += 1;
-                }
+                let had_pending = a.gen != 0 && a.rate > 0.0;
                 a.rate = cpu_share(h.speed, h.cores, counts[a.host], self.host_load[a.host]);
                 a.gen = self.gen_counter;
                 self.gen_counter += 1;
                 if a.rate > 0.0 {
-                    cpu_events.push((now + a.remaining / a.rate, id, a.gen));
+                    // Defer the cancel into the re-push so the indexed
+                    // queue can overwrite the old event in place.
+                    cpu_events.push((now + a.remaining / a.rate, id, a.gen, had_pending));
+                } else if had_pending {
+                    Self::cancel_ev(&mut self.events, &mut self.stale_events, &mut a.ev);
                 }
             }
         }
-        for (t, id, gen) in cpu_events {
-            self.push_event(t, EventKind::CpuDone { id, gen });
+        for (t, id, gen, had_pending) in cpu_events {
+            Self::restamp_ev(
+                &mut self.events,
+                &mut self.stale_events,
+                &mut self.seq,
+                &mut self.cpu[id].as_mut().expect("live action").ev,
+                had_pending,
+                t,
+                EventKind::CpuDone { id, gen },
+            );
         }
         let caps: Vec<f64> = self.grid.links().iter().map(|l| l.bandwidth).collect();
         let mut idxs = Vec::new();
@@ -923,18 +1115,26 @@ impl Engine {
         let mut flow_events = Vec::new();
         for (k, &id) in idxs.iter().enumerate() {
             let f = self.flows[id].as_mut().expect("active flow");
-            if f.gen != 0 && f.rate > 0.0 {
-                self.stale_events += 1;
-            }
+            let had_pending = f.gen != 0 && f.rate > 0.0;
             f.rate = rates[k];
             f.gen = self.gen_counter;
             self.gen_counter += 1;
             if f.rate > 0.0 && f.rate.is_finite() {
-                flow_events.push((now + f.remaining / f.rate, id, f.gen));
+                flow_events.push((now + f.remaining / f.rate, id, f.gen, had_pending));
+            } else if had_pending {
+                Self::cancel_ev(&mut self.events, &mut self.stale_events, &mut f.ev);
             }
         }
-        for (t, id, gen) in flow_events {
-            self.push_event(t, EventKind::FlowDone { id, gen });
+        for (t, id, gen, had_pending) in flow_events {
+            Self::restamp_ev(
+                &mut self.events,
+                &mut self.stale_events,
+                &mut self.seq,
+                &mut self.flows[id].as_mut().expect("active flow").ev,
+                had_pending,
+                t,
+                EventKind::FlowDone { id, gen },
+            );
         }
         self.clear_dirty();
     }
@@ -975,19 +1175,22 @@ impl Engine {
                 if a.rate == rate {
                     continue;
                 }
-                if a.gen != 0 && a.rate > 0.0 {
-                    self.stale_events += 1;
-                }
+                let had_pending = a.gen != 0 && a.rate > 0.0;
                 a.rate = rate;
                 a.gen = self.gen_counter;
                 self.gen_counter += 1;
                 if rate > 0.0 {
-                    Self::push_ev(
+                    Self::restamp_ev(
                         &mut self.events,
+                        &mut self.stale_events,
                         &mut self.seq,
+                        &mut a.ev,
+                        had_pending,
                         now + a.remaining / rate,
                         EventKind::CpuDone { id, gen: a.gen },
                     );
+                } else if had_pending {
+                    Self::cancel_ev(&mut self.events, &mut self.stale_events, &mut a.ev);
                 }
             }
         }
@@ -1110,19 +1313,22 @@ impl Engine {
             if f.rate == rate {
                 continue;
             }
-            if f.gen != 0 && f.rate > 0.0 {
-                self.stale_events += 1;
-            }
+            let had_pending = f.gen != 0 && f.rate > 0.0;
             f.rate = rate;
             f.gen = self.gen_counter;
             self.gen_counter += 1;
             if rate > 0.0 && rate.is_finite() {
-                Self::push_ev(
+                Self::restamp_ev(
                     &mut self.events,
+                    &mut self.stale_events,
                     &mut self.seq,
+                    &mut f.ev,
+                    had_pending,
                     now + f.remaining / rate,
                     EventKind::FlowDone { id, gen: f.gen },
                 );
+            } else if had_pending {
+                Self::cancel_ev(&mut self.events, &mut self.stale_events, &mut f.ev);
             }
         }
     }
@@ -1183,7 +1389,13 @@ impl Engine {
             } => self.do_send(pid, key, dst, bytes, payload, mode),
             Request::Recv { key } => self.do_recv(pid, key),
             Request::TryRecv { key } => {
-                let p = self.mailboxes.entry(key).or_default().arrived.pop_front();
+                let p = self
+                    .mailboxes
+                    .get_mut(key)
+                    .and_then(|mb| mb.arrived.pop_front());
+                if p.is_some() {
+                    self.mailboxes.release_if_empty(key);
+                }
                 self.resume_first(pid, Grant::MaybePayload(p));
             }
             Request::Transfer { dst, bytes } => {
@@ -1219,7 +1431,7 @@ impl Engine {
                 let slot = &mut self.procs[pid.0 as usize];
                 slot.state = PState::Done;
                 let name = slot.name.clone();
-                self.completed.push(name.clone());
+                self.completed.push(name.to_string());
                 self.record(Some(pid), TraceKind::ProcExit { name });
                 self.rec.track_end(pid.0, self.now);
             }
@@ -1227,7 +1439,7 @@ impl Engine {
                 let slot = &mut self.procs[pid.0 as usize];
                 slot.state = PState::Failed;
                 let name = slot.name.clone();
-                self.failed.push((name.clone(), msg.clone()));
+                self.failed.push((name.to_string(), msg.clone()));
                 self.record(Some(pid), TraceKind::ProcFail { name, message: msg });
                 self.rec.track_end(pid.0, self.now);
             }
@@ -1241,6 +1453,7 @@ impl Engine {
             remaining: flops,
             rate: 0.0,
             gen: 0,
+            ev: NO_HANDLE,
         };
         let id = match self.free_cpu.pop() {
             Some(i) => {
@@ -1288,8 +1501,7 @@ impl Engine {
                     }
                     None => {
                         self.mailboxes
-                            .entry(key)
-                            .or_default()
+                            .get_or_insert(key)
                             .queued_sync
                             .push_back(QueuedSend {
                                 sender: pid,
@@ -1304,38 +1516,45 @@ impl Engine {
     }
 
     /// Pop the first still-alive waiting receiver on a mailbox, discarding
-    /// any that died with their host.
+    /// any that died with their host. Releases the mailbox if that leaves
+    /// it empty.
     fn pop_alive_waiting(&mut self, key: MailKey) -> Option<ProcId> {
-        let mb = self.mailboxes.entry(key).or_default();
+        let mb = self.mailboxes.get_mut(key)?;
+        let mut found = None;
         while let Some(r) = mb.waiting.pop_front() {
             if self.procs[r.0 as usize].state == PState::Alive {
-                return Some(r);
+                found = Some(r);
+                break;
             }
         }
-        None
+        self.mailboxes.release_if_empty(key);
+        found
     }
 
     fn do_recv(&mut self, pid: ProcId, key: MailKey) {
-        let mb = self.mailboxes.entry(key).or_default();
-        if let Some(p) = mb.arrived.pop_front() {
-            self.resume_first(pid, Grant::Payload(p));
-            return;
+        if let Some(mb) = self.mailboxes.get_mut(key) {
+            if let Some(p) = mb.arrived.pop_front() {
+                self.mailboxes.release_if_empty(key);
+                self.resume_first(pid, Grant::Payload(p));
+                return;
+            }
+            if let Some(qs) = mb.queued_sync.pop_front() {
+                self.mailboxes.release_if_empty(key);
+                let dst = self.procs[pid.0 as usize].host;
+                self.start_flow(
+                    qs.src,
+                    dst,
+                    qs.bytes,
+                    Some(qs.payload),
+                    OnDone::Rendezvous {
+                        recv: pid,
+                        send: qs.sender,
+                    },
+                );
+                return;
+            }
         }
-        if let Some(qs) = mb.queued_sync.pop_front() {
-            let dst = self.procs[pid.0 as usize].host;
-            self.start_flow(
-                qs.src,
-                dst,
-                qs.bytes,
-                Some(qs.payload),
-                OnDone::Rendezvous {
-                    recv: pid,
-                    send: qs.sender,
-                },
-            );
-            return;
-        }
-        mb.waiting.push_back(pid);
+        self.mailboxes.get_or_insert(key).waiting.push_back(pid);
     }
 
     /// Interned route lookup: resolves each (src, dst) pair once and shares
@@ -1375,6 +1594,7 @@ impl Engine {
             gen: 0,
             active: false,
             act_idx: u32::MAX,
+            ev: NO_HANDLE,
             payload,
             on_done,
         };
@@ -1495,7 +1715,8 @@ impl Engine {
                         .take()
                         .expect("action live on failed host");
                     if a.gen != 0 && a.rate > 0.0 {
-                        self.stale_events += 1;
+                        let mut ev = a.ev;
+                        Self::cancel_ev(&mut self.events, &mut self.stale_events, &mut ev);
                     }
                     self.free_cpu.push(idu);
                 }
@@ -1534,11 +1755,7 @@ impl Engine {
                 if let Some(r) = self.pop_alive_waiting(key) {
                     self.resume(r, Grant::Payload(payload));
                 } else {
-                    self.mailboxes
-                        .entry(key)
-                        .or_default()
-                        .arrived
-                        .push_back(payload);
+                    self.mailboxes.get_or_insert(key).arrived.push_back(payload);
                 }
             }
             OnDone::Rendezvous { recv, send } => {

@@ -39,6 +39,9 @@
 
 pub mod dml;
 pub mod engine;
+pub(crate) mod equeue;
+pub(crate) mod handoff;
+pub(crate) mod maildir;
 pub mod process;
 pub mod sharing;
 pub mod topology;
@@ -46,7 +49,9 @@ pub mod trace;
 
 /// Convenient re-exports of the commonly used types.
 pub mod prelude {
-    pub use crate::engine::{CompactionPolicy, Engine, RecomputeMode, RunReport};
+    pub use crate::engine::{
+        CompactionPolicy, Engine, EngineTune, EventQueueMode, HandoffMode, RecomputeMode, RunReport,
+    };
     pub use crate::process::{mail_key, Ctx, MailKey, Payload, ProcId, SendMode};
     pub use crate::topology::{
         macrogrid_qr, microgrid_nbody, Arch, ClusterId, Grid, GridBuilder, Host, HostId, HostSpec,

@@ -7,9 +7,11 @@
 //! hands control back to the kernel, which advances virtual time and resumes
 //! the process when the operation completes.
 
+use crate::handoff::HandoffSlot;
 use crate::topology::HostId;
 use crossbeam::channel::{Receiver, Sender};
 use std::any::Any;
+use std::sync::Arc;
 
 /// Identifies a simulated process.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -85,7 +87,7 @@ pub(crate) enum Request {
         amount: f64,
     },
     Trace {
-        label: String,
+        label: Arc<str>,
         value: f64,
     },
     Exit,
@@ -107,24 +109,90 @@ pub(crate) enum Grant {
 /// wrapper; never observed by user code.
 pub(crate) struct KillToken;
 
+/// Transport between one simulated process and the kernel.
+pub(crate) enum Endpoint {
+    /// Seed transport: shared request mpsc + per-process grant mpsc.
+    Channel {
+        req_tx: Sender<(ProcId, Request)>,
+        grant_rx: Receiver<Grant>,
+    },
+    /// Per-process single-slot rendezvous (see [`crate::handoff`]).
+    Direct(Arc<HandoffSlot>),
+}
+
 /// Handle through which a simulated process interacts with the grid.
 pub struct Ctx {
     pub(crate) pid: ProcId,
     pub(crate) host: HostId,
-    pub(crate) req_tx: Sender<(ProcId, Request)>,
-    pub(crate) grant_rx: Receiver<Grant>,
+    pub(crate) ep: Endpoint,
+    /// Process-local intern cache for trace labels, so repeated `trace`
+    /// calls with the same label reuse one allocation. Processes trace a
+    /// handful of distinct labels, so a linear scan beats a hash map.
+    labels: Vec<Arc<str>>,
 }
 
 impl Ctx {
+    pub(crate) fn new(pid: ProcId, host: HostId, ep: Endpoint) -> Self {
+        Ctx {
+            pid,
+            host,
+            ep,
+            labels: Vec::new(),
+        }
+    }
+
     fn call(&mut self, req: Request) -> Grant {
-        if self.req_tx.send((self.pid, req)).is_err() {
-            // Kernel is gone: the simulation ended.
-            std::panic::panic_any(KillToken);
+        match &self.ep {
+            Endpoint::Channel { req_tx, grant_rx } => {
+                if req_tx.send((self.pid, req)).is_err() {
+                    // Kernel is gone: the simulation ended.
+                    std::panic::panic_any(KillToken);
+                }
+                match grant_rx.recv() {
+                    Ok(Grant::Kill) | Err(_) => std::panic::panic_any(KillToken),
+                    Ok(g) => g,
+                }
+            }
+            Endpoint::Direct(slot) => {
+                slot.send_request(req);
+                match slot.wait_grant() {
+                    Grant::Kill => std::panic::panic_any(KillToken),
+                    g => g,
+                }
+            }
         }
-        match self.grant_rx.recv() {
-            Ok(Grant::Kill) | Err(_) => std::panic::panic_any(KillToken),
-            Ok(g) => g,
+    }
+
+    /// Block until the kernel issues this process's start grant. Returns
+    /// `false` if the kernel instead killed the process (simulation over
+    /// before it ever ran). Used only by the engine's thread wrapper.
+    pub(crate) fn wait_start(&mut self) -> bool {
+        match &self.ep {
+            Endpoint::Channel { grant_rx, .. } => {
+                matches!(grant_rx.recv(), Ok(Grant::Unit))
+            }
+            Endpoint::Direct(slot) => matches!(slot.wait_grant(), Grant::Unit),
         }
+    }
+
+    /// Fire-and-forget notification to the kernel (Exit/Panic from the
+    /// thread wrapper — requests that never receive a grant).
+    pub(crate) fn notify(&mut self, req: Request) {
+        match &self.ep {
+            Endpoint::Channel { req_tx, .. } => {
+                let _ = req_tx.send((self.pid, req));
+            }
+            Endpoint::Direct(slot) => slot.send_request(req),
+        }
+    }
+
+    fn intern_label(&mut self, label: &str) -> Arc<str> {
+        if let Some(l) = self.labels.iter().find(|l| l.as_ref() == label) {
+            return l.clone();
+        }
+        let l: Arc<str> = Arc::from(label);
+        self.labels.push(l.clone());
+        l
     }
 
     /// This process's id.
@@ -257,10 +325,8 @@ impl Ctx {
     /// time. The run report exposes the full trace; figure harnesses use
     /// this to extract progress series.
     pub fn trace(&mut self, label: &str, value: f64) {
-        match self.call(Request::Trace {
-            label: label.to_string(),
-            value,
-        }) {
+        let label = self.intern_label(label);
+        match self.call(Request::Trace { label, value }) {
             Grant::Unit => {}
             _ => unreachable!("kernel grant mismatch for Trace"),
         }

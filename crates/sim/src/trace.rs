@@ -6,6 +6,7 @@
 
 use crate::process::ProcId;
 use crate::topology::HostId;
+use std::sync::Arc;
 
 /// One timestamped record.
 ///
@@ -23,20 +24,24 @@ pub struct TraceRecord {
 }
 
 /// Kinds of trace records.
+///
+/// Names and labels are interned `Arc<str>`s: the kernel's hot paths share
+/// one allocation per distinct string instead of cloning a `String` per
+/// record. Equality still compares string contents.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TraceKind {
     /// A process started.
-    ProcStart { name: String },
+    ProcStart { name: Arc<str> },
     /// A process exited normally.
-    ProcExit { name: String },
+    ProcExit { name: Arc<str> },
     /// A process failed (panicked); message attached.
-    ProcFail { name: String, message: String },
+    ProcFail { name: Arc<str>, message: String },
     /// Total external load on a host changed.
     LoadChange { host: HostId, total: f64 },
     /// A host failed permanently (fault injection).
     HostFail { host: HostId },
     /// A custom application-level marker.
-    Custom { label: String, value: f64 },
+    Custom { label: Arc<str>, value: f64 },
 }
 
 /// Full trace of a run.
@@ -52,7 +57,7 @@ impl Trace {
         self.records
             .iter()
             .filter_map(|r| match &r.kind {
-                TraceKind::Custom { label: l, value } if l == label => Some((r.t, *value)),
+                TraceKind::Custom { label: l, value } if l.as_ref() == label => Some((r.t, *value)),
                 _ => None,
             })
             .collect()
@@ -64,7 +69,9 @@ impl Trace {
         self.records
             .iter()
             .filter_map(|r| match &r.kind {
-                TraceKind::Custom { label: l, value } if l == label && r.pid == Some(pid) => {
+                TraceKind::Custom { label: l, value }
+                    if l.as_ref() == label && r.pid == Some(pid) =>
+                {
                     Some((r.t, *value))
                 }
                 _ => None,
@@ -84,8 +91,8 @@ impl Trace {
         for r in &self.records {
             let pid = r.pid.map(|p| p.0.to_string()).unwrap_or_default();
             let (kind, detail, value) = match &r.kind {
-                TraceKind::ProcStart { name } => ("proc_start", name.clone(), String::new()),
-                TraceKind::ProcExit { name } => ("proc_exit", name.clone(), String::new()),
+                TraceKind::ProcStart { name } => ("proc_start", name.to_string(), String::new()),
+                TraceKind::ProcExit { name } => ("proc_exit", name.to_string(), String::new()),
                 TraceKind::ProcFail { name, message } => {
                     ("proc_fail", format!("{name}: {message}"), String::new())
                 }
@@ -93,7 +100,9 @@ impl Trace {
                     ("load", host.to_string(), format!("{total}"))
                 }
                 TraceKind::HostFail { host } => ("host_fail", host.to_string(), String::new()),
-                TraceKind::Custom { label, value } => ("custom", label.clone(), format!("{value}")),
+                TraceKind::Custom { label, value } => {
+                    ("custom", label.to_string(), format!("{value}"))
+                }
             };
             let detail = detail.replace(',', ";");
             out.push_str(&format!("{},{},{},{},{}\n", r.t, pid, kind, detail, value));

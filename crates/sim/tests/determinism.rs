@@ -11,11 +11,20 @@ use grads_sim::prelude::*;
 
 /// Build and run the mixed fault scenario under the given recompute mode.
 fn scenario(mode: RecomputeMode) -> RunReport {
-    scenario_with(mode, CompactionPolicy::default())
+    scenario_full(mode, CompactionPolicy::default(), EngineTune::default())
 }
 
 /// Same scenario, with an explicit heap-compaction policy.
 fn scenario_with(mode: RecomputeMode, policy: CompactionPolicy) -> RunReport {
+    scenario_full(mode, policy, EngineTune::default())
+}
+
+/// Same scenario, with explicit substrate tuning (transport + event queue).
+fn scenario_tuned(mode: RecomputeMode, tune: EngineTune) -> RunReport {
+    scenario_full(mode, CompactionPolicy::default(), tune)
+}
+
+fn scenario_full(mode: RecomputeMode, policy: CompactionPolicy, tune: EngineTune) -> RunReport {
     let mut b = GridBuilder::new();
     let mut clusters = Vec::new();
     let mut hosts = Vec::new();
@@ -37,6 +46,7 @@ fn scenario_with(mode: RecomputeMode, policy: CompactionPolicy) -> RunReport {
     let mut eng = Engine::new(b.build().unwrap());
     eng.set_recompute_mode(mode);
     eng.set_compaction_policy(policy);
+    eng.apply_tune(tune);
     eng.panic_on_failure = false;
     // External load competing with the workers' compute actions.
     eng.add_load_window(hosts[0], 0.5, Some(3.0), 1.5);
@@ -151,6 +161,76 @@ fn compaction_policy_does_not_perturb_results() {
         );
         assert_eq!(baseline.completed, r.completed, "{label}: completed");
         assert_eq!(baseline.died, r.died, "{label}: died");
+    }
+}
+
+/// The direct (single-slot rendezvous) handoff and the seed channel
+/// transport carry the same messages in the same order, so every recompute
+/// mode must produce bit-identical reports across transports.
+#[test]
+fn direct_handoff_matches_channel_bitwise() {
+    for mode in [
+        RecomputeMode::Legacy,
+        RecomputeMode::Full,
+        RecomputeMode::Incremental,
+    ] {
+        let direct = scenario_tuned(
+            mode,
+            EngineTune {
+                handoff: HandoffMode::Direct,
+                ..Default::default()
+            },
+        );
+        let channel = scenario_tuned(
+            mode,
+            EngineTune {
+                handoff: HandoffMode::Channel,
+                ..Default::default()
+            },
+        );
+        assert_eq!(direct, channel, "{mode:?}: direct vs channel transport");
+    }
+}
+
+/// The indexed (position-tracked) event queue and the seed heap+stale-mark
+/// queue pop identical live-event sequences, so reports must be
+/// bit-identical across queue modes too.
+#[test]
+fn indexed_queue_matches_stale_mark_bitwise() {
+    for mode in [
+        RecomputeMode::Legacy,
+        RecomputeMode::Full,
+        RecomputeMode::Incremental,
+    ] {
+        let indexed = scenario_tuned(
+            mode,
+            EngineTune {
+                queue: EventQueueMode::Indexed,
+                ..Default::default()
+            },
+        );
+        let stale = scenario_tuned(
+            mode,
+            EngineTune {
+                queue: EventQueueMode::StaleMark,
+                ..Default::default()
+            },
+        );
+        assert_eq!(indexed, stale, "{mode:?}: indexed vs stale-mark queue");
+    }
+}
+
+/// Full 2×2 substrate matrix (transport × queue) agrees bitwise — the seed
+/// configuration (channel + stale-mark) and the new default (direct +
+/// indexed) included.
+#[test]
+fn substrate_matrix_is_bit_identical() {
+    let baseline = scenario_tuned(RecomputeMode::Incremental, EngineTune::default());
+    for handoff in [HandoffMode::Channel, HandoffMode::Direct] {
+        for queue in [EventQueueMode::StaleMark, EventQueueMode::Indexed] {
+            let r = scenario_tuned(RecomputeMode::Incremental, EngineTune { handoff, queue });
+            assert_eq!(baseline, r, "{handoff:?} + {queue:?}");
+        }
     }
 }
 

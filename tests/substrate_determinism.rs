@@ -1,0 +1,99 @@
+//! Determinism regression for the kernel substrate fast paths.
+//!
+//! The substrate contract (see DESIGN.md) is that the direct
+//! process-handoff transport and the indexed event queue are pure
+//! performance substitutions: on the full fig3 QR-migration scenario —
+//! middleware, contract monitor, rescheduler, migration and all — every
+//! transport × queue combination must produce a bit-identical run report
+//! (end time, trace with bitwise `f64` timestamps, per-host flops,
+//! per-link bytes).
+
+use grads_core::prelude::*;
+use grads_core::sim::topology::macrogrid_qr;
+
+/// The fig3 QR-migration scenario at harness scale with an explicit
+/// substrate tune — same shape as `tests/obs_determinism.rs`.
+fn fig3_cfg(tune: EngineTune) -> QrExperimentConfig {
+    let mut cfg = QrExperimentConfig::paper(20000);
+    cfg.qr.n_real = 48;
+    cfg.qr.block = 4;
+    cfg.qr.poll_every = 4;
+    cfg.load_at = 60.0;
+    cfg.monitor_period = 10.0;
+    cfg.t_max = 50_000.0;
+    cfg.tune = tune;
+    cfg
+}
+
+#[test]
+fn direct_handoff_matches_channel_on_fig3() {
+    let direct = run_qr_experiment(
+        macrogrid_qr(),
+        fig3_cfg(EngineTune {
+            handoff: HandoffMode::Direct,
+            ..Default::default()
+        }),
+    );
+    let channel = run_qr_experiment(
+        macrogrid_qr(),
+        fig3_cfg(EngineTune {
+            handoff: HandoffMode::Channel,
+            ..Default::default()
+        }),
+    );
+    assert!(direct.migrated && channel.migrated, "scenario must migrate");
+    assert_eq!(
+        direct.report.end_time.to_bits(),
+        channel.report.end_time.to_bits(),
+        "end_time must be bit-identical across transports: {} vs {}",
+        direct.report.end_time,
+        channel.report.end_time
+    );
+    assert_eq!(direct.report.trace, channel.report.trace, "trace");
+    assert_eq!(direct.report, channel.report, "full run report");
+    assert_eq!(direct.incarnations, channel.incarnations);
+    assert_eq!(direct.final_hosts, channel.final_hosts);
+}
+
+#[test]
+fn indexed_queue_matches_stale_mark_on_fig3() {
+    let indexed = run_qr_experiment(
+        macrogrid_qr(),
+        fig3_cfg(EngineTune {
+            queue: EventQueueMode::Indexed,
+            ..Default::default()
+        }),
+    );
+    let stale = run_qr_experiment(
+        macrogrid_qr(),
+        fig3_cfg(EngineTune {
+            queue: EventQueueMode::StaleMark,
+            ..Default::default()
+        }),
+    );
+    assert!(indexed.migrated && stale.migrated, "scenario must migrate");
+    assert_eq!(
+        indexed.report.end_time.to_bits(),
+        stale.report.end_time.to_bits(),
+        "end_time must be bit-identical across event queues"
+    );
+    assert_eq!(indexed.report, stale.report, "full run report");
+}
+
+/// The seed configuration (channel transport + stale-mark queue) agrees
+/// bitwise with the new default (direct + indexed) — the strongest
+/// statement: both substrate layers swapped at once change nothing.
+#[test]
+fn seed_substrate_matches_fast_substrate_on_fig3() {
+    let fast = run_qr_experiment(macrogrid_qr(), fig3_cfg(EngineTune::default()));
+    let seed = run_qr_experiment(
+        macrogrid_qr(),
+        fig3_cfg(EngineTune {
+            handoff: HandoffMode::Channel,
+            queue: EventQueueMode::StaleMark,
+        }),
+    );
+    assert!(fast.migrated && seed.migrated, "scenario must migrate");
+    assert_eq!(fast.report, seed.report, "full run report");
+    assert_eq!(fast.breakdown, seed.breakdown, "phase breakdown");
+}
