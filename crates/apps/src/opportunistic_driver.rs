@@ -15,8 +15,9 @@
 use crate::qr::{restore, QrConfig, QrLocal};
 use crate::qr_driver::{qr_step, QrCop, QrRunning};
 use grads_mpi::launch_from;
-use grads_nws::NwsService;
+use grads_nws::{ForecastSnapshot, NwsService};
 use grads_reschedule::{opportunistic_check, MigrationRescheduler, Reschedulable};
+use grads_sched::SchedTune;
 use grads_sim::prelude::*;
 use grads_srs::{IbpStorage, Rss, Srs};
 use parking_lot::Mutex;
@@ -123,6 +124,7 @@ pub fn run_opportunistic_experiment(
             cfg: ecfg.qr.clone(),
             min_procs: 2,
             max_procs: 8,
+            tune: SchedTune::default(),
         };
         let mut hosts = slow_slots.clone();
         let mut epoch = 0u64;
@@ -211,9 +213,13 @@ pub fn run_opportunistic_experiment(
                     ..Default::default()
                 };
                 let n = nws_m.lock();
+                // One snapshot per opportunistic poll: every decision
+                // term reads the same frozen forecasts (bit-identical to
+                // querying the live service at this instant).
+                let snap = ForecastSnapshot::capture(&grid2, &n);
                 let apps: Vec<&dyn Reschedulable> = vec![&running];
                 if let Some((_, d)) =
-                    opportunistic_check(&rescheduler, &apps, &fast_slots, &grid2, &n)
+                    opportunistic_check(&rescheduler, &apps, &fast_slots, &grid2, &snap)
                 {
                     if d.migrate {
                         drop(n);

@@ -31,11 +31,13 @@ use grads_contract::{
     run_contract_monitor_obs, Contract, ContractMonitor, DonePredicate, Response, ViolationHandler,
 };
 use grads_mpi::{host_labels, launch_from_traced};
-use grads_nws::NwsService;
+use grads_nws::{ForecastSnapshot, ForecastSource, NwsService};
 use grads_obs::{DecisionAction, DecisionKind, Obs, Recorder, WorldTag};
+use grads_perf::{PrefixAgg, PrefixPredictor, TreeBcastPrefix};
 use grads_reschedule::{
     MigrationDecision, MigrationRescheduler, OverheadPolicy, Reschedulable, ReschedulerMode,
 };
+use grads_sched::{DecisionPath, SchedTune};
 use grads_sim::prelude::*;
 use grads_srs::{IbpStorage, Rss, Srs, DEFAULT_DISK_BW};
 use parking_lot::Mutex;
@@ -51,13 +53,19 @@ pub struct QrCop {
     pub min_procs: usize,
     /// Maximum ranks the mapper may select.
     pub max_procs: usize,
+    /// Decision-path tuning: the reference mapper re-runs the forecast
+    /// ensemble per host visit; the fast mapper captures one
+    /// [`ForecastSnapshot`] per `map()` and scores candidates with the
+    /// incremental prefix model. Both pick bit-identical slots (the root
+    /// `sched_path_determinism` suite pins this end to end).
+    pub tune: SchedTune,
 }
 
 impl QrCop {
     /// Predicted full execution time on an ordered rank-slot list (hosts
     /// may repeat: one rank per core).
-    pub fn model(&self, slots: &[HostId], grid: &Grid, nws: &NwsService) -> f64 {
-        let (c, m) = self.model_parts(slots, grid, nws);
+    pub fn model<S: ForecastSource + ?Sized>(&self, slots: &[HostId], grid: &Grid, src: &S) -> f64 {
+        let (c, m) = self.model_parts(slots, grid, src);
         c + m
     }
 
@@ -66,13 +74,18 @@ impl QrCop {
     /// the root serializes ⌈log₂ p⌉ copies through its uplink and the
     /// deepest leaf adds one more leg, each copy moving the full 4N²-byte
     /// reflector volume over the run.
-    pub fn model_parts(&self, slots: &[HostId], grid: &Grid, nws: &NwsService) -> (f64, f64) {
+    pub fn model_parts<S: ForecastSource + ?Sized>(
+        &self,
+        slots: &[HostId],
+        grid: &Grid,
+        src: &S,
+    ) -> (f64, f64) {
         let n = self.cfg.n_nominal as f64;
-        let t_comp = self.cfg.charged_flops() / aggregate_rate(slots, grid, nws);
+        let t_comp = self.cfg.charged_flops() / aggregate_rate(slots, grid, src);
         let t_comm = match slots.iter().find(|&&h| h != slots[0]) {
             Some(&other) if slots.len() > 1 => {
                 let legs = (slots.len() as f64).log2().ceil() + 1.0;
-                legs * nws.transfer_time(grid, slots[0], other, 4.0 * n * n)
+                legs * src.transfer_time(grid, slots[0], other, 4.0 * n * n)
             }
             _ => 0.0,
         };
@@ -83,10 +96,10 @@ impl QrCop {
     /// slot of the cluster (host repeated `cores` times), fastest first,
     /// clamped to `max_procs`. Whole-cluster candidates reproduce the
     /// paper's binary UTK-vs-UIUC rescheduling choice.
-    pub fn candidates(
+    pub fn candidates<S: ForecastSource + ?Sized>(
         &self,
         grid: &Grid,
-        nws: &NwsService,
+        src: &S,
         eligible: &[HostId],
     ) -> Vec<Vec<HostId>> {
         let mut out = Vec::new();
@@ -103,8 +116,8 @@ impl QrCop {
                 continue;
             }
             slots.sort_by(|&a, &b| {
-                nws.effective_speed(grid, b)
-                    .total_cmp(&nws.effective_speed(grid, a))
+                src.effective_speed(grid, b)
+                    .total_cmp(&src.effective_speed(grid, a))
                     .then(a.cmp(&b))
             });
             slots.truncate(self.max_procs);
@@ -112,14 +125,64 @@ impl QrCop {
         }
         out
     }
+
+    /// The fast mapper: candidates are sorted against the snapshot's
+    /// cached speeds and each is scored by driving the incremental
+    /// [`TreeBcastPrefix`] model along its slot list — bit-identical to
+    /// the reference `map` (same model arithmetic, same first-wins
+    /// tie-break), with the ensemble battery run once per host at capture
+    /// instead of once per comparator call.
+    pub fn map_fast(
+        &self,
+        grid: &Grid,
+        snap: &ForecastSnapshot,
+        eligible: &[HostId],
+    ) -> Option<Vec<HostId>> {
+        let n = self.cfg.n_nominal as f64;
+        let mut best: Option<(f64, Vec<HostId>)> = None;
+        for slots in self.candidates(grid, snap, eligible) {
+            let t = if slots.is_empty() {
+                // `aggregate_rate` of an empty set clamps to 1.0.
+                self.cfg.charged_flops()
+            } else {
+                let mut pred =
+                    TreeBcastPrefix::new(grid, snap, self.cfg.charged_flops(), 4.0 * n * n);
+                pred.begin_cluster(grid.host(slots[0]).cluster, &slots);
+                let (mut sum, mut min) = (0.0f64, f64::INFINITY);
+                let mut t = f64::INFINITY;
+                for (i, &h) in slots.iter().enumerate() {
+                    let s = snap.speed(h);
+                    sum += s;
+                    min = min.min(s);
+                    let agg = PrefixAgg {
+                        k: i + 1,
+                        host: h,
+                        speed: s,
+                        sum_speed: sum,
+                        min_speed: min,
+                    };
+                    pred.push(&agg);
+                    if i + 1 == slots.len() {
+                        t = pred.predict(&agg);
+                    }
+                }
+                t
+            };
+            match &best {
+                Some((bt, _)) if *bt <= t => {}
+                _ => best = Some((t, slots)),
+            }
+        }
+        best.map(|(_, slots)| slots)
+    }
 }
 
 /// Aggregate rate of a bulk-synchronous code over rank slots: the work is
 /// split evenly, so the slowest slot sets the pace — `p × min(speed)`.
-fn aggregate_rate(slots: &[HostId], grid: &Grid, nws: &NwsService) -> f64 {
+fn aggregate_rate<S: ForecastSource + ?Sized>(slots: &[HostId], grid: &Grid, src: &S) -> f64 {
     let min_speed = slots
         .iter()
-        .map(|&h| nws.effective_speed(grid, h))
+        .map(|&h| src.effective_speed(grid, h))
         .fold(f64::INFINITY, f64::min);
     (slots.len() as f64 * min_speed).max(1.0)
 }
@@ -135,12 +198,20 @@ impl Cop for QrCop {
         CompilationPackage::new("scalapack-qr", &["scalapack", "srs"])
     }
     fn map(&self, grid: &Grid, nws: &NwsService, eligible: &[HostId]) -> Option<Vec<HostId>> {
-        self.candidates(grid, nws, eligible)
-            .into_iter()
-            .min_by(|a, b| {
-                self.model(a, grid, nws)
-                    .total_cmp(&self.model(b, grid, nws))
-            })
+        match self.tune.path {
+            DecisionPath::Reference => {
+                self.candidates(grid, nws, eligible)
+                    .into_iter()
+                    .min_by(|a, b| {
+                        self.model(a, grid, nws)
+                            .total_cmp(&self.model(b, grid, nws))
+                    })
+            }
+            DecisionPath::Fast => {
+                let snap = ForecastSnapshot::capture(grid, nws);
+                self.map_fast(grid, &snap, eligible)
+            }
+        }
     }
     fn predict(&self, hosts: &[HostId], grid: &Grid, nws: &NwsService) -> f64 {
         self.model(hosts, grid, nws)
@@ -190,23 +261,23 @@ impl QrRunning {
 }
 
 impl Reschedulable for QrRunning {
-    fn remaining_current(&self, grid: &Grid, nws: &NwsService) -> f64 {
+    fn remaining_current(&self, grid: &Grid, src: &dyn ForecastSource) -> f64 {
         match self.measured_rate() {
             Some(rate) => self.remaining_flops() / rate.max(1.0),
-            None => self.remaining_flops() / aggregate_rate(&self.hosts, grid, nws),
+            None => self.remaining_flops() / aggregate_rate(&self.hosts, grid, src),
         }
     }
-    fn remaining_on(&self, hosts: &[HostId], grid: &Grid, nws: &NwsService) -> f64 {
-        self.remaining_flops() / aggregate_rate(hosts, grid, nws)
+    fn remaining_on(&self, hosts: &[HostId], grid: &Grid, src: &dyn ForecastSource) -> f64 {
+        self.remaining_flops() / aggregate_rate(hosts, grid, src)
     }
-    fn migration_overhead(&self, hosts: &[HostId], grid: &Grid, nws: &NwsService) -> f64 {
+    fn migration_overhead(&self, hosts: &[HostId], grid: &Grid, src: &dyn ForecastSource) -> f64 {
         let bytes = self.cop.cfg.checkpoint_bytes();
         // Write: local depots at disk bandwidth, parallel across ranks.
         let write = bytes / (DEFAULT_DISK_BW * self.hosts.len() as f64);
         // Read: the checkpoint crosses the network from old to new hosts
         // (the shared WAN path dominates), plus depot disk time.
         let read =
-            nws.transfer_time(grid, self.hosts[0], hosts[0], bytes) + bytes / DEFAULT_DISK_BW;
+            src.transfer_time(grid, self.hosts[0], hosts[0], bytes) + bytes / DEFAULT_DISK_BW;
         write + read + self.restart_fixed_s
     }
     fn current_hosts(&self) -> Vec<HostId> {
@@ -253,6 +324,10 @@ pub struct QrExperimentConfig {
     /// default (direct handoff, indexed queue) is the fast path; every
     /// combination is bit-identical (see `tests/substrate_determinism.rs`).
     pub tune: EngineTune,
+    /// Scheduler decision-path tuning (snapshot + incremental scoring vs
+    /// the seed reference loop). The default is the fast path; both are
+    /// bit-identical end to end (see `tests/sched_path_determinism.rs`).
+    pub sched: SchedTune,
 }
 
 impl QrExperimentConfig {
@@ -284,6 +359,7 @@ impl QrExperimentConfig {
             obs: Obs::disabled(),
             recorder: Recorder::disabled(),
             tune: EngineTune::default(),
+            sched: SchedTune::default(),
         }
     }
 }
@@ -372,6 +448,7 @@ pub fn run_qr_experiment(grid: Grid, ecfg: QrExperimentConfig) -> QrExperimentRe
             cfg: ecfg.qr.clone(),
             min_procs: ecfg.min_procs,
             max_procs: ecfg.max_procs,
+            tune: ecfg.sched,
         };
         let t_begin = ctx.now();
         let mut incarnations = 0usize;
@@ -400,7 +477,7 @@ pub fn run_qr_experiment(grid: Grid, ecfg: QrExperimentConfig) -> QrExperimentRe
             // -------- launch the world --------
             let comm_weight = {
                 let n = nws.lock();
-                let (c, m) = cop.model_parts(&hosts, &grid2, &n);
+                let (c, m) = cop.model_parts(&hosts, &grid2, &*n);
                 m / (c + m).max(1e-9)
             };
             let cfgw = ecfg.qr.clone();
@@ -525,10 +602,34 @@ pub fn run_qr_experiment(grid: Grid, ecfg: QrExperimentConfig) -> QrExperimentRe
                         return Response::Migrated;
                     }
                     let n = nws3.lock();
-                    let cands = cop3.candidates(&grid3, &n, &all3);
-                    let mut d = rescheduler
-                        .decide_best_obs(running3.as_ref(), &cands, &grid3, &n, &obs3)
-                        .expect("candidates exist");
+                    let mut d = match cop3.tune.path {
+                        // One snapshot per monitor poll: candidate
+                        // enumeration and every candidate's decision
+                        // terms read the same frozen forecasts instead of
+                        // re-running the ensemble per host visit.
+                        DecisionPath::Fast => {
+                            let snap = ForecastSnapshot::capture(&grid3, &n);
+                            let cands = cop3.candidates(&grid3, &snap, &all3);
+                            rescheduler.decide_best_obs(
+                                running3.as_ref(),
+                                &cands,
+                                &grid3,
+                                &snap,
+                                &obs3,
+                            )
+                        }
+                        DecisionPath::Reference => {
+                            let cands = cop3.candidates(&grid3, &*n, &all3);
+                            rescheduler.decide_best_obs(
+                                running3.as_ref(),
+                                &cands,
+                                &grid3,
+                                &*n,
+                                &obs3,
+                            )
+                        }
+                    }
+                    .expect("candidates exist");
                     // Moving onto the very machines the app already holds
                     // is not a migration, whatever the (forecast-polluted)
                     // model says about them.

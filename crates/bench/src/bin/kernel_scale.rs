@@ -194,7 +194,21 @@ fn main() {
     println!("skips the global re-stamp, re-solves only affected sharing components,");
     println!("and never clones route vectors.");
 
+    // Stamp the machine and the substrate under test so checked-in
+    // snapshots are self-describing (throughput numbers are meaningless
+    // without the core count and the engine tuning they were taken on).
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let substrate = match std::env::var("GRADS_KERNEL_TUNE").as_deref() {
+        Ok("seed") => "channel_handoff+stale_mark_queue",
+        Ok("stale") => "direct_handoff+stale_mark_queue",
+        Ok("channel") => "channel_handoff+indexed_queue",
+        _ => "direct_handoff+indexed_queue",
+    };
     let mut fields: Vec<(&str, String)> = vec![
+        ("cores_detected", cores.to_string()),
+        ("substrate", format!("\"{substrate}\"")),
         ("rounds", rounds.to_string()),
         ("processes", NPROC.to_string()),
         ("events_applied", ref_ev.to_string()),

@@ -212,9 +212,20 @@ fn main() {
     println!("  stale-mark (seed)          {ev_stale:>12.0} events/s");
     println!("  indexed (O(log n) remove)  {ev_indexed:>12.0} events/s");
 
+    // Machine/substrate stamps so a checked-in snapshot says where its
+    // numbers came from (a 2-core CI runner and a 32-core workstation
+    // produce very different ops/s for the same code).
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     merge_bench_section(
         "sim_hotpath",
         &json_obj(&[
+            ("cores_detected", cores.to_string()),
+            (
+                "substrate",
+                "\"direct_handoff+indexed_queue (A/B vs seed in-section)\"".to_string(),
+            ),
             ("handoff_rounds", n_handoff.to_string()),
             ("handoff_channel_per_s", json_num(ho_channel)),
             ("handoff_direct_per_s", json_num(ho_direct)),

@@ -70,9 +70,17 @@ where
     tagged.into_iter().map(|(_, r)| r).collect()
 }
 
-/// Path of the benchmark snapshot at the repository root.
+/// Path of the simulator benchmark snapshot at the repository root.
 pub fn bench_json_path() -> std::path::PathBuf {
-    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sim.json")
+    bench_json_path_named("BENCH_sim.json")
+}
+
+/// Path of a named benchmark snapshot at the repository root (e.g.
+/// `BENCH_sched.json` for the scheduler decision-path sweep).
+pub fn bench_json_path_named(file: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(file)
 }
 
 /// Merge one named top-level section into `BENCH_sim.json` at the repo
@@ -80,7 +88,14 @@ pub fn bench_json_path() -> std::path::PathBuf {
 /// valid JSON value (typically an object built with [`json_obj`]). The
 /// file itself is a single JSON object keyed by section name.
 pub fn merge_bench_section(section: &str, body: &str) {
-    let path = bench_json_path();
+    merge_bench_section_in("BENCH_sim.json", section, body)
+}
+
+/// [`merge_bench_section`] against an arbitrary snapshot file at the repo
+/// root, so independent benchmark families (simulator substrate vs
+/// scheduler decision path) keep separate checked-in snapshots.
+pub fn merge_bench_section_in(file: &str, section: &str, body: &str) {
+    let path = bench_json_path_named(file);
     let existing = std::fs::read_to_string(&path).unwrap_or_default();
     let mut sections = parse_top_level(&existing);
     match sections.iter_mut().find(|(k, _)| k == section) {
@@ -93,7 +108,7 @@ pub fn merge_bench_section(section: &str, body: &str) {
         out.push_str(&format!("  \"{k}\": {v}{sep}\n"));
     }
     out.push_str("}\n");
-    std::fs::write(&path, out).expect("write BENCH_sim.json");
+    std::fs::write(&path, out).unwrap_or_else(|e| panic!("write {file}: {e}"));
 }
 
 /// Split the top level of a JSON object into `(key, raw value)` pairs.

@@ -45,20 +45,22 @@ pub mod prelude {
         render_timeline, ActuatorBus, Contract, ContractMonitor, Outcome, Violation,
     };
     pub use grads_mpi::{launch, BlockCyclic, Comm, RankStats, SwapWorld};
-    pub use grads_nws::{Ensemble, NwsService};
+    pub use grads_nws::{Ensemble, ForecastSnapshot, ForecastSource, NwsService};
     pub use grads_obs::{
         DecisionAction, DecisionEvent, DecisionKind, MetricsSnapshot, Obs, RankBreakdown,
         RankState, Recorder, Timeline,
     };
     pub use grads_perf::{
-        ComponentModel, FittedModel, MrdModel, OpCountModel, PerfMatrix, RankWeights, ResourceInfo,
+        ComponentModel, FittedModel, MrdModel, OpCountModel, PerfMatrix, PrefixPredictor,
+        RankWeights, ResourceInfo, TreeBcastPrefix,
     };
     pub use grads_reschedule::{
         MigrationRescheduler, OverheadPolicy, Reschedulable, ReschedulerMode, SwapPolicy,
     };
     pub use grads_sched::{
-        makespan_lower_bound, CommodityMarket, Consumer, Heuristic, Producer, Schedule, Workflow,
-        WorkflowScheduler,
+        makespan_lower_bound, select_mpi_resources, select_mpi_resources_fast,
+        select_mpi_resources_tuned, CandidateWalk, CommodityMarket, Consumer, Heuristic, Producer,
+        SchedTune, Schedule, Workflow, WorkflowScheduler,
     };
     pub use grads_sim::dml::parse_dml;
     pub use grads_sim::prelude::*;

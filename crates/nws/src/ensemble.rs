@@ -19,7 +19,7 @@ pub struct Forecast {
 }
 
 struct Tracked {
-    predictor: Box<dyn Predictor + Send>,
+    predictor: Box<dyn Predictor + Send + Sync>,
     abs_err_sum: f64,
     sq_err_sum: f64,
     n_scored: u64,
@@ -49,7 +49,7 @@ impl Ensemble {
     }
 
     /// Ensemble over a custom predictor set.
-    pub fn new(predictors: Vec<Box<dyn Predictor + Send>>) -> Self {
+    pub fn new(predictors: Vec<Box<dyn Predictor + Send + Sync>>) -> Self {
         assert!(!predictors.is_empty(), "ensemble needs predictors");
         Ensemble {
             tracked: predictors

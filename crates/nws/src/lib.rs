@@ -14,6 +14,7 @@
 pub mod ensemble;
 pub mod monitor;
 pub mod predictors;
+pub mod snapshot;
 
 pub use ensemble::{Ensemble, Forecast};
 pub use monitor::{
@@ -21,3 +22,4 @@ pub use monitor::{
     run_net_sensor, NwsService,
 };
 pub use predictors::{standard_battery, Predictor};
+pub use snapshot::{ForecastSnapshot, ForecastSource};

@@ -216,7 +216,9 @@ impl Predictor for TrimmedMean {
 }
 
 /// The standard NWS-style predictor battery used by [`crate::ensemble`].
-pub fn standard_battery() -> Vec<Box<dyn Predictor + Send>> {
+/// (`Sync` so forecast state can be shared read-only across scheduler
+/// worker threads, e.g. by the parallel candidate scorer.)
+pub fn standard_battery() -> Vec<Box<dyn Predictor + Send + Sync>> {
     vec![
         Box::new(LastValue::default()),
         Box::new(RunningMean::default()),

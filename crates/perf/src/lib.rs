@@ -19,6 +19,7 @@ pub mod cost;
 pub mod linalg;
 pub mod mrd;
 pub mod opcount;
+pub mod prefix;
 
 pub use commfit::{fit_comm_model, fit_piecewise, CommModel, PiecewiseCommModel};
 pub use cost::{
@@ -27,3 +28,4 @@ pub use cost::{
 };
 pub use mrd::{reuse_distances, simulate_lru, MrdHistogram, MrdModel};
 pub use opcount::{FitError, OpCountModel};
+pub use prefix::{FlatPrefix, PrefixAgg, PrefixPredictor, TreeBcastPrefix};

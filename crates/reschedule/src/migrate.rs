@@ -12,7 +12,7 @@
 //! producing the wrong "don't migrate" decision at matrix size 8000 that
 //! Figure 3 reports. Both are reproduced here.
 
-use grads_nws::NwsService;
+use grads_nws::ForecastSource;
 use grads_obs::Obs;
 use grads_sim::prelude::*;
 
@@ -58,15 +58,21 @@ pub struct MigrationDecision {
 
 /// What the rescheduler needs to know about a running, migratable
 /// application (supplied by its COP: performance model + progress).
+///
+/// Forecasts arrive through [`ForecastSource`], so one monitor poll can
+/// capture a `ForecastSnapshot` and evaluate every candidate against it
+/// instead of re-running the NWS ensemble per candidate per term — the
+/// live `NwsService` still works anywhere a source is expected, with
+/// bit-identical decisions either way.
 pub trait Reschedulable: Send + Sync {
     /// Predicted remaining execution time on the current resources, given
     /// current weather.
-    fn remaining_current(&self, grid: &Grid, nws: &NwsService) -> f64;
+    fn remaining_current(&self, grid: &Grid, src: &dyn ForecastSource) -> f64;
     /// Predicted remaining execution time if restarted on `hosts`.
-    fn remaining_on(&self, hosts: &[HostId], grid: &Grid, nws: &NwsService) -> f64;
+    fn remaining_on(&self, hosts: &[HostId], grid: &Grid, src: &dyn ForecastSource) -> f64;
     /// Modeled migration overhead onto `hosts`: checkpoint write, restart
     /// bookkeeping, and checkpoint read/redistribution.
-    fn migration_overhead(&self, hosts: &[HostId], grid: &Grid, nws: &NwsService) -> f64;
+    fn migration_overhead(&self, hosts: &[HostId], grid: &Grid, src: &dyn ForecastSource) -> f64;
     /// Hosts the application currently occupies.
     fn current_hosts(&self) -> Vec<HostId>;
 }
@@ -99,11 +105,11 @@ impl MigrationRescheduler {
         app: &dyn Reschedulable,
         candidate: &[HostId],
         grid: &Grid,
-        nws: &NwsService,
+        src: &dyn ForecastSource,
     ) -> MigrationDecision {
-        let remaining_current = app.remaining_current(grid, nws);
-        let remaining_new = app.remaining_on(candidate, grid, nws);
-        let overhead_modeled = app.migration_overhead(candidate, grid, nws);
+        let remaining_current = app.remaining_current(grid, src);
+        let remaining_new = app.remaining_on(candidate, grid, src);
+        let overhead_modeled = app.migration_overhead(candidate, grid, src);
         let overhead_used = match self.overhead {
             OverheadPolicy::WorstCase(c) => c,
             OverheadPolicy::Modeled => overhead_modeled,
@@ -133,11 +139,11 @@ impl MigrationRescheduler {
         app: &dyn Reschedulable,
         candidates: &[Vec<HostId>],
         grid: &Grid,
-        nws: &NwsService,
+        src: &dyn ForecastSource,
     ) -> Option<MigrationDecision> {
         candidates
             .iter()
-            .map(|c| self.evaluate(app, c, grid, nws))
+            .map(|c| self.evaluate(app, c, grid, src))
             .max_by(|a, b| a.benefit.total_cmp(&b.benefit))
     }
 
@@ -153,11 +159,11 @@ impl MigrationRescheduler {
         app: &dyn Reschedulable,
         candidates: &[Vec<HostId>],
         grid: &Grid,
-        nws: &NwsService,
+        src: &dyn ForecastSource,
         obs: &Obs,
     ) -> Option<MigrationDecision> {
         obs.counter_add("reschedule.candidate_sets", candidates.len() as u64);
-        let best = self.decide_best(app, candidates, grid, nws);
+        let best = self.decide_best(app, candidates, grid, src);
         if let Some(d) = &best {
             obs.counter_add(
                 if d.migrate {
@@ -184,14 +190,14 @@ pub fn opportunistic_check(
     apps: &[&dyn Reschedulable],
     freed: &[HostId],
     grid: &Grid,
-    nws: &NwsService,
+    src: &dyn ForecastSource,
 ) -> Option<(usize, MigrationDecision)> {
     let mut best: Option<(usize, MigrationDecision)> = None;
     for (i, app) in apps.iter().enumerate() {
         // Candidate set: freed resources combined with what the app holds
         // is out of scope here — the paper moves the app onto the freed
         // set.
-        let d = rescheduler.evaluate(*app, freed, grid, nws);
+        let d = rescheduler.evaluate(*app, freed, grid, src);
         if !d.migrate {
             continue;
         }
@@ -206,6 +212,7 @@ pub fn opportunistic_check(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use grads_nws::NwsService;
 
     /// Synthetic app: fixed work remaining, perfectly parallel over host
     /// speeds; overhead = fixed model value.
@@ -216,14 +223,14 @@ mod tests {
     }
 
     impl Reschedulable for FakeApp {
-        fn remaining_current(&self, grid: &Grid, nws: &NwsService) -> f64 {
-            self.remaining_on(&self.current, grid, nws)
+        fn remaining_current(&self, grid: &Grid, src: &dyn ForecastSource) -> f64 {
+            self.remaining_on(&self.current, grid, src)
         }
-        fn remaining_on(&self, hosts: &[HostId], grid: &Grid, nws: &NwsService) -> f64 {
-            let speed: f64 = hosts.iter().map(|&h| nws.effective_speed(grid, h)).sum();
+        fn remaining_on(&self, hosts: &[HostId], grid: &Grid, src: &dyn ForecastSource) -> f64 {
+            let speed: f64 = hosts.iter().map(|&h| src.effective_speed(grid, h)).sum();
             self.work / speed
         }
-        fn migration_overhead(&self, _: &[HostId], _: &Grid, _: &NwsService) -> f64 {
+        fn migration_overhead(&self, _: &[HostId], _: &Grid, _: &dyn ForecastSource) -> f64 {
             self.overhead
         }
         fn current_hosts(&self) -> Vec<HostId> {

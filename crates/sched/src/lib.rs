@@ -8,13 +8,19 @@
 //!   dependence level, three heuristics, keep the best makespan) plus
 //!   random / round-robin / greedy baselines and HEFT;
 //! * [`mpi_sched`] — processor-set selection for tightly-coupled MPI
-//!   applications (the §4.1 QR experiment's initial schedule).
+//!   applications (the §4.1 QR experiment's initial schedule);
+//! * [`walk`] + [`tune`] — the grid-scale fast decision path: forecast
+//!   snapshots, zero-materialization candidate walks scored by
+//!   incremental prefix predictors, and a parallel deterministic argmin,
+//!   bit-identical to the reference path behind a [`SchedTune`] switch.
 
 pub mod bounds;
 pub mod dag;
 pub mod economy;
 pub mod heuristics;
 pub mod mpi_sched;
+pub mod tune;
+pub mod walk;
 pub mod workflow;
 
 pub use bounds::{area_bound, best_ecosts, critical_path_bound, makespan_lower_bound};
@@ -26,6 +32,11 @@ pub use economy::{
 pub use heuristics::{makespan, map_tasks, Heuristic, Placement};
 pub use mpi_sched::{
     candidate_sets, select_mpi_resources, select_mpi_resources_obs, MpiPredictor, ResourceChoice,
+};
+pub use tune::{DecisionPath, SchedTune};
+pub use walk::{
+    select_mpi_resources_fast, select_mpi_resources_tuned, CandidateWalk, ClusterPrefixes,
+    PrefixClosure,
 };
 pub use workflow::{
     evaluate_placement, schedule_greedy_ecost, schedule_heft, schedule_random,

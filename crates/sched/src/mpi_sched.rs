@@ -24,8 +24,9 @@ pub struct ResourceChoice {
 
 /// Application performance predictor: given an ordered host set, forecast
 /// the execution time. Provided by the COP (its executable performance
-/// model).
-pub type MpiPredictor<'a> = dyn Fn(&[HostId], &Grid, &NwsService) -> f64 + 'a;
+/// model). `Sync` so the fast path's cluster-sharded scorer can share one
+/// closure across worker threads (see [`crate::walk`]).
+pub type MpiPredictor<'a> = dyn Fn(&[HostId], &Grid, &NwsService) -> f64 + Sync + 'a;
 
 /// Enumerate candidate host sets: for each cluster, prefixes (by forecast
 /// effective speed, descending) of length `min_procs..=max_procs`.
@@ -77,8 +78,24 @@ pub fn select_mpi_resources(
     max_procs: usize,
     predict: &MpiPredictor<'_>,
 ) -> Option<ResourceChoice> {
+    select_with_count(grid, nws, eligible, min_procs, max_procs, predict).0
+}
+
+/// The reference selection loop, also reporting how many candidate sets
+/// it scored — so the obs wrapper counts from the same single
+/// enumeration instead of re-enumerating.
+fn select_with_count(
+    grid: &Grid,
+    nws: &NwsService,
+    eligible: &[HostId],
+    min_procs: usize,
+    max_procs: usize,
+    predict: &MpiPredictor<'_>,
+) -> (Option<ResourceChoice>, usize) {
     let mut best: Option<ResourceChoice> = None;
+    let mut scored = 0usize;
     for (cluster, hosts) in candidate_sets(grid, nws, eligible, min_procs, max_procs) {
+        scored += 1;
         let predicted = predict(&hosts, grid, nws);
         match &best {
             Some(b) if b.predicted <= predicted => {}
@@ -91,7 +108,7 @@ pub fn select_mpi_resources(
             }
         }
     }
-    best
+    (best, scored)
 }
 
 /// [`select_mpi_resources`] with an observability sink: identical choice,
@@ -109,11 +126,8 @@ pub fn select_mpi_resources_obs(
     obs: &Obs,
 ) -> Option<ResourceChoice> {
     obs.counter_add("sched.selections", 1);
-    if obs.is_enabled() {
-        let n = candidate_sets(grid, nws, eligible, min_procs, max_procs).len();
-        obs.counter_add("sched.candidate_sets", n as u64);
-    }
-    let best = select_mpi_resources(grid, nws, eligible, min_procs, max_procs, predict);
+    let (best, scored) = select_with_count(grid, nws, eligible, min_procs, max_procs, predict);
+    obs.counter_add("sched.candidate_sets", scored as u64);
     if let Some(c) = &best {
         obs.gauge_set("sched.selected_predicted", c.predicted);
         obs.gauge_set("sched.selected_procs", c.hosts.len() as f64);

@@ -1,0 +1,74 @@
+//! Decision-path tuning knobs, mirroring the kernel's `EngineTune`.
+//!
+//! The scheduler has two implementations of MPI resource selection that
+//! are proven bit-identical (unit, property, and end-to-end levels — see
+//! `tests/prop_candidates.rs` and the root `sched_path_determinism`
+//! suite): the seed reference path and the snapshot/incremental/parallel
+//! fast path. [`SchedTune`] selects between them the same way
+//! `EngineTune` selects kernel substrates, so experiments can A/B the
+//! decision path without touching application code.
+
+/// Which resource-selection implementation the scheduler uses.
+///
+/// Both paths enumerate the same candidates in the same order and apply
+/// the same first-wins argmin over `(predicted, cluster, prefix length)`,
+/// so the chosen [`crate::ResourceChoice`] is bit-identical across modes
+/// at any worker count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DecisionPath {
+    /// The seed path: materialize every candidate prefix and re-run the
+    /// forecast ensemble inside sort comparators and predictor calls.
+    /// Kept as the benchmark baseline.
+    Reference,
+    /// Forecast snapshot + zero-materialization prefix walk + parallel
+    /// deterministic argmin. The default.
+    #[default]
+    Fast,
+}
+
+/// Decision-path tuning bundled for experiment drivers, the analog of
+/// `EngineTune` for the scheduler/rescheduler half of the decision loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedTune {
+    /// Which selection implementation to run.
+    pub path: DecisionPath,
+    /// Worker threads for the fast path's cluster-sharded scorer
+    /// (`1` = score on the calling thread). Ignored by the reference
+    /// path. The argmin is bit-identical at any value.
+    pub workers: usize,
+}
+
+impl Default for SchedTune {
+    fn default() -> Self {
+        SchedTune {
+            path: DecisionPath::default(),
+            workers: 1,
+        }
+    }
+}
+
+impl SchedTune {
+    /// The seed reference path.
+    pub fn reference() -> Self {
+        SchedTune {
+            path: DecisionPath::Reference,
+            workers: 1,
+        }
+    }
+
+    /// The fast path, scored on the calling thread.
+    pub fn fast() -> Self {
+        SchedTune {
+            path: DecisionPath::Fast,
+            workers: 1,
+        }
+    }
+
+    /// The fast path with a cluster-sharded parallel scorer.
+    pub fn fast_parallel(workers: usize) -> Self {
+        SchedTune {
+            path: DecisionPath::Fast,
+            workers: workers.max(1),
+        }
+    }
+}
