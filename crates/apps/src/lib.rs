@@ -31,4 +31,6 @@ pub use psa::{
     PsaWorkload,
 };
 pub use qr::{qr_flops, run_qr_rank, QrConfig, QrLocal, QrOutcome};
-pub use qr_driver::{run_qr_experiment, QrCop, QrExperimentConfig, QrExperimentResult, QrRunning};
+pub use qr_driver::{
+    run_qr_experiment, QrCop, QrExperimentConfig, QrExperimentResult, QrRunning, SnapshotUse,
+};

@@ -125,6 +125,8 @@ pub fn run_opportunistic_experiment(
             min_procs: 2,
             max_procs: 8,
             tune: SchedTune::default(),
+            shared_snap: grads_nws::SharedSnapshot::new(),
+            snap_trace: Arc::new(Mutex::new(Vec::new())),
         };
         let mut hosts = slow_slots.clone();
         let mut epoch = 0u64;

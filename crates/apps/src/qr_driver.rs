@@ -31,7 +31,7 @@ use grads_contract::{
     run_contract_monitor_obs, Contract, ContractMonitor, DonePredicate, Response, ViolationHandler,
 };
 use grads_mpi::{host_labels, launch_from_traced};
-use grads_nws::{ForecastSnapshot, ForecastSource, NwsService};
+use grads_nws::{ForecastSnapshot, ForecastSource, NwsService, SharedSnapshot};
 use grads_obs::{DecisionAction, DecisionKind, Obs, Recorder, WorldTag};
 use grads_perf::{PrefixAgg, PrefixPredictor, TreeBcastPrefix};
 use grads_reschedule::{
@@ -42,6 +42,22 @@ use grads_sim::prelude::*;
 use grads_srs::{IbpStorage, Rss, Srs, DEFAULT_DISK_BW};
 use parking_lot::Mutex;
 use std::sync::Arc;
+
+/// Which half of the decision path produced or consumed a forecast
+/// snapshot — the instrumentation record behind the snapshot-sharing
+/// regression test (`tests/snapshot_sharing.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotUse {
+    /// `map()` captured a fresh snapshot (initial schedule, or a pin was
+    /// not available).
+    MapCaptured,
+    /// `map()` consumed the snapshot pinned by the violation handler —
+    /// the landing choice read the *same* forecasts as the migrate
+    /// decision.
+    MapShared,
+    /// The violation handler captured the decision epoch's snapshot.
+    ReschedCaptured,
+}
 
 /// The QR configurable object program: code (the `qr` module), a mapper
 /// (per-cluster core-slot prefixes) and an executable performance model.
@@ -54,11 +70,21 @@ pub struct QrCop {
     /// Maximum ranks the mapper may select.
     pub max_procs: usize,
     /// Decision-path tuning: the reference mapper re-runs the forecast
-    /// ensemble per host visit; the fast mapper captures one
+    /// ensemble per host visit; the fast mapper reads one
     /// [`ForecastSnapshot`] per `map()` and scores candidates with the
     /// incremental prefix model. Both pick bit-identical slots (the root
     /// `sched_path_determinism` suite pins this end to end).
     pub tune: SchedTune,
+    /// One snapshot per violation, shared across both halves of the
+    /// decision: the violation handler pins the snapshot it decided
+    /// against, and the next `map()` consumes it instead of capturing a
+    /// second one — so the migrate decision and the landing choice can
+    /// never read divergent forecasts. Clones share the cell.
+    pub shared_snap: SharedSnapshot,
+    /// Snapshot provenance trace: `(use, fingerprint)` per capture or
+    /// hand-off, in virtual-time order. Cheap (a few entries per run);
+    /// read by the snapshot-sharing regression test.
+    pub snap_trace: Arc<Mutex<Vec<(SnapshotUse, u64)>>>,
 }
 
 impl QrCop {
@@ -208,7 +234,18 @@ impl Cop for QrCop {
                     })
             }
             DecisionPath::Fast => {
-                let snap = ForecastSnapshot::capture(grid, nws);
+                // Prefer the snapshot the violation handler pinned: the
+                // landing choice then reads exactly the forecasts the
+                // migrate decision was taken against. Capture fresh only
+                // when no decision preceded this map (initial schedule).
+                let (snap, used) = match self.shared_snap.take() {
+                    Some(s) => (s, SnapshotUse::MapShared),
+                    None => (
+                        Arc::new(ForecastSnapshot::capture(grid, nws)),
+                        SnapshotUse::MapCaptured,
+                    ),
+                };
+                self.snap_trace.lock().push((used, snap.fingerprint()));
                 self.map_fast(grid, &snap, eligible)
             }
         }
@@ -382,6 +419,11 @@ pub struct QrExperimentResult {
     /// The kernel's run report (end time, trace, per-host accounting) —
     /// what the obs determinism regression compares bit-for-bit.
     pub report: RunReport,
+    /// Fast-path forecast snapshot provenance, in event order: every
+    /// capture/hand-off with the snapshot's content fingerprint. A
+    /// migration shows as `ReschedCaptured(f)` followed by `MapShared(f)`
+    /// with the same `f` — the landing map read the decision's forecasts.
+    pub snapshot_trace: Vec<(SnapshotUse, u64)>,
 }
 
 fn sorted(hs: &[HostId]) -> Vec<HostId> {
@@ -449,6 +491,8 @@ pub fn run_qr_experiment(grid: Grid, ecfg: QrExperimentConfig) -> QrExperimentRe
             min_procs: ecfg.min_procs,
             max_procs: ecfg.max_procs,
             tune: ecfg.sched,
+            shared_snap: SharedSnapshot::new(),
+            snap_trace: Arc::new(Mutex::new(Vec::new())),
         };
         let t_begin = ctx.now();
         let mut incarnations = 0usize;
@@ -602,21 +646,29 @@ pub fn run_qr_experiment(grid: Grid, ecfg: QrExperimentConfig) -> QrExperimentRe
                         return Response::Migrated;
                     }
                     let n = nws3.lock();
+                    // One snapshot per monitor poll: candidate enumeration
+                    // and every candidate's decision terms read the same
+                    // frozen forecasts instead of re-running the ensemble
+                    // per host visit. The snapshot is kept so that, if the
+                    // decision is to migrate, the landing map reads the
+                    // very same forecasts (see `Cop::map`).
+                    let mut poll_snap: Option<Arc<ForecastSnapshot>> = None;
                     let mut d = match cop3.tune.path {
-                        // One snapshot per monitor poll: candidate
-                        // enumeration and every candidate's decision
-                        // terms read the same frozen forecasts instead of
-                        // re-running the ensemble per host visit.
                         DecisionPath::Fast => {
-                            let snap = ForecastSnapshot::capture(&grid3, &n);
-                            let cands = cop3.candidates(&grid3, &snap, &all3);
-                            rescheduler.decide_best_obs(
+                            let snap = Arc::new(ForecastSnapshot::capture(&grid3, &n));
+                            cop3.snap_trace
+                                .lock()
+                                .push((SnapshotUse::ReschedCaptured, snap.fingerprint()));
+                            let cands = cop3.candidates(&grid3, snap.as_ref(), &all3);
+                            let d = rescheduler.decide_best_obs(
                                 running3.as_ref(),
                                 &cands,
                                 &grid3,
-                                &snap,
+                                snap.as_ref(),
                                 &obs3,
-                            )
+                            );
+                            poll_snap = Some(snap);
+                            d
                         }
                         DecisionPath::Reference => {
                             let cands = cop3.candidates(&grid3, &*n, &all3);
@@ -645,6 +697,12 @@ pub fn run_qr_experiment(grid: Grid, ecfg: QrExperimentConfig) -> QrExperimentRe
                         }
                     }
                     if d.migrate {
+                        // Hand the decision's snapshot to the mapper: the
+                        // re-prepare after the stop lands on the forecasts
+                        // this migrate verdict was computed from.
+                        if let Some(snap) = poll_snap {
+                            cop3.shared_snap.pin(snap);
+                        }
                         srs3.rss.request_stop();
                         obs3.event(
                             mctx.now(),
@@ -718,6 +776,7 @@ pub fn run_qr_experiment(grid: Grid, ecfg: QrExperimentConfig) -> QrExperimentRe
             incarnations,
             final_hosts,
             report: RunReport::default(),
+            snapshot_trace: cop.snap_trace.lock().clone(),
         });
     });
 

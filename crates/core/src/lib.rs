@@ -30,6 +30,7 @@ pub use grads_obs as obs;
 pub use grads_perf as perf;
 pub use grads_reschedule as reschedule;
 pub use grads_sched as sched;
+pub use grads_service as service;
 pub use grads_sim as sim;
 pub use grads_srs as srs;
 
@@ -38,7 +39,7 @@ pub mod prelude {
     pub use grads_apps::{
         eman_grid, eman_workflow, run_ft_experiment, run_nbody_experiment, run_qr_experiment,
         EmanConfig, FtExperimentConfig, JacobiConfig, LuConfig, NbodyConfig, NbodyExperimentConfig,
-        PsaConfig, QrConfig, QrExperimentConfig, QrExperimentResult,
+        PsaConfig, QrConfig, QrExperimentConfig, QrExperimentResult, SnapshotUse,
     };
     pub use grads_binder::{prepare_and_bind, Breakdown, Cop, Gis, ManagerCosts};
     pub use grads_contract::{
@@ -61,6 +62,10 @@ pub mod prelude {
         makespan_lower_bound, select_mpi_resources, select_mpi_resources_fast,
         select_mpi_resources_tuned, CandidateWalk, CommodityMarket, Consumer, Heuristic, Producer,
         SchedTune, Schedule, Workflow, WorkflowScheduler,
+    };
+    pub use grads_service::{
+        run_service_experiment, service_grid, Accounting, ServiceConfig, ServiceResult,
+        TenantAccount, WorkloadConfig,
     };
     pub use grads_sim::dml::parse_dml;
     pub use grads_sim::prelude::*;

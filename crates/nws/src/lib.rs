@@ -22,4 +22,4 @@ pub use monitor::{
     run_net_sensor, NwsService,
 };
 pub use predictors::{standard_battery, Predictor};
-pub use snapshot::{ForecastSnapshot, ForecastSource};
+pub use snapshot::{ForecastSnapshot, ForecastSource, SharedSnapshot};

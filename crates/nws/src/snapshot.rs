@@ -116,6 +116,73 @@ impl ForecastSnapshot {
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
         lo.0 as usize * self.n_clusters + hi.0 as usize
     }
+
+    /// FNV-1a hash over every captured value's bit pattern. Two snapshots
+    /// have equal fingerprints iff they serve bitwise-identical forecasts
+    /// (modulo hash collisions), so a decision path can assert cheaply
+    /// that two of its halves read the *same* frozen weather — see the
+    /// snapshot-sharing regression in `grads-apps`.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf29ce484222325;
+        const PRIME: u64 = 0x100000001b3;
+        let mut h = OFFSET;
+        let mut eat = |bits: u64| {
+            for byte in bits.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        for &s in &self.speeds {
+            eat(s.to_bits());
+        }
+        eat(self.n_clusters as u64);
+        for opt in self.bandwidth.iter().chain(self.latency.iter()) {
+            match opt {
+                Some(v) => eat(v.to_bits()),
+                None => eat(u64::MAX),
+            }
+        }
+        h
+    }
+}
+
+/// A one-shot hand-off cell that threads a single [`ForecastSnapshot`]
+/// across the two halves of a rescheduling decision.
+///
+/// The violation handler captures the decision epoch's snapshot, decides,
+/// and — when the decision is to migrate — *pins* the very snapshot it
+/// decided against. The mapper that places the next incarnation then
+/// [`take`](SharedSnapshot::take)s the pinned snapshot instead of
+/// capturing its own, so the migrate decision and the landing choice are
+/// guaranteed to read identical forecasts. Without the cell each half
+/// captures separately and the two can diverge whenever new observations
+/// land between the decision and the re-map.
+///
+/// Clones share the same cell (it is a handle), which is how a COP clone
+/// held by a violation handler communicates with the clone held by the
+/// application manager.
+#[derive(Debug, Clone, Default)]
+pub struct SharedSnapshot {
+    cell: std::sync::Arc<parking_lot::Mutex<Option<std::sync::Arc<ForecastSnapshot>>>>,
+}
+
+impl SharedSnapshot {
+    /// An empty cell: the first consumer will capture its own snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pin `snap` for the next consumer. Replaces any earlier pin (only
+    /// the most recent decision's forecasts are valid to land against).
+    pub fn pin(&self, snap: std::sync::Arc<ForecastSnapshot>) {
+        *self.cell.lock() = Some(snap);
+    }
+
+    /// Consume the pinned snapshot, leaving the cell empty. `None` when
+    /// nothing was pinned (the consumer should capture fresh forecasts).
+    pub fn take(&self) -> Option<std::sync::Arc<ForecastSnapshot>> {
+        self.cell.lock().take()
+    }
 }
 
 impl ForecastSource for ForecastSnapshot {
@@ -226,6 +293,37 @@ mod tests {
         }
         assert_eq!(before.to_bits(), snap.speed(HostId(1)).to_bits());
         assert!(s.effective_speed(&g, HostId(1)) < before);
+    }
+
+    /// Fingerprints separate distinct weather and agree on clones; the
+    /// shared cell hands one snapshot from pinning half to taking half.
+    #[test]
+    fn fingerprint_and_shared_cell() {
+        let g = grid2();
+        let mut s = NwsService::new();
+        for _ in 0..10 {
+            s.observe_cpu(HostId(1), 0.5);
+        }
+        let a = ForecastSnapshot::capture(&g, &s);
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
+        for _ in 0..50 {
+            s.observe_cpu(HostId(1), 0.1);
+        }
+        let b = ForecastSnapshot::capture(&g, &s);
+        assert_ne!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "changed forecasts must change the fingerprint"
+        );
+
+        let cell = SharedSnapshot::new();
+        assert!(cell.take().is_none());
+        let shared = std::sync::Arc::new(a);
+        cell.pin(shared.clone());
+        let other_handle = cell.clone();
+        let got = other_handle.take().expect("pinned snapshot is visible");
+        assert_eq!(got.fingerprint(), shared.fingerprint());
+        assert!(cell.take().is_none(), "take consumes the pin");
     }
 
     /// The unmeasured grid: snapshot serves idle speeds and static routes.

@@ -88,6 +88,14 @@ impl CommodityMarket {
 
     /// Iterate price adjustment until the excess demand is within
     /// `tol · supply` or `max_iters` rounds pass, then allocate.
+    ///
+    /// The returned [`Equilibrium`] is internally consistent by
+    /// construction: after the tâtonnement loop exits, the per-consumer
+    /// demands are evaluated **once** at the final price, and that single
+    /// evaluation supplies the reported `excess`, the `converged` flag,
+    /// *and* the `allocations` — the flag always describes the same
+    /// equilibrium the allocations were computed at, never a residual
+    /// from a pre-step price.
     pub fn clear(
         &mut self,
         producers: &[Producer],
@@ -107,14 +115,14 @@ impl CommodityMarket {
             iterations += 1;
             excess = Self::demand(consumers, self.price) - supply;
         }
-        // Allocate: everyone gets their demand, scaled down uniformly if
-        // the market is still over-subscribed.
-        let total = Self::demand(consumers, self.price);
+        // One demand evaluation at the final price feeds excess, flag and
+        // allocations alike (everyone gets their demand, scaled down
+        // uniformly if the market is still over-subscribed).
+        let demands: Vec<f64> = consumers.iter().map(|c| demand_at(c, self.price)).collect();
+        let total: f64 = demands.iter().sum();
+        let excess = total - supply;
         let scale = if total > supply { supply / total } else { 1.0 };
-        let allocations = consumers
-            .iter()
-            .map(|c| demand_at(c, self.price) * scale)
-            .collect();
+        let allocations = demands.iter().map(|d| d * scale).collect();
         Equilibrium {
             price: self.price,
             excess,
@@ -131,26 +139,57 @@ impl CommodityMarket {
 pub struct AuctionOutcome {
     /// Per-consumer allocations (slots).
     pub allocations: Vec<f64>,
-    /// Price paid for each slot sold, in sale order.
+    /// Per-slot price charged for each lot sold, in sale order. The money
+    /// actually paid for a lot is `slot_prices[i] * lot_sizes[i]`.
     pub slot_prices: Vec<f64>,
+    /// Size of each lot sold (slots), aligned with `slot_prices`. Whole
+    /// lots are `1.0`; fractional tails of capacity or of a consumer's
+    /// residual need are smaller.
+    pub lot_sizes: Vec<f64>,
 }
 
-/// Second-price sealed-bid auction, one slot at a time: each consumer bids
-/// its per-slot valuation (remaining budget over remaining useful demand);
-/// the winner pays the runner-up's bid.
+/// Residues below this are treated as exhausted: a budget or need that
+/// float arithmetic has ground down to `~1e-12` slots (or currency units)
+/// can neither win nor block a sale. See [`auction_allocate`]'s slot
+/// granularity contract.
+pub const AUCTION_EPS: f64 = 1e-9;
+
+/// Second-price sealed-bid auction: capacity is sold lot by lot to the
+/// highest bidder at the runner-up's per-slot bid (half the winner's bid
+/// when unopposed, and never above the winner's own bid).
+///
+/// **Slot granularity contract.** Capacity is divisible: it is sold in
+/// lots of *at most* one slot. A lot is `min(1.0, remaining capacity,
+/// winner's remaining need)`, so
+///
+/// * fractional capacity is fully sellable (3.5 slots sell as
+///   `1 + 1 + 1 + 0.5`, not as 3 with 0.5 stranded);
+/// * a consumer with `max_demand < 1.0` can win (its lot is its need);
+/// * payment is pro-rata: a lot of `s` slots at per-slot price `p` costs
+///   `s · p`, capped by the winner's remaining budget.
+///
+/// Budgets and needs below [`AUCTION_EPS`] count as exhausted, so float
+/// residue left by repeated subtraction cannot keep a bidder in the loop
+/// or strand an unsellable sliver of capacity.
+///
+/// Each consumer's per-slot valuation is its remaining budget spread over
+/// its remaining useful demand, `b / max(n, 1)`: a consumer needing less
+/// than one slot concentrates its whole budget on that fraction, so its
+/// per-slot bid is its full remaining budget.
 pub fn auction_allocate(producers: &[Producer], consumers: &[Consumer]) -> AuctionOutcome {
     let mut capacity = CommodityMarket::supply(producers);
     let mut remaining_budget: Vec<f64> = consumers.iter().map(|c| c.budget).collect();
     let mut remaining_need: Vec<f64> = consumers.iter().map(|c| c.max_demand).collect();
     let mut allocations = vec![0.0; consumers.len()];
     let mut slot_prices = Vec::new();
-    while capacity >= 1.0 {
-        // Bids: value of one more slot to each consumer.
+    let mut lot_sizes = Vec::new();
+    while capacity > AUCTION_EPS {
+        // Bids: per-slot value of more capacity to each consumer.
         let mut bids: Vec<(usize, f64)> = remaining_budget
             .iter()
             .zip(&remaining_need)
             .enumerate()
-            .filter(|(_, (&b, &n))| n >= 1.0 && b > 0.0)
+            .filter(|(_, (&b, &n))| n > AUCTION_EPS && b > AUCTION_EPS)
             .map(|(i, (&b, &n))| (i, b / n.max(1.0)))
             .collect();
         if bids.is_empty() {
@@ -159,16 +198,19 @@ pub fn auction_allocate(producers: &[Producer], consumers: &[Consumer]) -> Aucti
         bids.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         let (winner, top) = bids[0];
         let price = bids.get(1).map(|&(_, p)| p).unwrap_or(top * 0.5).min(top);
-        let price = price.min(remaining_budget[winner]);
-        allocations[winner] += 1.0;
-        remaining_budget[winner] -= price;
-        remaining_need[winner] -= 1.0;
-        capacity -= 1.0;
+        let lot = capacity.min(1.0).min(remaining_need[winner]);
+        let paid = (price * lot).min(remaining_budget[winner]);
+        allocations[winner] += lot;
+        remaining_budget[winner] -= paid;
+        remaining_need[winner] -= lot;
+        capacity -= lot;
         slot_prices.push(price);
+        lot_sizes.push(lot);
     }
     AuctionOutcome {
         allocations,
         slot_prices,
+        lot_sizes,
     }
 }
 
@@ -291,6 +333,113 @@ mod tests {
             v_market < v_auction,
             "market tail volatility {v_market} vs auction {v_auction}"
         );
+    }
+
+    /// Regression (ISSUE 6): `while capacity >= 1.0` used to strand the
+    /// fractional tail — 3.5 slots sold as 3 with 0.5 thrown away.
+    #[test]
+    fn auction_sells_fractional_capacity_tail() {
+        let p = producers(&[3.5]);
+        let c = consumers(&[(100.0, 10.0)]);
+        let out = auction_allocate(&p, &c);
+        let sold: f64 = out.allocations.iter().sum();
+        assert!(
+            (sold - 3.5).abs() < 1e-9,
+            "fractional capacity must sell fully: {sold}"
+        );
+        assert_eq!(out.lot_sizes, vec![1.0, 1.0, 1.0, 0.5]);
+        assert_eq!(out.slot_prices.len(), out.lot_sizes.len());
+    }
+
+    /// Regression (ISSUE 6): a consumer with `max_demand < 1.0` could
+    /// never win a slot (the bid filter required a whole slot of need).
+    #[test]
+    fn auction_serves_sub_slot_consumers() {
+        let p = producers(&[2.0]);
+        let c = consumers(&[(50.0, 0.4), (1.0, 2.0)]);
+        let out = auction_allocate(&p, &c);
+        assert!(
+            (out.allocations[0] - 0.4).abs() < 1e-9,
+            "sub-slot need must be servable: {:?}",
+            out.allocations
+        );
+        // The rest goes to the whole-slot consumer.
+        assert!(
+            (out.allocations[1] - 1.6).abs() < 1e-9,
+            "{:?}",
+            out.allocations
+        );
+    }
+
+    /// Regression (ISSUE 6): float residue in `remaining_budget` (e.g.
+    /// 1e-16 left after repeated subtraction) used to keep a bidder in
+    /// the loop; it must count as exhausted.
+    #[test]
+    fn auction_drops_exhausted_budget_residue() {
+        // Consumer 0's budget drains to an O(1e-16) residue after paying
+        // for its first slots; consumer 1 has need but no money at all.
+        let p = producers(&[10.0]);
+        let c = consumers(&[(0.3 + 0.3 + 0.3 - 0.9 + 1e-16, 100.0), (0.0, 100.0)]);
+        let out = auction_allocate(&p, &c);
+        assert_eq!(
+            out.allocations[0], 0.0,
+            "residue budget must not win slots: {:?}",
+            out.allocations
+        );
+        assert!(out.slot_prices.is_empty());
+    }
+
+    /// Unopposed fractional-need endgame terminates and charges pro-rata.
+    #[test]
+    fn auction_prices_fractional_lots_pro_rata() {
+        let p = producers(&[1.0]);
+        let c = consumers(&[(8.0, 0.5)]);
+        let out = auction_allocate(&p, &c);
+        assert!((out.allocations[0] - 0.5).abs() < 1e-12);
+        // Sole bidder: per-slot price is half its bid (b / max(n,1) = 8),
+        // and it pays price × lot, not price × whole slot.
+        assert_eq!(out.slot_prices, vec![4.0]);
+        assert_eq!(out.lot_sizes, vec![0.5]);
+    }
+
+    /// Regression (ISSUE 6): `converged`, `excess` and `allocations` must
+    /// all describe the same (final-price) equilibrium, including when
+    /// the iteration cap — not the tolerance — ends the loop.
+    #[test]
+    fn clear_flag_and_allocations_agree_at_the_final_price() {
+        let p = producers(&[40.0]);
+        let cs = [
+            consumers(&[(100.0, 80.0), (50.0, 60.0)]),
+            consumers(&[(10.0, 5.0)]),
+            consumers(&[(1000.0, 1e6), (0.5, 0.25)]),
+        ];
+        for c in &cs {
+            for max_iters in [0usize, 1, 3, 500] {
+                let mut m = CommodityMarket {
+                    price: 1.0,
+                    lambda: 2.5, // aggressive steps force overshoot
+                };
+                let tol = 0.01;
+                let eq = m.clear(&p, c, max_iters, tol);
+                let supply = CommodityMarket::supply(&p);
+                let demand = CommodityMarket::demand(c, eq.price);
+                // excess is the final-price excess, bitwise.
+                assert_eq!(
+                    eq.excess.to_bits(),
+                    (demand - supply).to_bits(),
+                    "excess must be measured at the reported price"
+                );
+                // flag is derived from that same excess.
+                assert_eq!(eq.converged, eq.excess.abs() <= tol * supply);
+                // allocations are the same demands, scaled to supply.
+                let total: f64 = eq.allocations.iter().sum();
+                let expect = demand.min(supply);
+                assert!(
+                    (total - expect).abs() <= 1e-9 * expect.max(1.0),
+                    "allocations {total} vs demand-at-price {expect}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -26,8 +26,8 @@ pub mod workflow;
 pub use bounds::{area_bound, best_ecosts, critical_path_bound, makespan_lower_bound};
 pub use dag::{DagError, WfComponent, WfEdge, Workflow};
 pub use economy::{
-    auction_allocate, jain_fairness, price_volatility, CommodityMarket, Consumer, Equilibrium,
-    Producer,
+    auction_allocate, demand_at, jain_fairness, price_volatility, AuctionOutcome, CommodityMarket,
+    Consumer, Equilibrium, Producer, AUCTION_EPS,
 };
 pub use heuristics::{makespan, map_tasks, Heuristic, Placement};
 pub use mpi_sched::{

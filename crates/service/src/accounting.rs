@@ -1,0 +1,145 @@
+//! Per-tenant accounting, surfaced through `grads-obs`.
+//!
+//! Every admission decision and completion lands in exactly one
+//! [`TenantAccount`]; [`Accounting::publish`] mirrors the totals into
+//! `Obs` counters/gauges so the service shows up in the same metrics
+//! snapshots (and the same byte-identical JSON) as the kernel and the
+//! scheduler. Counter names are stable: `svc.<field>` for grid-wide
+//! totals and `svc.t<tenant>.<field>` per tenant.
+
+use grads_obs::Obs;
+
+/// One tenant's ledger.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TenantAccount {
+    /// Jobs submitted (entered the queue).
+    pub submitted: u64,
+    /// Jobs admitted to the grid.
+    pub admitted: u64,
+    /// Jobs rejected (deadline infeasible at decision time, or expired
+    /// in the queue while unaffordable/unplaceable).
+    pub rejected: u64,
+    /// Admitted jobs that ran to completion.
+    pub completed: u64,
+    /// Completed jobs that finished after their deadline.
+    pub slo_misses: u64,
+    /// Σ procs × wall-clock occupied, virtual seconds.
+    pub host_seconds: f64,
+    /// Money paid at admission (market or auction price × slot-seconds).
+    pub spend: f64,
+}
+
+/// The service-wide ledger: one [`TenantAccount`] per tenant.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Accounting {
+    accounts: Vec<TenantAccount>,
+}
+
+impl Accounting {
+    /// A ledger for `n_tenants` tenants.
+    pub fn new(n_tenants: usize) -> Self {
+        Accounting {
+            accounts: vec![TenantAccount::default(); n_tenants],
+        }
+    }
+
+    /// Mutable access to one tenant's ledger.
+    pub fn tenant_mut(&mut self, tenant: u32) -> &mut TenantAccount {
+        &mut self.accounts[tenant as usize]
+    }
+
+    /// All per-tenant ledgers, tenant-indexed.
+    pub fn accounts(&self) -> &[TenantAccount] {
+        &self.accounts
+    }
+
+    /// Grid-wide totals (field-wise sum over tenants).
+    pub fn totals(&self) -> TenantAccount {
+        let mut t = TenantAccount::default();
+        for a in &self.accounts {
+            t.submitted += a.submitted;
+            t.admitted += a.admitted;
+            t.rejected += a.rejected;
+            t.completed += a.completed;
+            t.slo_misses += a.slo_misses;
+            t.host_seconds += a.host_seconds;
+            t.spend += a.spend;
+        }
+        t
+    }
+
+    /// Jain's fairness index over per-tenant consumed host-seconds
+    /// (1 = perfectly even service).
+    pub fn fairness(&self) -> f64 {
+        grads_sched::jain_fairness(
+            &self
+                .accounts
+                .iter()
+                .map(|a| a.host_seconds)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Mirror the ledger into `obs` counters and gauges.
+    pub fn publish(&self, obs: &Obs) {
+        let pub_one = |prefix: &str, a: &TenantAccount| {
+            obs.counter_add(&format!("{prefix}.submitted"), a.submitted);
+            obs.counter_add(&format!("{prefix}.admitted"), a.admitted);
+            obs.counter_add(&format!("{prefix}.rejected"), a.rejected);
+            obs.counter_add(&format!("{prefix}.completed"), a.completed);
+            obs.counter_add(&format!("{prefix}.slo_misses"), a.slo_misses);
+            obs.gauge_set(&format!("{prefix}.host_seconds"), a.host_seconds);
+            obs.gauge_set(&format!("{prefix}.spend"), a.spend);
+        };
+        pub_one("svc", &self.totals());
+        for (i, a) in self.accounts.iter().enumerate() {
+            pub_one(&format!("svc.t{i}"), a);
+        }
+        obs.gauge_set("svc.fairness", self.fairness());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_tenants_and_fairness_tracks_skew() {
+        let mut acc = Accounting::new(3);
+        for (t, hs) in [(0u32, 100.0), (1, 100.0), (2, 100.0)] {
+            let a = acc.tenant_mut(t);
+            a.submitted = 10;
+            a.admitted = 8;
+            a.completed = 7;
+            a.host_seconds = hs;
+            a.spend = hs * 0.9;
+        }
+        let tot = acc.totals();
+        assert_eq!(tot.submitted, 30);
+        assert_eq!(tot.admitted, 24);
+        assert_eq!(tot.completed, 21);
+        assert!((tot.host_seconds - 300.0).abs() < 1e-12);
+        assert!((acc.fairness() - 1.0).abs() < 1e-12, "even service is fair");
+        acc.tenant_mut(0).host_seconds = 1000.0;
+        assert!(acc.fairness() < 0.7, "skewed service lowers Jain's index");
+    }
+
+    #[test]
+    fn publish_lands_in_obs_counters() {
+        let mut acc = Accounting::new(2);
+        acc.tenant_mut(0).admitted = 5;
+        acc.tenant_mut(1).admitted = 2;
+        acc.tenant_mut(1).slo_misses = 1;
+        let obs = Obs::enabled();
+        acc.publish(&obs);
+        let snap = obs.snapshot();
+        let json = snap.to_json();
+        assert!(
+            json.contains("\"svc.admitted\""),
+            "grid-wide counters: {json}"
+        );
+        assert!(json.contains("\"svc.t0.admitted\""), "per-tenant counters");
+        assert!(json.contains("\"svc.t1.slo_misses\""));
+        assert!(json.contains("\"svc.fairness\""));
+    }
+}

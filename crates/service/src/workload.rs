@@ -1,0 +1,250 @@
+//! Seeded deterministic workload generation.
+//!
+//! A workload is a time-ordered stream of [`Job`]s drawn from the four
+//! application shapes the repo emulates end-to-end (QR factorization,
+//! N-body, EMAN refinement, parameter-sweep workflow), each with a
+//! compute volume, a broadcast volume, a processor count, a tenant, a
+//! deadline and a budget. Arrivals follow a Poisson process
+//! (exponential interarrivals by inverse CDF).
+//!
+//! Generation uses a self-contained splitmix64 generator, so a given
+//! [`WorkloadConfig`] produces the identical `Vec<Job>` on every run,
+//! every platform, and every thread — the root of the service layer's
+//! determinism guarantee.
+
+/// splitmix64: tiny, seedable, and stable — no external RNG crates, no
+/// platform variance.
+#[derive(Debug, Clone)]
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    fn index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+}
+
+/// The application shape a job emulates. Determines the compute and
+/// broadcast volumes and the useful processor range — the same
+/// performance-model inputs the end-to-end drivers use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppKind {
+    /// ScaLAPACK QR factorization: large, broadcast-heavy.
+    Qr,
+    /// N-body: medium compute, light communication.
+    Nbody,
+    /// EMAN refinement: the largest jobs in the mix.
+    Eman,
+    /// Parameter-sweep workflow stage: small and plentiful.
+    Workflow,
+}
+
+impl AppKind {
+    const ALL: [AppKind; 4] = [
+        AppKind::Qr,
+        AppKind::Nbody,
+        AppKind::Eman,
+        AppKind::Workflow,
+    ];
+
+    /// `(flops_lo, flops_hi, bcast_bytes, procs_lo, procs_hi)`.
+    fn shape(self) -> (f64, f64, f64, usize, usize) {
+        match self {
+            AppKind::Qr => (2.0e11, 6.0e11, 1.0e7, 2, 4),
+            AppKind::Nbody => (1.0e11, 3.0e11, 4.0e6, 1, 2),
+            AppKind::Eman => (4.0e11, 8.0e11, 2.0e7, 2, 4),
+            AppKind::Workflow => (0.5e11, 2.0e11, 1.0e6, 1, 2),
+        }
+    }
+
+    /// Short stable tag for counters and logs.
+    pub fn tag(self) -> &'static str {
+        match self {
+            AppKind::Qr => "qr",
+            AppKind::Nbody => "nbody",
+            AppKind::Eman => "eman",
+            AppKind::Workflow => "workflow",
+        }
+    }
+}
+
+/// One submission in the stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Job {
+    /// Dense id, also the FIFO tiebreaker (ids are in submit order).
+    pub id: u32,
+    /// Owning tenant, `0..n_tenants`.
+    pub tenant: u32,
+    /// Application shape.
+    pub kind: AppKind,
+    /// Processes requested (the mapper picks exactly this many hosts).
+    pub procs: usize,
+    /// Total compute volume, flop.
+    pub flops: f64,
+    /// Broadcast volume per sweep of the tree-broadcast model, bytes.
+    pub bcast_bytes: f64,
+    /// Virtual submission time, seconds.
+    pub submit_s: f64,
+    /// Absolute deadline: the job must finish by `submit_s + deadline_s`
+    /// or it is an SLO miss (or is rejected up front if provably late).
+    pub deadline_s: f64,
+    /// Total money the tenant will spend on this job.
+    pub budget: f64,
+    /// Hidden ratio of actual to predicted runtime (prediction error):
+    /// the service only learns it when the job finishes.
+    pub runtime_skew: f64,
+}
+
+impl Job {
+    /// Nominal duration at the reference slot rate — the scale deadlines
+    /// and budgets are drawn against.
+    pub fn nominal_s(&self, reference_speed: f64) -> f64 {
+        self.flops / (self.procs as f64 * reference_speed.max(1.0))
+    }
+}
+
+/// Parameters of the generated stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadConfig {
+    /// RNG seed; everything else being equal, the stream is a pure
+    /// function of it.
+    pub seed: u64,
+    /// Number of jobs submitted.
+    pub n_jobs: usize,
+    /// Number of tenants sharing the service.
+    pub n_tenants: usize,
+    /// Mean exponential interarrival, virtual seconds.
+    pub mean_interarrival_s: f64,
+    /// Reference per-slot rate (flop/s) deadlines/budgets are scaled by;
+    /// should approximate the grid's effective per-core speed.
+    pub reference_speed: f64,
+    /// Deadline slack range `[lo, hi)` as a multiple of nominal duration.
+    pub deadline_slack: (f64, f64),
+    /// Budget rate range `[lo, hi)` in price units per slot-second; the
+    /// drawn rate times nominal slot-seconds is the job's budget. Rates
+    /// below the market price make a job unaffordable.
+    pub budget_rate: (f64, f64),
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            seed: 0x5eed_6a0b,
+            n_jobs: 2000,
+            n_tenants: 8,
+            mean_interarrival_s: 0.5,
+            reference_speed: 2.5e8,
+            deadline_slack: (1.6, 4.0),
+            budget_rate: (0.6, 2.2),
+        }
+    }
+}
+
+/// Generate the submission stream: `n_jobs` jobs, time-ordered, ids in
+/// submit order.
+pub fn generate_workload(cfg: &WorkloadConfig) -> Vec<Job> {
+    let mut rng = Rng::new(cfg.seed);
+    let mut t = 0.0f64;
+    let mut jobs = Vec::with_capacity(cfg.n_jobs);
+    for id in 0..cfg.n_jobs {
+        // Exponential interarrival by inverse CDF; 1-u keeps ln's
+        // argument in (0, 1].
+        t += -cfg.mean_interarrival_s * (1.0 - rng.f64()).ln();
+        let kind = AppKind::ALL[rng.index(AppKind::ALL.len())];
+        let (flo, fhi, bcast, plo, phi) = kind.shape();
+        let flops = rng.range(flo, fhi);
+        let procs = plo + rng.index(phi - plo + 1);
+        let tenant = rng.index(cfg.n_tenants) as u32;
+        let nominal = flops / (procs as f64 * cfg.reference_speed);
+        let deadline_s = nominal * rng.range(cfg.deadline_slack.0, cfg.deadline_slack.1);
+        let budget = nominal * procs as f64 * rng.range(cfg.budget_rate.0, cfg.budget_rate.1);
+        let runtime_skew = rng.range(0.85, 1.30);
+        jobs.push(Job {
+            id: id as u32,
+            tenant,
+            kind,
+            procs,
+            flops,
+            bcast_bytes: bcast,
+            submit_s: t,
+            deadline_s,
+            budget,
+            runtime_skew,
+        });
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_a_pure_function_of_the_seed() {
+        let cfg = WorkloadConfig {
+            n_jobs: 500,
+            ..WorkloadConfig::default()
+        };
+        let a = generate_workload(&cfg);
+        let b = generate_workload(&cfg);
+        assert_eq!(a, b, "same seed must generate the identical stream");
+        let c = generate_workload(&WorkloadConfig {
+            seed: cfg.seed + 1,
+            ..cfg
+        });
+        assert_ne!(a, c, "a different seed must change the stream");
+    }
+
+    #[test]
+    fn workload_is_well_formed() {
+        let cfg = WorkloadConfig {
+            n_jobs: 1000,
+            n_tenants: 5,
+            ..WorkloadConfig::default()
+        };
+        let jobs = generate_workload(&cfg);
+        assert_eq!(jobs.len(), 1000);
+        let mut last = 0.0;
+        let mut kinds = [0usize; 4];
+        for j in &jobs {
+            assert!(j.submit_s >= last, "arrivals are time-ordered");
+            last = j.submit_s;
+            assert!(j.procs >= 1 && j.procs <= 4);
+            assert!(j.tenant < 5);
+            assert!(j.deadline_s > 0.0 && j.budget > 0.0 && j.flops > 0.0);
+            assert!((0.85..1.30).contains(&j.runtime_skew));
+            kinds[match j.kind {
+                AppKind::Qr => 0,
+                AppKind::Nbody => 1,
+                AppKind::Eman => 2,
+                AppKind::Workflow => 3,
+            }] += 1;
+        }
+        assert!(
+            kinds.iter().all(|&k| k > 100),
+            "all four app kinds appear in the mix: {kinds:?}"
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Determinism contract of the multi-tenant service layer.
+//!
+//! The service's promise is the same one the kernel and the decision
+//! path already make: given a seed, the run is a pure function — the
+//! identical admitted set, per-tenant accounts, and metrics across
+//! reruns, across `SchedTune` decision paths (reference vs fast vs
+//! parallel-scored fast), and regardless of sweep worker fan-out.
+//! `ServiceResult`'s `PartialEq` is bitwise on every float, so these
+//! assertions are bit-for-bit, not approximate.
+
+use grads_core::obs::Obs;
+use grads_core::prelude::*;
+use proptest::prelude::*;
+
+fn cfg(seed: u64, sched: SchedTune) -> ServiceConfig {
+    ServiceConfig {
+        workload: WorkloadConfig {
+            seed,
+            n_jobs: 120,
+            n_tenants: 4,
+            mean_interarrival_s: 1.0,
+            ..WorkloadConfig::default()
+        },
+        hosts: 48,
+        clusters: 4,
+        cores_per_host: 2,
+        round_s: 10.0,
+        sched,
+        ..ServiceConfig::default()
+    }
+}
+
+#[test]
+fn rerun_is_bit_identical() {
+    let a = run_service_experiment(cfg(7, SchedTune::fast()));
+    let b = run_service_experiment(cfg(7, SchedTune::fast()));
+    assert_eq!(a, b, "same seed must reproduce the identical run");
+    assert!(a.totals.admitted > 0, "the scenario admits work");
+}
+
+#[test]
+fn decision_paths_agree_bit_identically() {
+    let reference = run_service_experiment(cfg(11, SchedTune::reference()));
+    let fast = run_service_experiment(cfg(11, SchedTune::fast()));
+    let parallel = run_service_experiment(cfg(11, SchedTune::fast_parallel(4)));
+    assert_eq!(
+        reference.admitted_ids, fast.admitted_ids,
+        "reference and fast paths must admit the identical job sequence"
+    );
+    assert_eq!(reference, fast, "full result, reference vs fast");
+    assert_eq!(fast, parallel, "full result, fast vs parallel scorer");
+}
+
+#[test]
+fn obs_snapshot_is_bit_identical_across_reruns() {
+    let snap = |seed: u64| {
+        let mut c = cfg(seed, SchedTune::fast());
+        c.obs = Obs::enabled();
+        let obs = c.obs.clone();
+        run_service_experiment(c);
+        obs.snapshot().to_json()
+    };
+    assert_eq!(snap(3), snap(3), "published counters are deterministic");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Any seed: the run reproduces bitwise, and the ledgers balance —
+    /// every submission is admitted or rejected, completions equal
+    /// admissions once drained, SLO misses never exceed completions,
+    /// and nobody spends past their aggregate budget.
+    #[test]
+    fn any_seed_reproduces_and_balances(seed in 0u64..1_000_000) {
+        let a = run_service_experiment(cfg(seed, SchedTune::fast()));
+        let b = run_service_experiment(cfg(seed, SchedTune::fast()));
+        prop_assert_eq!(&a, &b);
+        let t = &a.totals;
+        prop_assert_eq!(t.submitted, 120);
+        prop_assert_eq!(t.admitted + t.rejected, t.submitted);
+        prop_assert_eq!(t.completed, t.admitted);
+        prop_assert!(t.slo_misses <= t.completed);
+        prop_assert!(t.host_seconds >= 0.0 && t.spend >= 0.0);
+        prop_assert_eq!(t.admitted, a.admitted_ids.len() as u64);
+        prop_assert!(a.fairness >= 0.0 && a.fairness <= 1.0 + 1e-12);
+    }
+}
