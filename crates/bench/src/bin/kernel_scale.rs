@@ -67,6 +67,7 @@ fn tune_from_env() -> EngineTune {
         Ok("seed") => EngineTune {
             handoff: HandoffMode::Channel,
             queue: EventQueueMode::StaleMark,
+            ..Default::default()
         },
         Ok("stale") => EngineTune {
             queue: EventQueueMode::StaleMark,
@@ -81,10 +82,17 @@ fn tune_from_env() -> EngineTune {
 }
 
 fn run_once(mode: RecomputeMode, rounds: usize) -> (RunReport, f64) {
+    run_kernel(mode, rounds, KernelMode::Serial)
+}
+
+fn run_kernel(mode: RecomputeMode, rounds: usize, kernel: KernelMode) -> (RunReport, f64) {
     let (grid, hosts) = build_grid();
     let mut eng = Engine::new(grid);
     eng.set_recompute_mode(mode);
-    eng.apply_tune(tune_from_env());
+    eng.apply_tune(EngineTune {
+        kernel,
+        ..tune_from_env()
+    });
     for i in 0..NPROC {
         let me = hosts[i];
         let peers = hosts.clone();
@@ -194,6 +202,55 @@ fn main() {
     println!("skips the global re-stamp, re-solves only affected sharing components,");
     println!("and never clones route vectors.");
 
+    // ---- Windowed-kernel worker sweep -----------------------------------
+    //
+    // Same workload under the conservative parallel kernel at each worker
+    // count (GRADS_KERNEL_WORKERS, default "1,2,4,8"). Each windowed run is
+    // asserted bit-identical to the serial Incremental reference before its
+    // throughput is recorded — the sweep measures speed, never divergence.
+    let workers_axis: Vec<u32> = std::env::var("GRADS_KERNEL_WORKERS")
+        .ok()
+        .map(|s| s.split(',').filter_map(|w| w.trim().parse().ok()).collect())
+        .filter(|v: &Vec<u32>| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4, 8]);
+    let serial_ref = &rows[2].1; // Incremental, serial kernel
+    let serial_rate = serial_ref.events_processed as f64 / rows[2].2;
+    println!("\nwindowed kernel (Incremental recompute), worker sweep:");
+    println!(
+        "{:>12} {:>12} {:>10} {:>14} {:>12}",
+        "workers", "events", "wall(s)", "events/sec", "vs serial"
+    );
+    let mut worker_rows = Vec::new();
+    for &w in &workers_axis {
+        let (r1, t1) = run_kernel(
+            RecomputeMode::Incremental,
+            rounds,
+            KernelMode::Windowed { workers: w },
+        );
+        let (r2, t2) = run_kernel(
+            RecomputeMode::Incremental,
+            rounds,
+            KernelMode::Windowed { workers: w },
+        );
+        assert_eq!(
+            serial_ref, &r1,
+            "windowed({w}) must be bit-identical to the serial kernel"
+        );
+        assert_eq!(&r1, &r2, "windowed({w}) must be run-to-run deterministic");
+        let secs = t1.min(t2);
+        let rate = r1.events_processed as f64 / secs;
+        println!(
+            "{:>12} {:>12} {:>10.3} {:>14.0} {:>11.2}x",
+            w,
+            r1.events_processed,
+            secs,
+            rate,
+            rate / serial_rate
+        );
+        worker_rows.push((w, rate));
+    }
+    println!("every windowed run verified bit-identical to the serial kernel.");
+
     // Stamp the machine and the substrate under test so checked-in
     // snapshots are self-describing (throughput numbers are meaningless
     // without the core count and the engine tuning they were taken on).
@@ -232,4 +289,28 @@ fn main() {
     };
     merge_bench_section(section, &json_obj(&fields));
     println!("\nwrote {section} section of BENCH_sim.json");
+
+    // The worker sweep gets its own section: it only makes sense against
+    // the default substrate, and its numbers are core-count-bound (on a
+    // single-core box the pool gates off and every count measures the
+    // window/merge overhead, not parallel speedup — cores_detected says
+    // which regime a snapshot was taken in).
+    if std::env::var("GRADS_KERNEL_TUNE").is_err() {
+        let mut wfields: Vec<(&str, String)> = vec![
+            ("cores_detected", cores.to_string()),
+            ("rounds", rounds.to_string()),
+            ("processes", NPROC.to_string()),
+            ("clusters", CLUSTERS.to_string()),
+            ("serial_events_per_s", json_num(serial_rate)),
+        ];
+        let keyed: Vec<(String, String)> = worker_rows
+            .iter()
+            .map(|(w, rate)| (format!("workers_{w}_events_per_s"), json_num(*rate)))
+            .collect();
+        for (k, v) in &keyed {
+            wfields.push((k.as_str(), v.clone()));
+        }
+        merge_bench_section("kernel_scale_workers", &json_obj(&wfields));
+        println!("wrote kernel_scale_workers section of BENCH_sim.json");
+    }
 }

@@ -192,6 +192,30 @@ fn main() {
         "direct handoff must be >= 1.5x channel on message ping-pong (got {speedup:.2}x)"
     );
 
+    // Spin vs yield on the direct transport's wait loop. The auto policy
+    // picks spin on multicore boxes and yield on single-core ones; pinning
+    // each explicitly measures what that heuristic is choosing between.
+    // Wait strategy cannot perturb virtual time (it only decides how a
+    // blocked thread burns the wait), so no determinism assert is needed —
+    // but the end-time check comes free from handoff_pong's asserts.
+    let ho_spin = {
+        set_wait_policy(WaitPolicy::Spin);
+        handoff_pong(direct, n_handoff).max(handoff_pong(direct, n_handoff))
+    };
+    let ho_yield = {
+        set_wait_policy(WaitPolicy::Yield);
+        handoff_pong(direct, n_handoff).max(handoff_pong(direct, n_handoff))
+    };
+    set_wait_policy(WaitPolicy::Auto);
+    println!("\nhandoff wait policy (direct transport, {n_handoff} round trips):");
+    println!("  spin (384 iters first)     {ho_spin:>12.0} handoffs/s");
+    println!("  yield (sched-friendly)     {ho_yield:>12.0} handoffs/s");
+    println!(
+        "  faster here: {} ({:.2}x) — auto picks spin iff multicore",
+        if ho_spin >= ho_yield { "spin" } else { "yield" },
+        (ho_spin / ho_yield).max(ho_yield / ho_spin)
+    );
+
     let n_spawn = (rounds / 10).max(1000);
     let sp_direct = spawn_storm(direct, n_spawn);
     let sp_channel = spawn_storm(channel, n_spawn);
@@ -230,6 +254,8 @@ fn main() {
             ("handoff_channel_per_s", json_num(ho_channel)),
             ("handoff_direct_per_s", json_num(ho_direct)),
             ("handoff_speedup", json_num(ho_speedup)),
+            ("handoff_spin_per_s", json_num(ho_spin)),
+            ("handoff_yield_per_s", json_num(ho_yield)),
             ("ping_pong_rounds", rounds.to_string()),
             ("ping_pong_channel_ops_per_s", json_num(ops_channel)),
             ("ping_pong_direct_ops_per_s", json_num(ops_direct)),

@@ -33,9 +33,19 @@ use crate::topology::{Arch, Grid, GridBuilder, HostSpec};
 #[derive(Debug, Clone, PartialEq)]
 pub enum DmlError {
     /// Malformed syntax.
-    Syntax { line: usize, message: String },
+    Syntax {
+        /// 1-based source line of the offending token.
+        line: usize,
+        /// What was expected or what went wrong.
+        message: String,
+    },
     /// A `connect` referenced an unknown cluster.
-    UnknownCluster { line: usize, name: String },
+    UnknownCluster {
+        /// 1-based source line of the `connect` statement.
+        line: usize,
+        /// The cluster name that did not resolve.
+        name: String,
+    },
     /// The resulting topology failed validation.
     Topology(String),
 }

@@ -22,8 +22,8 @@
 //! [`RecomputeMode::Legacy`] preserves the pre-change kernel — global
 //! re-solve, unconditional re-stamping — as a benchmark baseline.
 
-use crate::equeue::{class_key, Event, EventKind, IndexedHeap, NO_HANDLE};
-use crate::handoff::{HandoffSlot, KernelThread};
+use crate::equeue::{class_key, Event, EventKind, IndexedHeap, ShardedHeap, MAX_SHARDS, NO_HANDLE};
+use crate::handoff::{multicore, HandoffSlot, KernelThread};
 use crate::maildir::{MailDir, QueuedSend};
 use crate::process::{
     Ctx, Endpoint, Grant, KillToken, MailKey, Payload, ProcFn, ProcId, Request, SendMode,
@@ -31,6 +31,7 @@ use crate::process::{
 use crate::sharing::{cpu_share, max_min_fair, FairScratch};
 use crate::topology::{Grid, HostId, LinkId};
 use crate::trace::{Trace, TraceKind, TraceRecord};
+use crate::window::{Job, WindowPolicy, WorkerPool};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -92,6 +93,35 @@ pub enum EventQueueMode {
     Indexed,
 }
 
+/// How the kernel's run loop organises event execution.
+///
+/// The serial loop is the reference. [`KernelMode::Windowed`] is the
+/// conservative-parallel organisation of the *same* event sequence:
+/// the indexed event queue is sharded by cluster, cluster-local event
+/// windows (bounded by the topology's minimum WAN link latency, see
+/// [`Grid::min_wan_latency`]) are pre-drained concurrently on a worker
+/// pool, and the pre-drained batches are merged with live shard minima
+/// under the kernel's strict `(t, class, key, seq)` total order — so the
+/// applied-event sequence, and with it every result bit, is identical to
+/// the serial kernel at any worker count. Pre-drained completions that a
+/// mid-window re-stamp invalidates are caught by the same generation
+/// check that already guards stale-marked events. DESIGN.md ("Parallel
+/// kernel") documents the protocol; `tests/prop_windowed.rs` and
+/// `tests/substrate_determinism.rs` pin the bit-identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelMode {
+    /// One event at a time off one queue — the reference and the default.
+    #[default]
+    Serial,
+    /// Conservative parallel windows over cluster shards. `workers` is the
+    /// total executor count (1 = the kernel thread alone, still exercising
+    /// the window/merge machinery; n > 1 adds n − 1 pool threads).
+    Windowed {
+        /// Total concurrent executors, kernel thread included.
+        workers: u32,
+    },
+}
+
 /// Substrate tuning knobs bundled for experiment drivers. Apply with
 /// [`Engine::apply_tune`] before spawning processes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -100,6 +130,9 @@ pub struct EngineTune {
     pub handoff: HandoffMode,
     /// Event-queue implementation.
     pub queue: EventQueueMode,
+    /// Run-loop organisation. [`KernelMode::Windowed`] implies (and
+    /// forces) the indexed queue, sharded by cluster.
+    pub kernel: KernelMode,
 }
 
 /// When the kernel rebuilds the event heap to shed stale completion
@@ -241,6 +274,10 @@ struct Flow {
     /// Pending `FlowDone` handle in the indexed queue ([`NO_HANDLE`] when no
     /// completion is scheduled or the queue is in stale-mark mode).
     ev: u32,
+    /// Event partition this flow's events belong to (its source host's
+    /// cluster); fixed for the flow's lifetime. Only meaningful under
+    /// [`KernelMode::Windowed`], but cheap enough to stamp always.
+    part: u32,
     payload: Option<Payload>,
     on_done: OnDone,
 }
@@ -340,10 +377,13 @@ struct RateScratch {
 }
 
 /// The kernel's pending-event queue, in one of the [`EventQueueMode`]
-/// implementations. Both pop the identical `(t, class, key, seq)` order.
+/// implementations (plus the cluster-sharded indexed variant the windowed
+/// kernel uses). All pop the identical `(t, class, key, seq)` order.
 enum EventQueue {
     Stale(BinaryHeap<Event>),
     Indexed(IndexedHeap),
+    /// Indexed heaps sharded by cluster partition ([`KernelMode::Windowed`]).
+    Sharded(ShardedHeap),
 }
 
 impl EventQueue {
@@ -351,6 +391,7 @@ impl EventQueue {
         match self {
             EventQueue::Stale(h) => h.len(),
             EventQueue::Indexed(h) => h.len(),
+            EventQueue::Sharded(h) => h.len(),
         }
     }
 
@@ -358,6 +399,7 @@ impl EventQueue {
         match self {
             EventQueue::Stale(h) => h.peek(),
             EventQueue::Indexed(h) => h.peek(),
+            EventQueue::Sharded(h) => h.peek(),
         }
     }
 
@@ -365,8 +407,35 @@ impl EventQueue {
         match self {
             EventQueue::Stale(h) => h.pop(),
             EventQueue::Indexed(h) => h.pop(),
+            EventQueue::Sharded(h) => h.pop(),
         }
     }
+}
+
+/// Raw pointers to the engine's entity tables, for pool jobs operating on
+/// provably disjoint index sets (per-shard window drains, per-partition
+/// accrual). Plain `&mut` splitting cannot express "disjoint by partition
+/// membership", so the jobs carry these instead.
+#[derive(Clone, Copy)]
+struct EntityPtrs {
+    cpu: *mut Option<CpuAction>,
+    flows: *mut Option<Flow>,
+    host_flops: *mut f64,
+}
+
+// SAFETY: the pointee types are all Send (plain data plus `Box<dyn Any +
+// Send>` payloads), and every job batch partitions the index space so no
+// element is touched by two jobs; `WorkerPool::run_batch` returns only
+// after all jobs finished, bounding the borrows.
+unsafe impl Send for EntityPtrs {}
+
+/// Where the windowed merge found its globally next event.
+#[derive(Clone, Copy)]
+enum WindowSource {
+    /// The live sharded heap.
+    Heap,
+    /// The staged pre-drained window of this shard.
+    Staged(usize),
 }
 
 /// The grid emulator.
@@ -445,6 +514,30 @@ pub struct Engine {
     compactions: u64,
     recomputes: u64,
     compaction: CompactionPolicy,
+    /// Run-loop organisation ([`KernelMode`]); `Windowed` keeps `events`
+    /// in the [`EventQueue::Sharded`] variant.
+    kernel: KernelMode,
+    /// Host → event partition (cluster index, folded into [`MAX_SHARDS`]).
+    part_of_host: Vec<u32>,
+    /// Partition count (= shard count of the sharded queue).
+    nparts: u32,
+    /// Window width: the grid's minimum WAN link latency, or infinity on a
+    /// single-cluster grid (the per-shard drain cap bounds the window then).
+    lookahead: f64,
+    /// Per-shard pre-drained event windows, each in pop order. The merge
+    /// loop consumes these against the live shard minima.
+    staged: Vec<VecDeque<Event>>,
+    staged_total: usize,
+    /// Helper threads for window drains and accrual sweeps (`Windowed`
+    /// with more than one worker only).
+    pool: Option<WorkerPool>,
+    wpolicy: WindowPolicy,
+    windows_planned: u64,
+    events_predrained: u64,
+    /// Scratch: live CPU action ids bucketed by partition, each bucket in
+    /// ascending id order (the serial accrual traversal order). Rebuilt per
+    /// parallel sweep.
+    accrual_parts: Vec<Vec<u32>>,
     obs: grads_obs::Obs,
     rec: grads_obs::Recorder,
     scratch: RateScratch,
@@ -492,6 +585,9 @@ impl Engine {
         let mut scratch = RateScratch::default();
         scratch.comp_link_mark.ensure(nlinks);
         scratch.link_local.ensure(nlinks);
+        let nparts = grid.clusters().len().clamp(1, MAX_SHARDS) as u32;
+        let part_of_host = grid.hosts().iter().map(|h| h.cluster.0 % nparts).collect();
+        let lookahead = grid.min_wan_latency().unwrap_or(f64::INFINITY);
         Engine {
             grid,
             now: 0.0,
@@ -534,6 +630,17 @@ impl Engine {
             compactions: 0,
             recomputes: 0,
             compaction: CompactionPolicy::default(),
+            kernel: KernelMode::default(),
+            part_of_host,
+            nparts,
+            lookahead,
+            staged: Vec::new(),
+            staged_total: 0,
+            pool: None,
+            wpolicy: WindowPolicy::default(),
+            windows_planned: 0,
+            events_predrained: 0,
+            accrual_parts: Vec::new(),
             obs: grads_obs::Obs::disabled(),
             rec: grads_obs::Recorder::disabled(),
             scratch,
@@ -574,7 +681,8 @@ impl Engine {
     /// [`EventQueueMode::Indexed`]). Call before `run`: already-scheduled
     /// start/load/failure events migrate, but completion events (which only
     /// exist once the run is underway) would lose their cancellation
-    /// handles.
+    /// handles. A no-op while the windowed kernel holds the queue sharded;
+    /// switch back to [`KernelMode::Serial`] first.
     pub fn set_event_queue_mode(&mut self, m: EventQueueMode) {
         match (&mut self.events, m) {
             (EventQueue::Stale(h), EventQueueMode::Indexed) => {
@@ -597,18 +705,149 @@ impl Engine {
         }
     }
 
-    /// The active event-queue implementation.
+    /// The active event-queue implementation. The windowed kernel's
+    /// sharded queue *is* the indexed heap, partitioned, and reports as
+    /// [`EventQueueMode::Indexed`].
     pub fn event_queue_mode(&self) -> EventQueueMode {
         match self.events {
             EventQueue::Stale(_) => EventQueueMode::StaleMark,
-            EventQueue::Indexed(_) => EventQueueMode::Indexed,
+            EventQueue::Indexed(_) | EventQueue::Sharded(_) => EventQueueMode::Indexed,
         }
+    }
+
+    /// Select the run-loop organisation (default: [`KernelMode::Serial`]).
+    /// Call before `run`. Switching to [`KernelMode::Windowed`] converts
+    /// the queue to its cluster-sharded form (migrating pending events and
+    /// their cancellation handles) and starts the worker pool; switching
+    /// back restores a single indexed heap. Mode choice and worker count
+    /// cannot affect results — `tests/prop_windowed.rs` pins that.
+    pub fn set_kernel_mode(&mut self, m: KernelMode) {
+        assert_eq!(self.staged_total, 0, "switch kernel modes before running");
+        self.kernel = m;
+        match m {
+            KernelMode::Serial => {
+                self.pool = None;
+                if let EventQueue::Sharded(_) = self.events {
+                    let mut ih = IndexedHeap::default();
+                    while let Some(ev) = self.events.pop() {
+                        let owner = Self::completion_owner(&ev.kind);
+                        let h = ih.push(ev);
+                        self.patch_owner_handle(owner, h);
+                    }
+                    self.events = EventQueue::Indexed(ih);
+                }
+            }
+            KernelMode::Windowed { workers } => {
+                if !matches!(self.events, EventQueue::Sharded(_)) {
+                    let mut sh = ShardedHeap::new(self.nparts as usize);
+                    while let Some(ev) = self.events.pop() {
+                        let shard = self.shard_for(&ev.kind);
+                        let owner = Self::completion_owner(&ev.kind);
+                        let h = sh.push(shard, ev);
+                        self.patch_owner_handle(owner, h);
+                    }
+                    self.events = EventQueue::Sharded(sh);
+                }
+                if let EventQueue::Sharded(sh) = &self.events {
+                    debug_assert_eq!(
+                        sh.nshards(),
+                        self.nparts as usize,
+                        "shard count tracks the grid's partition count"
+                    );
+                }
+                if self.staged.len() != self.nparts as usize {
+                    self.staged = (0..self.nparts).map(|_| VecDeque::new()).collect();
+                }
+                let helpers = workers.saturating_sub(1) as usize;
+                if self.pool.as_ref().map(|p| p.workers()) != Some(helpers) {
+                    self.pool = if helpers > 0 {
+                        Some(WorkerPool::new(helpers))
+                    } else {
+                        None
+                    };
+                }
+            }
+        }
+    }
+
+    /// The active run-loop organisation.
+    pub fn kernel_mode(&self) -> KernelMode {
+        self.kernel
+    }
+
+    /// Tune the windowed kernel's dispatch thresholds (see
+    /// [`WindowPolicy`]). Scheduling only — any policy yields bit-identical
+    /// results; `windowed_policy_does_not_perturb_results` pins that.
+    pub fn set_window_policy(&mut self, p: WindowPolicy) {
+        self.wpolicy = p;
+    }
+
+    /// The active windowed-kernel policy.
+    pub fn window_policy(&self) -> WindowPolicy {
+        self.wpolicy
     }
 
     /// Apply a bundle of substrate tuning knobs. Call before spawning.
     pub fn apply_tune(&mut self, t: EngineTune) {
         self.set_handoff_mode(t.handoff);
         self.set_event_queue_mode(t.queue);
+        self.set_kernel_mode(t.kernel);
+    }
+
+    /// The event partition an event belongs to: the cluster of the host
+    /// whose state it mutates (flows are keyed by their *source* host's
+    /// cluster for their whole lifetime).
+    fn shard_for(&self, kind: &EventKind) -> u32 {
+        match kind {
+            EventKind::Start(pid) | EventKind::SleepDone(pid) => {
+                self.part_of_host[self.procs[pid.0 as usize].host.0 as usize]
+            }
+            EventKind::HostFail { host }
+            | EventKind::LoadOn { host, .. }
+            | EventKind::LoadOff { host, .. } => self.part_of_host[host.0 as usize],
+            // Completions whose owner died are stale: any shard works (they
+            // are discarded on pop, and the global pop order is a total
+            // order independent of shard placement), so default to 0.
+            EventKind::CpuDone { id, .. } => self.cpu[*id]
+                .as_ref()
+                .map_or(0, |a| self.part_of_host[a.host]),
+            EventKind::FlowActivate { id } | EventKind::FlowDone { id, .. } => {
+                self.flows[*id].as_ref().map_or(0, |f| f.part)
+            }
+        }
+    }
+
+    /// `(is_cpu, id, gen)` when the event is a completion whose owner holds
+    /// a cancellation handle that queue migration must re-point.
+    fn completion_owner(kind: &EventKind) -> Option<(bool, usize, u64)> {
+        match *kind {
+            EventKind::CpuDone { id, gen } => Some((true, id, gen)),
+            EventKind::FlowDone { id, gen } => Some((false, id, gen)),
+            _ => None,
+        }
+    }
+
+    /// Point a live completion owner's handle at the event's new home
+    /// after queue migration. Stale completions (generation mismatch) keep
+    /// no handle and are discarded on pop as usual.
+    fn patch_owner_handle(&mut self, owner: Option<(bool, usize, u64)>, h: u32) {
+        match owner {
+            Some((true, id, gen)) => {
+                if let Some(a) = self.cpu[id].as_mut() {
+                    if a.gen == gen {
+                        a.ev = h;
+                    }
+                }
+            }
+            Some((false, id, gen)) => {
+                if let Some(f) = self.flows[id].as_mut() {
+                    if f.gen == gen {
+                        f.ev = h;
+                    }
+                }
+            }
+            None => {}
+        }
     }
 
     /// Attach an observability sink. Kernel counters (events applied,
@@ -658,8 +897,9 @@ impl Engine {
 
     /// Push an event, returning its indexed-queue handle ([`NO_HANDLE`] in
     /// stale-mark mode). Static over disjoint fields so recompute loops can
-    /// push while iterating `self.cpu` / `self.flows`.
-    fn push_ev(events: &mut EventQueue, seq: &mut u64, t: f64, kind: EventKind) -> u32 {
+    /// push while iterating `self.cpu` / `self.flows`. `shard` is the
+    /// event's partition, used (and validated) only by the sharded queue.
+    fn push_ev(events: &mut EventQueue, seq: &mut u64, shard: u32, t: f64, kind: EventKind) -> u32 {
         let (class, key) = class_key(&kind);
         let s = *seq;
         *seq += 1;
@@ -676,17 +916,21 @@ impl Engine {
                 NO_HANDLE
             }
             EventQueue::Indexed(h) => h.push(ev),
+            EventQueue::Sharded(h) => h.push(shard, ev),
         }
     }
 
     fn push_event(&mut self, t: f64, kind: EventKind) -> u32 {
-        Self::push_ev(&mut self.events, &mut self.seq, t, kind)
+        let shard = self.shard_for(&kind);
+        Self::push_ev(&mut self.events, &mut self.seq, shard, t, kind)
     }
 
     /// Cancel a pending completion event: stale-mark mode counts it for
     /// the compaction policy and lets the pop loop discard it; indexed mode
     /// removes it from the heap outright. `handle` is reset to
-    /// [`NO_HANDLE`] either way.
+    /// [`NO_HANDLE`] either way. In windowed mode a completion already
+    /// pre-drained into a staged window carries [`NO_HANDLE`] — nothing to
+    /// remove; the staged copy fails its generation check on pop.
     fn cancel_ev(events: &mut EventQueue, stale_events: &mut usize, handle: &mut u32) {
         match events {
             EventQueue::Stale(_) => *stale_events += 1,
@@ -696,6 +940,9 @@ impl Engine {
                 if *handle != NO_HANDLE {
                     h.remove(*handle);
                 }
+            }
+            EventQueue::Sharded(h) => {
+                h.remove(*handle);
             }
         }
         *handle = NO_HANDLE;
@@ -708,10 +955,12 @@ impl Engine {
     /// [`IndexedHeap::replace`] — one short sift instead of a removal plus
     /// a push, which is what keeps the indexed queue competitive on the
     /// legacy recompute path's re-stamp-everything storm.
+    #[allow(clippy::too_many_arguments)] // static over disjoint `self` fields by design
     fn restamp_ev(
         events: &mut EventQueue,
         stale_events: &mut usize,
         seq: &mut u64,
+        shard: u32,
         handle: &mut u32,
         had_pending: bool,
         t: f64,
@@ -740,6 +989,16 @@ impl Engine {
                     h.replace(*handle, ev)
                 } else {
                     h.push(ev)
+                };
+            }
+            EventQueue::Sharded(h) => {
+                // A pre-drained (staged) completion left NO_HANDLE behind;
+                // `replace` degrades to a fresh push then, and the staged
+                // copy dies by generation mismatch on pop.
+                *handle = if had_pending {
+                    h.replace(*handle, shard, ev)
+                } else {
+                    h.push(shard, ev)
                 };
             }
         }
@@ -854,13 +1113,25 @@ impl Engine {
     /// and their threads joined before returning.
     pub fn run_until(mut self, tmax: f64) -> RunReport {
         let _ = self.kernel_thread.set(std::thread::current());
+        if matches!(self.events, EventQueue::Sharded(_)) {
+            self.run_windowed(tmax);
+        } else {
+            self.run_serial(tmax);
+        }
+        self.finish()
+    }
+
+    /// Drive process handoff until no process is running or runnable.
+    /// Returns `false` when the request channel disconnected (every process
+    /// gone) and the run loop should stop.
+    fn pump_processes(&mut self) -> bool {
         loop {
             if let Some(pid) = self.running.take() {
                 let req = match &self.procs[pid.0 as usize].port {
                     ProcPort::Channel(_) => {
                         let (rpid, req) = match self.req_rx.recv() {
                             Ok(x) => x,
-                            Err(_) => break,
+                            Err(_) => return false,
                         };
                         debug_assert_eq!(rpid, pid, "request from non-running process");
                         req
@@ -877,6 +1148,39 @@ impl Engine {
                 }
                 continue;
             }
+            return true;
+        }
+    }
+
+    /// Staleness is decided before the clock moves: a discarded event
+    /// must be completely unobservable, including through `end_time`
+    /// and the accrual sweep. Skipping `advance_to` on a stale pop is
+    /// exact — no rate changes at a stale pop, and accrual is linear in
+    /// time. Shared verbatim by the serial and windowed loops so the
+    /// decision cannot drift between them.
+    fn discard_if_stale(&mut self, kind: &EventKind) -> bool {
+        let stale = match *kind {
+            EventKind::CpuDone { id, gen } => {
+                self.cpu[id].as_ref().map(|a| a.gen == gen) != Some(true)
+            }
+            EventKind::FlowDone { id, gen } => {
+                self.flows[id].as_ref().map(|f| f.active && f.gen == gen) != Some(true)
+            }
+            _ => false,
+        };
+        if stale {
+            self.stale_events = self.stale_events.saturating_sub(1);
+            self.stale_discarded += 1;
+        }
+        stale
+    }
+
+    /// The reference run loop: one event at a time off one queue.
+    fn run_serial(&mut self, tmax: f64) {
+        loop {
+            if !self.pump_processes() {
+                break;
+            }
             self.maybe_compact();
             match self.events.peek() {
                 None => break,
@@ -884,32 +1188,179 @@ impl Engine {
                 Some(_) => {}
             }
             let ev = self.events.pop().expect("peeked event");
-            // Staleness is decided before the clock moves: a discarded event
-            // must be completely unobservable, including through `end_time`
-            // and the accrual sweep. Skipping `advance_to` here is exact —
-            // no rate changes at a stale pop, and accrual is linear in time.
-            let stale = match ev.kind {
-                EventKind::CpuDone { id, gen } => {
-                    self.cpu[id].as_ref().map(|a| a.gen == gen) != Some(true)
-                }
-                EventKind::FlowDone { id, gen } => {
-                    self.flows[id].as_ref().map(|f| f.active && f.gen == gen) != Some(true)
-                }
-                _ => false,
-            };
-            if stale {
-                self.stale_events = self.stale_events.saturating_sub(1);
-                self.stale_discarded += 1;
+            if self.discard_if_stale(&ev.kind) {
                 continue;
             }
             self.advance_to(ev.t);
             self.events_processed += 1;
             self.apply_event(ev.kind);
         }
-        self.finish()
+    }
+
+    /// The conservative-parallel run loop ([`KernelMode::Windowed`]).
+    ///
+    /// Alternates two steps: *plan* — when no staged events remain, pre-drain
+    /// the next window (events within the lookahead horizon) from every
+    /// cluster shard, concurrently when the pool pays — and *merge* — apply
+    /// events one at a time, always taking the global minimum of the staged
+    /// window fronts and the live shard minima under the kernel's strict
+    /// `(t, class, key, seq)` total order. The merge replays exactly the
+    /// serial applied-event sequence: events pushed mid-window land in the
+    /// live shards and win the comparison whenever the serial kernel would
+    /// have popped them first, and staged completions invalidated by a
+    /// mid-window re-stamp fail the same generation check stale-marked
+    /// events already fail. Worker count therefore cannot perturb results.
+    fn run_windowed(&mut self, tmax: f64) {
+        loop {
+            if !self.pump_processes() {
+                break;
+            }
+            if self.staged_total == 0 {
+                self.plan_window();
+            }
+            let Some((t, src)) = self.peek_windowed() else {
+                break;
+            };
+            if t > tmax {
+                break;
+            }
+            let ev = self.pop_windowed(src);
+            if self.discard_if_stale(&ev.kind) {
+                continue;
+            }
+            self.advance_to(ev.t);
+            self.events_processed += 1;
+            self.apply_event(ev.kind);
+        }
+    }
+
+    /// Pre-drain the next window. Each shard pops its events with
+    /// `t <= t0 + lookahead` (bounded by [`WindowPolicy::max_drain_per_shard`])
+    /// into that shard's staged queue — pure motion preserving per-shard pop
+    /// order, so the per-shard drains can run concurrently. Afterwards the
+    /// kernel thread clears the drained completions' owner handles
+    /// (serially: flow/action slots are recycled, so only the kernel may
+    /// touch them) which routes later cancels/re-stamps of those owners
+    /// onto the stale-generation path the merge already re-validates.
+    fn plan_window(&mut self) {
+        let EventQueue::Sharded(sh) = &mut self.events else {
+            return;
+        };
+        let Some(first) = sh.peek() else {
+            return;
+        };
+        // Infinity-safe: a single-cluster grid has no WAN latency and an
+        // infinite horizon; the per-shard cap bounds the window instead.
+        let horizon = first.t + self.lookahead;
+        let cap = self.wpolicy.max_drain_per_shard;
+        let fan_out = self.pool.is_some()
+            && (self.wpolicy.force_parallel || multicore())
+            && sh.len() >= self.wpolicy.min_parallel_drain;
+        let shards = sh.shards_mut();
+        let nparts = shards.len();
+        let mut drained = vec![0usize; nparts];
+        if fan_out {
+            let pool = self.pool.as_ref().expect("gated on pool presence");
+            let mut closures: Vec<Box<dyn FnMut() + Send>> = shards
+                .iter_mut()
+                .zip(self.staged.iter_mut())
+                .zip(drained.iter_mut())
+                .map(|((heap, staged), cnt)| {
+                    Box::new(move || *cnt = Self::drain_shard(heap, staged, horizon, cap))
+                        as Box<dyn FnMut() + Send>
+                })
+                .collect();
+            let mut jobs: Vec<Job<'_>> = closures.iter_mut().map(|b| &mut **b as Job<'_>).collect();
+            pool.run_batch(&mut jobs);
+        } else {
+            for (s, heap) in shards.iter_mut().enumerate() {
+                drained[s] = Self::drain_shard(heap, &mut self.staged[s], horizon, cap);
+            }
+        }
+        let total: usize = drained.iter().sum();
+        self.staged_total += total;
+        self.events_predrained += total as u64;
+        self.windows_planned += 1;
+        // Serial handle-clearing pass (see the doc comment above).
+        for s in 0..nparts {
+            for k in 0..self.staged[s].len() {
+                match self.staged[s][k].kind {
+                    EventKind::CpuDone { id, gen } => {
+                        if let Some(a) = self.cpu[id].as_mut() {
+                            if a.gen == gen {
+                                a.ev = NO_HANDLE;
+                            }
+                        }
+                    }
+                    EventKind::FlowDone { id, gen } => {
+                        if let Some(f) = self.flows[id].as_mut() {
+                            if f.gen == gen {
+                                f.ev = NO_HANDLE;
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Pop one shard's current window (events up to `horizon`, at most
+    /// `cap`) into its staged queue. Returns the number drained.
+    fn drain_shard(
+        heap: &mut IndexedHeap,
+        staged: &mut VecDeque<Event>,
+        horizon: f64,
+        cap: usize,
+    ) -> usize {
+        let mut n = 0;
+        while n < cap {
+            match heap.peek() {
+                Some(ev) if ev.t <= horizon => {}
+                _ => break,
+            }
+            staged.push_back(heap.pop().expect("peeked event"));
+            n += 1;
+        }
+        n
+    }
+
+    /// The source holding the globally next event under the kernel's strict
+    /// total order: a staged window front or the live sharded heap.
+    fn peek_windowed(&self) -> Option<(f64, WindowSource)> {
+        let EventQueue::Sharded(sh) = &self.events else {
+            unreachable!("windowed loop requires the sharded queue");
+        };
+        let mut best: Option<(&Event, WindowSource)> = sh.peek().map(|e| (e, WindowSource::Heap));
+        for (s, q) in self.staged.iter().enumerate() {
+            if let Some(ev) = q.front() {
+                if best.is_none_or(|(b, _)| ev.fires_before(b)) {
+                    best = Some((ev, WindowSource::Staged(s)));
+                }
+            }
+        }
+        best.map(|(e, src)| (e.t, src))
+    }
+
+    /// Pop the event [`Self::peek_windowed`] selected.
+    fn pop_windowed(&mut self, src: WindowSource) -> Event {
+        match src {
+            WindowSource::Heap => {
+                let EventQueue::Sharded(sh) = &mut self.events else {
+                    unreachable!("windowed loop requires the sharded queue");
+                };
+                sh.pop().expect("peeked event")
+            }
+            WindowSource::Staged(s) => {
+                self.staged_total -= 1;
+                self.staged[s].pop_front().expect("peeked staged event")
+            }
+        }
     }
 
     fn finish(mut self) -> RunReport {
+        // Join the window workers first; nothing below fans out.
+        self.pool = None;
         let mut unfinished = Vec::new();
         let mut died = Vec::new();
         for p in &self.procs {
@@ -958,8 +1409,19 @@ impl Engine {
                 .counter_add("sim.heap_compactions", self.compactions);
             self.obs.counter_add("sim.recomputes", self.recomputes);
             self.obs.gauge_set("sim.end_time", self.now);
-            self.obs
-                .gauge_set("sim.final_heap_len", self.events.len() as f64);
+            // Staged-but-unapplied window events are still pending events;
+            // `staged_total` is 0 outside windowed mode, so serial
+            // snapshots are unchanged byte for byte.
+            self.obs.gauge_set(
+                "sim.final_heap_len",
+                (self.events.len() + self.staged_total) as f64,
+            );
+            if matches!(self.kernel, KernelMode::Windowed { .. }) {
+                self.obs
+                    .counter_add("sim.windows_planned", self.windows_planned);
+                self.obs
+                    .counter_add("sim.events_predrained", self.events_predrained);
+            }
         }
         RunReport {
             end_time: self.now,
@@ -980,7 +1442,7 @@ impl Engine {
 
     fn advance_to(&mut self, t: f64) {
         let dt = t - self.last_advance;
-        if dt > 0.0 {
+        if dt > 0.0 && !self.accrue_parallel(dt) {
             for a in self.cpu.iter_mut().flatten() {
                 let done = (a.rate * dt).min(a.remaining);
                 self.host_flops[a.host] += done;
@@ -995,6 +1457,94 @@ impl Engine {
         }
         self.last_advance = t;
         self.now = t;
+    }
+
+    /// Fan the accrual sweep out to the worker pool when it pays, returning
+    /// `false` (sweep left to the serial loops above) otherwise.
+    ///
+    /// Bitwise identical to the serial sweep by construction: CPU actions
+    /// are bucketed by their host's partition in ascending id order — the
+    /// serial traversal order — so each host's flop accumulation happens in
+    /// exactly the serial summation order on exactly the one job owning
+    /// that partition, and flows touch only their own `remaining`, making
+    /// any flow chunking exact. Neither bucketing nor chunk count can
+    /// change a result bit; only where the FLOP runs.
+    fn accrue_parallel(&mut self, dt: f64) -> bool {
+        let Some(pool) = self.pool.as_ref() else {
+            return false;
+        };
+        if !(self.wpolicy.force_parallel || multicore()) {
+            return false;
+        }
+        if self.cpu.len() + self.active_flows.len() < self.wpolicy.min_parallel_accrual {
+            return false;
+        }
+        let nparts = self.nparts as usize;
+        if self.accrual_parts.len() != nparts {
+            self.accrual_parts = (0..nparts).map(|_| Vec::new()).collect();
+        }
+        for b in &mut self.accrual_parts {
+            b.clear();
+        }
+        for (id, slot) in self.cpu.iter().enumerate() {
+            if let Some(a) = slot {
+                self.accrual_parts[self.part_of_host[a.host] as usize].push(id as u32);
+            }
+        }
+        let ptrs = EntityPtrs {
+            cpu: self.cpu.as_mut_ptr(),
+            flows: self.flows.as_mut_ptr(),
+            host_flops: self.host_flops.as_mut_ptr(),
+        };
+        let mut closures: Vec<Box<dyn FnMut() + Send>> = Vec::new();
+        for ids in self.accrual_parts.iter().filter(|v| !v.is_empty()) {
+            let ids: &[u32] = ids;
+            // Capture the pointer bundle whole so its `Send` impl applies
+            // (disjoint-field capture would smuggle bare raw pointers).
+            let p = ptrs;
+            closures.push(Box::new(move || {
+                let p = p;
+                for &idu in ids {
+                    // SAFETY: each live action id appears in exactly one
+                    // partition bucket, and a partition's hosts belong to
+                    // no other bucket, so the action slot and the
+                    // `host_flops` cell are touched by this job alone.
+                    unsafe {
+                        let a = (*p.cpu.add(idu as usize))
+                            .as_mut()
+                            .expect("bucketed action is live");
+                        let done = (a.rate * dt).min(a.remaining);
+                        *p.host_flops.add(a.host) += done;
+                        a.remaining -= done;
+                    }
+                }
+            }));
+        }
+        let nflows = self.active_flows.len();
+        if nflows > 0 {
+            let chunk = nflows.div_ceil(pool.workers() + 1);
+            for ch in self.active_flows.chunks(chunk) {
+                let p = ptrs;
+                closures.push(Box::new(move || {
+                    let p = p;
+                    for &fi in ch {
+                        // SAFETY: each active flow id appears exactly once
+                        // in `active_flows`, so exactly one chunk job
+                        // touches this slot.
+                        unsafe {
+                            let f = (*p.flows.add(fi as usize))
+                                .as_mut()
+                                .expect("active flow indexed");
+                            let moved = (f.rate * dt).min(f.remaining);
+                            f.remaining -= moved;
+                        }
+                    }
+                }));
+            }
+        }
+        let mut jobs: Vec<Job<'_>> = closures.iter_mut().map(|b| &mut **b as Job<'_>).collect();
+        pool.run_batch(&mut jobs);
+        true
     }
 
     /// Rebuild the event heap without stale completion events once they
@@ -1084,11 +1634,14 @@ impl Engine {
             }
         }
         for (t, id, gen, had_pending) in cpu_events {
+            let a = self.cpu[id].as_mut().expect("live action");
+            let shard = self.part_of_host[a.host];
             Self::restamp_ev(
                 &mut self.events,
                 &mut self.stale_events,
                 &mut self.seq,
-                &mut self.cpu[id].as_mut().expect("live action").ev,
+                shard,
+                &mut a.ev,
                 had_pending,
                 t,
                 EventKind::CpuDone { id, gen },
@@ -1126,11 +1679,14 @@ impl Engine {
             }
         }
         for (t, id, gen, had_pending) in flow_events {
+            let f = self.flows[id].as_mut().expect("active flow");
+            let shard = f.part;
             Self::restamp_ev(
                 &mut self.events,
                 &mut self.stale_events,
                 &mut self.seq,
-                &mut self.flows[id].as_mut().expect("active flow").ev,
+                shard,
+                &mut f.ev,
                 had_pending,
                 t,
                 EventKind::FlowDone { id, gen },
@@ -1169,6 +1725,7 @@ impl Engine {
             }
             let spec = &self.grid.hosts()[h];
             let rate = cpu_share(spec.speed, spec.cores, n, self.host_load[h]);
+            let shard = self.part_of_host[h];
             for k in 0..n {
                 let id = self.host_actions[h][k] as usize;
                 let a = self.cpu[id].as_mut().expect("indexed action is live");
@@ -1184,6 +1741,7 @@ impl Engine {
                         &mut self.events,
                         &mut self.stale_events,
                         &mut self.seq,
+                        shard,
                         &mut a.ev,
                         had_pending,
                         now + a.remaining / rate,
@@ -1322,6 +1880,7 @@ impl Engine {
                     &mut self.events,
                     &mut self.stale_events,
                     &mut self.seq,
+                    f.part,
                     &mut f.ev,
                     had_pending,
                     now + f.remaining / rate,
@@ -1595,6 +2154,7 @@ impl Engine {
             active: false,
             act_idx: u32::MAX,
             ev: NO_HANDLE,
+            part: self.part_of_host[src.0 as usize],
             payload,
             on_done,
         };
@@ -2279,5 +2839,186 @@ mod tests {
         for (x, y) in inc.host_flops.iter().zip(&leg.host_flops) {
             assert!((x - y).abs() <= 1e-6 * x.abs().max(1.0));
         }
+    }
+
+    /// Three clusters over WAN links, cross-cluster message rings, local
+    /// contention, external load churn and a host failure — every event
+    /// class the windowed kernel must merge correctly.
+    fn cross_cluster_scenario(kernel: KernelMode, policy: WindowPolicy) -> RunReport {
+        let mut b = GridBuilder::new();
+        let mut all_hosts = Vec::new();
+        let mut clusters = Vec::new();
+        for name in ["A", "B", "C"] {
+            let c = b.cluster(name);
+            b.local_link(c, 1e8, 1e-4);
+            all_hosts.push(b.add_hosts(c, 3, &HostSpec::with_speed(100.0)));
+            clusters.push(c);
+        }
+        b.connect(clusters[0], clusters[1], 1e7, 0.02);
+        b.connect(clusters[1], clusters[2], 2e7, 0.035);
+        b.connect(clusters[0], clusters[2], 5e6, 0.05);
+        let grid = b.build().unwrap();
+        let mut eng = Engine::new(grid);
+        eng.apply_tune(EngineTune {
+            kernel,
+            ..Default::default()
+        });
+        eng.set_window_policy(policy);
+        // Cross-cluster ring: each hop computes then forwards.
+        for ring in 0..3u64 {
+            // Host index stays in {0, 1}: index 2 of cluster C is the
+            // fault-injection victim below.
+            let path: Vec<HostId> = (0..3)
+                .map(|c| all_hosts[(c + ring as usize) % 3][(ring as usize + c) % 2])
+                .collect();
+            let key0 = mail_key(&[ring, 0]);
+            let key1 = mail_key(&[ring, 1]);
+            let h1 = path[1];
+            let h2 = path[2];
+            eng.spawn(&format!("src{ring}"), path[0], move |ctx| {
+                ctx.compute(150.0 + 10.0 * ring as f64);
+                ctx.send(key0, h1, 2e5, Box::new(ring));
+            });
+            eng.spawn(&format!("mid{ring}"), path[1], move |ctx| {
+                let v = ctx.recv(key0);
+                ctx.compute(80.0);
+                ctx.send(key1, h2, 3e5, Box::new(v));
+            });
+            eng.spawn(&format!("dst{ring}"), path[2], move |ctx| {
+                let _ = ctx.recv(key1);
+                ctx.compute(40.0);
+                let t = ctx.now();
+                ctx.trace("ring_done", t);
+            });
+        }
+        // Local contention plus load churn in cluster B.
+        for i in 0..4u64 {
+            eng.spawn(&format!("local{i}"), all_hosts[1][i as usize % 3], |ctx| {
+                for _ in 0..3 {
+                    ctx.compute(60.0);
+                    ctx.sleep(0.5);
+                }
+            });
+        }
+        eng.add_load_window(all_hosts[1][0], 1.0, Some(4.0), 1.5);
+        eng.add_load_window(all_hosts[2][1], 0.5, None, 0.7);
+        // Fault injection in cluster C: one victim mid-run.
+        eng.spawn("victim", all_hosts[2][2], |ctx| {
+            ctx.compute(1e9);
+        });
+        eng.fail_host_at(all_hosts[2][2], 2.5);
+        eng.panic_on_failure = false;
+        eng.run_until(500.0)
+    }
+
+    /// The windowed kernel replays the serial applied-event sequence
+    /// exactly, so every result — times, flops, bytes, trace — is bitwise
+    /// identical at any worker count, pool dispatch forced on or off.
+    #[test]
+    fn windowed_matches_serial_bitwise_at_any_worker_count() {
+        let serial = cross_cluster_scenario(KernelMode::Serial, WindowPolicy::default());
+        assert!(
+            serial.trace.series("ring_done").len() == 3,
+            "scenario exercises all rings"
+        );
+        for workers in [1, 2, 4] {
+            for force_parallel in [false, true] {
+                let policy = WindowPolicy {
+                    force_parallel,
+                    min_parallel_drain: 0,
+                    min_parallel_accrual: 0,
+                    ..WindowPolicy::default()
+                };
+                let windowed = cross_cluster_scenario(KernelMode::Windowed { workers }, policy);
+                assert_eq!(
+                    serial, windowed,
+                    "workers={workers} force_parallel={force_parallel}"
+                );
+            }
+        }
+    }
+
+    /// Window policy knobs are dispatch-only: no threshold choice may
+    /// perturb a single result bit.
+    #[test]
+    fn windowed_policy_does_not_perturb_results() {
+        let reference =
+            cross_cluster_scenario(KernelMode::Windowed { workers: 2 }, WindowPolicy::default());
+        for policy in [
+            WindowPolicy {
+                max_drain_per_shard: 1,
+                ..WindowPolicy::default()
+            },
+            WindowPolicy {
+                max_drain_per_shard: 7,
+                min_parallel_drain: 0,
+                min_parallel_accrual: 0,
+                force_parallel: true,
+            },
+            WindowPolicy {
+                max_drain_per_shard: 100_000,
+                min_parallel_drain: 1_000_000,
+                min_parallel_accrual: 1_000_000,
+                force_parallel: false,
+            },
+        ] {
+            let r = cross_cluster_scenario(KernelMode::Windowed { workers: 2 }, policy);
+            assert_eq!(reference, r, "{policy:?}");
+        }
+    }
+
+    /// A single-cluster grid has no WAN latency: the lookahead is infinite
+    /// and the drain cap alone bounds windows. Still bit-identical.
+    #[test]
+    fn windowed_handles_single_cluster_infinite_lookahead() {
+        let run = |kernel: KernelMode| {
+            let (g, h0, h1) = two_host_grid();
+            let mut eng = Engine::new(g);
+            eng.apply_tune(EngineTune {
+                kernel,
+                ..Default::default()
+            });
+            let key = mail_key(&[9]);
+            eng.spawn("a", h0, move |ctx| {
+                ctx.compute(120.0);
+                ctx.send(key, h1, 5e5, Box::new(1u8));
+            });
+            eng.spawn("b", h1, move |ctx| {
+                let _ = ctx.recv(key);
+                ctx.compute(60.0);
+                let t = ctx.now();
+                ctx.trace("done", t);
+            });
+            eng.run()
+        };
+        let serial = run(KernelMode::Serial);
+        let windowed = run(KernelMode::Windowed { workers: 4 });
+        assert_eq!(serial, windowed);
+        assert!(serial.trace.last_value("done").is_some());
+    }
+
+    /// Switching to windowed mode and back migrates pending events (and
+    /// their cancellation handles) without loss.
+    #[test]
+    fn kernel_mode_round_trip_preserves_pending_events() {
+        let (g, h) = one_host_grid(100.0);
+        let mut eng = Engine::new(g);
+        eng.add_load_window(h, 1.0, Some(2.0), 1.0);
+        eng.spawn("w", h, |ctx| {
+            ctx.compute(180.0);
+            let t = ctx.now();
+            ctx.trace("t", t);
+        });
+        let before = eng.events.len();
+        eng.set_kernel_mode(KernelMode::Windowed { workers: 2 });
+        assert!(matches!(eng.events, EventQueue::Sharded(_)));
+        assert_eq!(eng.events.len(), before);
+        eng.set_kernel_mode(KernelMode::Serial);
+        assert!(matches!(eng.events, EventQueue::Indexed(_)));
+        assert_eq!(eng.events.len(), before);
+        let r = eng.run();
+        // 100 flops in [0,1) at full rate, 50 in [1,2) at half (load 1.0),
+        // the last 30 at full rate again: done at t = 2.3.
+        assert!((r.trace.last_value("t").unwrap() - 2.3).abs() < 1e-9);
     }
 }

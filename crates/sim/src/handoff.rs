@@ -65,8 +65,10 @@ const SPIN: u32 = 384;
 const YIELDS: u32 = 32;
 
 /// `true` once we know this machine has more than one CPU. Computed once.
+/// Shared with the windowed kernel's dispatch gating: concurrency that
+/// cannot overlap in hardware is pure overhead.
 #[inline]
-fn multicore() -> bool {
+pub(crate) fn multicore() -> bool {
     use std::sync::atomic::AtomicU8;
     static CACHED: AtomicU8 = AtomicU8::new(0);
     match CACHED.load(Ordering::Relaxed) {
@@ -79,6 +81,50 @@ fn multicore() -> bool {
             CACHED.store(if multi { 1 } else { 2 }, Ordering::Relaxed);
             multi
         }
+    }
+}
+
+/// Pre-park waiting strategy for the direct handoff slot, overriding the
+/// machine-derived default. A wait-strategy-only knob: it decides how the
+/// waiting side burns the gap until the peer's Release store lands, never
+/// what is communicated, so any policy yields bit-identical runs. Exposed
+/// so the `sim_hotpath` benchmark can measure spin vs. yield on the same
+/// machine (ROADMAP's "spin path unmeasured" note).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WaitPolicy {
+    /// Spin on multicore machines, yield on single-CPU ones (the default).
+    #[default]
+    Auto,
+    /// Always poll the state word in a busy-spin loop before parking.
+    Spin,
+    /// Always `yield_now` to the peer before parking.
+    Yield,
+}
+
+/// Process-global wait-policy override (0 = auto, 1 = spin, 2 = yield).
+/// Global rather than per-slot because the benchmark compares whole runs;
+/// set it before spawning processes.
+static WAIT_POLICY: AtomicU8 = AtomicU8::new(0);
+
+/// Select the pre-park waiting strategy for all handoff slots in this
+/// process. See [`WaitPolicy`].
+pub fn set_wait_policy(p: WaitPolicy) {
+    WAIT_POLICY.store(
+        match p {
+            WaitPolicy::Auto => 0,
+            WaitPolicy::Spin => 1,
+            WaitPolicy::Yield => 2,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// The active pre-park waiting strategy.
+pub fn wait_policy() -> WaitPolicy {
+    match WAIT_POLICY.load(Ordering::Relaxed) {
+        1 => WaitPolicy::Spin,
+        2 => WaitPolicy::Yield,
+        _ => WaitPolicy::Auto,
     }
 }
 
@@ -125,10 +171,15 @@ impl HandoffSlot {
     }
 
     /// Wait until `state` equals `want`: spin (multicore) or yield to the
-    /// peer (single core), then park.
+    /// peer (single core) per the active [`WaitPolicy`], then park.
     #[inline]
     fn await_state(&self, want: u8) {
-        if multicore() {
+        let spin = match wait_policy() {
+            WaitPolicy::Auto => multicore(),
+            WaitPolicy::Spin => true,
+            WaitPolicy::Yield => false,
+        };
+        if spin {
             for _ in 0..SPIN {
                 if self.state.load(Ordering::Acquire) == want {
                     return;

@@ -14,7 +14,11 @@
 //!   additive one-way latency.
 //!
 //! Runs are fully deterministic: exactly one simulated process executes at
-//! a time and all event ties are broken by insertion order.
+//! a time and all event ties are broken by insertion order. The kernel can
+//! execute in a conservative-parallel windowed mode (`KernelMode::Windowed`)
+//! that shards the event queue by cluster and pre-drains per-cluster event
+//! windows on a worker pool — results stay bit-identical to the serial
+//! kernel at any worker count (DESIGN.md, "Parallel kernel").
 //!
 //! ```
 //! use grads_sim::prelude::*;
@@ -37,6 +41,8 @@
 //! assert_eq!(report.completed.len(), 2);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod dml;
 pub mod engine;
 pub(crate) mod equeue;
@@ -46,18 +52,25 @@ pub mod process;
 pub mod sharing;
 pub mod topology;
 pub mod trace;
+pub(crate) mod window;
+
+pub use handoff::{set_wait_policy, wait_policy, WaitPolicy};
+pub use window::WindowPolicy;
 
 /// Convenient re-exports of the commonly used types.
 pub mod prelude {
     pub use crate::engine::{
-        CompactionPolicy, Engine, EngineTune, EventQueueMode, HandoffMode, RecomputeMode, RunReport,
+        CompactionPolicy, Engine, EngineTune, EventQueueMode, HandoffMode, KernelMode,
+        RecomputeMode, RunReport,
     };
+    pub use crate::handoff::{set_wait_policy, WaitPolicy};
     pub use crate::process::{mail_key, Ctx, MailKey, Payload, ProcId, SendMode};
     pub use crate::topology::{
         macrogrid_qr, microgrid_nbody, Arch, ClusterId, Grid, GridBuilder, Host, HostId, HostSpec,
         LinkId,
     };
     pub use crate::trace::{Trace, TraceKind, TraceRecord};
+    pub use crate::window::WindowPolicy;
 }
 
 pub use dml::{parse_dml, DmlError};

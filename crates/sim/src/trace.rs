@@ -31,17 +31,41 @@ pub struct TraceRecord {
 #[derive(Debug, Clone, PartialEq)]
 pub enum TraceKind {
     /// A process started.
-    ProcStart { name: Arc<str> },
+    ProcStart {
+        /// The process's spawn name.
+        name: Arc<str>,
+    },
     /// A process exited normally.
-    ProcExit { name: Arc<str> },
+    ProcExit {
+        /// The process's spawn name.
+        name: Arc<str>,
+    },
     /// A process failed (panicked); message attached.
-    ProcFail { name: Arc<str>, message: String },
+    ProcFail {
+        /// The process's spawn name.
+        name: Arc<str>,
+        /// The panic payload, stringified.
+        message: String,
+    },
     /// Total external load on a host changed.
-    LoadChange { host: HostId, total: f64 },
+    LoadChange {
+        /// The host whose load changed.
+        host: HostId,
+        /// The host's total external load after the change.
+        total: f64,
+    },
     /// A host failed permanently (fault injection).
-    HostFail { host: HostId },
+    HostFail {
+        /// The host that failed.
+        host: HostId,
+    },
     /// A custom application-level marker.
-    Custom { label: Arc<str>, value: f64 },
+    Custom {
+        /// Application-chosen marker label.
+        label: Arc<str>,
+        /// Application-chosen value.
+        value: f64,
+    },
 }
 
 /// Full trace of a run.

@@ -228,7 +228,14 @@ fn substrate_matrix_is_bit_identical() {
     let baseline = scenario_tuned(RecomputeMode::Incremental, EngineTune::default());
     for handoff in [HandoffMode::Channel, HandoffMode::Direct] {
         for queue in [EventQueueMode::StaleMark, EventQueueMode::Indexed] {
-            let r = scenario_tuned(RecomputeMode::Incremental, EngineTune { handoff, queue });
+            let r = scenario_tuned(
+                RecomputeMode::Incremental,
+                EngineTune {
+                    handoff,
+                    queue,
+                    ..Default::default()
+                },
+            );
             assert_eq!(baseline, r, "{handoff:?} + {queue:?}");
         }
     }

@@ -91,9 +91,43 @@ fn seed_substrate_matches_fast_substrate_on_fig3() {
         fig3_cfg(EngineTune {
             handoff: HandoffMode::Channel,
             queue: EventQueueMode::StaleMark,
+            ..Default::default()
         }),
     );
     assert!(fast.migrated && seed.migrated, "scenario must migrate");
     assert_eq!(fast.report, seed.report, "full run report");
     assert_eq!(fast.breakdown, seed.breakdown, "phase breakdown");
+}
+
+/// The windowed (conservative parallel) kernel on the full fig3
+/// QR-migration scenario: the multi-cluster MacroGrid gives real WAN
+/// lookahead, and the run report must be bit-identical to the serial
+/// kernel at every worker count — the end-to-end level of the
+/// determinism pin (unit: `engine::tests`, property:
+/// `crates/sim/tests/prop_windowed.rs`).
+#[test]
+fn windowed_kernel_matches_serial_on_fig3() {
+    let serial = run_qr_experiment(macrogrid_qr(), fig3_cfg(EngineTune::default()));
+    assert!(serial.migrated, "scenario must migrate");
+    for workers in [1, 4] {
+        let windowed = run_qr_experiment(
+            macrogrid_qr(),
+            fig3_cfg(EngineTune {
+                kernel: KernelMode::Windowed { workers },
+                ..Default::default()
+            }),
+        );
+        assert!(windowed.migrated, "windowed run must migrate too");
+        assert_eq!(
+            serial.report.end_time.to_bits(),
+            windowed.report.end_time.to_bits(),
+            "end_time must be bit-identical at {workers} workers"
+        );
+        assert_eq!(
+            serial.report, windowed.report,
+            "full run report at {workers} workers"
+        );
+        assert_eq!(serial.incarnations, windowed.incarnations);
+        assert_eq!(serial.final_hosts, windowed.final_hosts);
+    }
 }
