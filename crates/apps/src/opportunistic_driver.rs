@@ -127,6 +127,7 @@ pub fn run_opportunistic_experiment(
             tune: SchedTune::default(),
             shared_snap: grads_nws::SharedSnapshot::new(),
             snap_trace: Arc::new(Mutex::new(Vec::new())),
+            attr_weights: Arc::new(Mutex::new(None)),
         };
         let mut hosts = slow_slots.clone();
         let mut epoch = 0u64;

@@ -33,7 +33,7 @@ use grads_contract::{
 use grads_mpi::{host_labels, launch_from_traced};
 use grads_nws::{ForecastSnapshot, ForecastSource, NwsService, SharedSnapshot};
 use grads_obs::{DecisionAction, DecisionKind, Obs, Recorder, WorldTag};
-use grads_perf::{PrefixAgg, PrefixPredictor, TreeBcastPrefix};
+use grads_perf::{AttrPrefix, PrefixAgg, PrefixPredictor, TreeBcastPrefix};
 use grads_reschedule::{
     MigrationDecision, MigrationRescheduler, OverheadPolicy, Reschedulable, ReschedulerMode,
 };
@@ -85,6 +85,15 @@ pub struct QrCop {
     /// hand-off, in virtual-time order. Cheap (a few entries per run);
     /// read by the snapshot-sharing regression test.
     pub snap_trace: Arc<Mutex<Vec<(SnapshotUse, u64)>>>,
+    /// Per-host critical-path shares from the previous incarnation's
+    /// flight-recorder walk, dense by `HostId` index (summing to 1 over
+    /// attributed hosts). Written by the experiment manager between
+    /// incarnations when [`SchedTune::attr_alpha_milli`] is on; read by
+    /// [`QrCop::map_fast`], which then inflates each candidate's
+    /// prediction through [`AttrPrefix`]. `None` (or knob off) leaves the
+    /// scoring arithmetic untouched — the bit-identity contract of the
+    /// default path. Clones share the cell.
+    pub attr_weights: Arc<Mutex<Option<Arc<Vec<f64>>>>>,
 }
 
 impl QrCop {
@@ -165,34 +174,30 @@ impl QrCop {
         eligible: &[HostId],
     ) -> Option<Vec<HostId>> {
         let n = self.cfg.n_nominal as f64;
+        // Attribution feedback engages only when the knob is on AND a
+        // previous incarnation left a weight table; otherwise the bare
+        // model runs and scoring is bit-identical to the knob-off build.
+        let attr: Option<Arc<Vec<f64>>> = if self.tune.attr_alpha_milli > 0 {
+            self.attr_weights.lock().clone()
+        } else {
+            None
+        };
         let mut best: Option<(f64, Vec<HostId>)> = None;
         for slots in self.candidates(grid, snap, eligible) {
             let t = if slots.is_empty() {
                 // `aggregate_rate` of an empty set clamps to 1.0.
                 self.cfg.charged_flops()
             } else {
-                let mut pred =
-                    TreeBcastPrefix::new(grid, snap, self.cfg.charged_flops(), 4.0 * n * n);
-                pred.begin_cluster(grid.host(slots[0]).cluster, &slots);
-                let (mut sum, mut min) = (0.0f64, f64::INFINITY);
-                let mut t = f64::INFINITY;
-                for (i, &h) in slots.iter().enumerate() {
-                    let s = snap.speed(h);
-                    sum += s;
-                    min = min.min(s);
-                    let agg = PrefixAgg {
-                        k: i + 1,
-                        host: h,
-                        speed: s,
-                        sum_speed: sum,
-                        min_speed: min,
-                    };
-                    pred.push(&agg);
-                    if i + 1 == slots.len() {
-                        t = pred.predict(&agg);
-                    }
+                let tree = TreeBcastPrefix::new(grid, snap, self.cfg.charged_flops(), 4.0 * n * n);
+                match &attr {
+                    Some(w) => score_full_prefix(
+                        AttrPrefix::new(tree, w.clone(), self.tune.attr_alpha()),
+                        grid,
+                        snap,
+                        &slots,
+                    ),
+                    None => score_full_prefix(tree, grid, snap, &slots),
                 }
-                t
             };
             match &best {
                 Some((bt, _)) if *bt <= t => {}
@@ -201,6 +206,36 @@ impl QrCop {
         }
         best.map(|(_, slots)| slots)
     }
+}
+
+/// Drive `pred` along the full slot list the way the candidate walk does
+/// and return the prediction at the full prefix length.
+fn score_full_prefix<P: PrefixPredictor>(
+    mut pred: P,
+    grid: &Grid,
+    snap: &ForecastSnapshot,
+    slots: &[HostId],
+) -> f64 {
+    pred.begin_cluster(grid.host(slots[0]).cluster, slots);
+    let (mut sum, mut min) = (0.0f64, f64::INFINITY);
+    let mut t = f64::INFINITY;
+    for (i, &h) in slots.iter().enumerate() {
+        let s = snap.speed(h);
+        sum += s;
+        min = min.min(s);
+        let agg = PrefixAgg {
+            k: i + 1,
+            host: h,
+            speed: s,
+            sum_speed: sum,
+            min_speed: min,
+        };
+        pred.push(&agg);
+        if i + 1 == slots.len() {
+            t = pred.predict(&agg);
+        }
+    }
+    t
 }
 
 /// Aggregate rate of a bulk-synchronous code over rank slots: the work is
@@ -493,6 +528,7 @@ pub fn run_qr_experiment(grid: Grid, ecfg: QrExperimentConfig) -> QrExperimentRe
             tune: ecfg.sched,
             shared_snap: SharedSnapshot::new(),
             snap_trace: Arc::new(Mutex::new(Vec::new())),
+            attr_weights: Arc::new(Mutex::new(None)),
         };
         let t_begin = ctx.now();
         let mut incarnations = 0usize;
@@ -762,6 +798,25 @@ pub fn run_qr_experiment(grid: Grid, ecfg: QrExperimentConfig) -> QrExperimentRe
             // Migration: open the next epoch and loop back to re-prepare.
             migrated = true;
             t_stop = ctx.now();
+            // Close the observe→decide loop: walk the stopped
+            // incarnation's critical path, attribute its cost to hosts,
+            // and hand the normalized shares to the next map's scorer.
+            // Purely a read of the flight-recorder log — no virtual time
+            // passes, and with the knob off nothing here runs.
+            if ecfg.sched.attr_alpha_milli > 0 {
+                let tl = ecfg.recorder.timeline();
+                let by_host = tl.critical_path_by_host(&tl.critical_path());
+                let total: f64 = by_host.iter().map(|(_, d)| d).sum();
+                if total > 0.0 {
+                    let mut w = vec![0.0f64; grid2.hosts().len()];
+                    for (label, d) in &by_host {
+                        if let Some(i) = grid2.hosts().iter().position(|h| h.name == *label) {
+                            w[i] = d / total;
+                        }
+                    }
+                    *cop.attr_weights.lock() = Some(Arc::new(w));
+                }
+            }
             srs.rss.begin_restart();
             *decision_m.lock() = None;
         }
@@ -993,6 +1048,81 @@ mod tests {
             r.breakdown.checkpoint_read,
             r.breakdown.checkpoint_write
         );
+    }
+
+    #[test]
+    fn attr_weights_flip_the_fast_map_and_knob_off_ignores_them() {
+        let grid = macrogrid_qr();
+        let snap = ForecastSnapshot::capture(&grid, &grads_nws::NwsService::new());
+        let all: Vec<HostId> = (0..grid.hosts().len() as u32).map(HostId).collect();
+        let cop = QrCop {
+            cfg: QrExperimentConfig::paper(8000).qr,
+            min_procs: 4,
+            max_procs: 8,
+            tune: SchedTune::fast(),
+            shared_snap: SharedSnapshot::new(),
+            snap_trace: Arc::new(Mutex::new(Vec::new())),
+            attr_weights: Arc::new(Mutex::new(None)),
+        };
+        let base = cop.map_fast(&grid, &snap, &all).expect("candidates");
+        assert!(
+            base.iter().all(|h| h.0 < 4),
+            "UTK wins unweighted: {base:?}"
+        );
+
+        // Attribute the previous critical path entirely to the UTK hosts
+        // at a strength that overcomes their speed advantage.
+        let mut w = vec![0.0f64; grid.hosts().len()];
+        for wi in w.iter_mut().take(4) {
+            *wi = 0.25;
+        }
+        let mut hot = cop.clone();
+        hot.tune = SchedTune::fast().with_attr_alpha_milli(8000);
+        hot.attr_weights = Arc::new(Mutex::new(Some(Arc::new(w))));
+        let flipped = hot.map_fast(&grid, &snap, &all).expect("candidates");
+        assert!(
+            flipped.iter().all(|h| h.0 >= 4),
+            "feedback steers the map off the attributed cluster: {flipped:?}"
+        );
+        // Deterministic: the same weights produce the same choice again.
+        assert_eq!(hot.map_fast(&grid, &snap, &all), Some(flipped));
+
+        // Knob off: the weight table is dead data — bit-identical choice.
+        let mut off = hot.clone();
+        off.tune = SchedTune::fast();
+        assert_eq!(off.map_fast(&grid, &snap, &all), Some(base));
+    }
+
+    #[test]
+    fn attr_feedback_off_matches_default_and_on_reruns_identically() {
+        let attr_exp = |alpha_milli: u32| {
+            let mut cfg = QrExperimentConfig::paper(20000);
+            cfg.qr.n_real = 48;
+            cfg.qr.block = 4;
+            cfg.qr.poll_every = 4;
+            cfg.load_at = 60.0;
+            cfg.monitor_period = 10.0;
+            cfg.t_max = 50_000.0;
+            cfg.recorder = Recorder::enabled();
+            cfg.sched = SchedTune::default().with_attr_alpha_milli(alpha_milli);
+            run_qr_experiment(macrogrid_qr(), cfg)
+        };
+        // Knob off: the run is bit-identical to the plain default config
+        // (the feedback block never executes).
+        let base = small_exp(20000, ReschedulerMode::Default);
+        let off = attr_exp(0);
+        assert_eq!(off.migrated, base.migrated);
+        assert_eq!(off.incarnations, base.incarnations);
+        assert_eq!(off.final_hosts, base.final_hosts);
+        assert_eq!(off.total_time.to_bits(), base.total_time.to_bits());
+
+        // Knob on: deterministic — a rerun is byte-identical.
+        let on_a = attr_exp(500);
+        let on_b = attr_exp(500);
+        assert!(on_a.migrated, "fixture migrates with the knob on");
+        assert_eq!(on_a.final_hosts, on_b.final_hosts);
+        assert_eq!(on_a.incarnations, on_b.incarnations);
+        assert_eq!(on_a.total_time.to_bits(), on_b.total_time.to_bits());
     }
 
     #[test]

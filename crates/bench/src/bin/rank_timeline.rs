@@ -1,14 +1,17 @@
 //! Per-rank flight-recorder replay of the fig3 QR-migration scenario.
 //!
 //! Runs the §4.1.2 stop/restart experiment with the flight recorder
-//! attached and prints (1) the per-rank wait-state breakdown of every
-//! incarnation (compute / send-wait / recv-wait / late-sender /
+//! attached — collective internals included, so every binomial-tree hop
+//! is recorded — and prints (1) the per-rank wait-state breakdown of
+//! every incarnation (compute / send-wait / recv-wait / late-sender /
 //! collective / idle, à la Scalasca), (2) the P×P communication matrix of
-//! each world, and (3) the critical path through the whole run — including
+//! each world, (3) the critical path through the whole run — including
 //! the migration bridge — attributed per host, split into the
-//! before-migration and after-migration halves. The path is verified to
-//! tile `[0, makespan]` exactly: consecutive segments share endpoints
-//! bitwise and the durations sum to the virtual makespan.
+//! before-migration and after-migration halves, and (4) the honest-vs-
+//! opaque attribution diff: how the per-host table changes when the walk
+//! is allowed to follow the collective's internal sends. Both paths are
+//! verified to tile `[0, makespan]` exactly: consecutive segments share
+//! endpoints bitwise and the durations sum to the virtual makespan.
 //!
 //! A Chrome Trace Event JSON (loadable in `chrome://tracing` or
 //! `ui.perfetto.dev`) is written as a side artifact; CI uploads it and
@@ -44,7 +47,7 @@ fn main() {
         }
     }
 
-    let rec = Recorder::enabled();
+    let rec = Recorder::enabled_with_internals();
     let mut cfg = QrExperimentConfig::paper(n_nominal);
     cfg.qr.n_real = n_real;
     cfg.qr.block = 4;
@@ -127,6 +130,46 @@ fn main() {
         let host_line: Vec<String> = hosts.iter().map(|(h, d)| format!("{h} {d:.3} s")).collect();
         println!("    by host: {}", host_line.join(", "));
     }
+
+    // -------- honest vs opaque attribution --------
+    // The opaque walk treats collectives as black boxes (no collective
+    // edges); the honest walk follows the recorded per-hop sends through
+    // the tree. Same tiling invariant, different per-host story.
+    let opaque = tl.critical_path_opaque();
+    assert_eq!(opaque[0].t0, 0.0, "opaque path starts at zero");
+    assert_eq!(
+        opaque.last().unwrap().t1,
+        makespan,
+        "opaque path ends at the makespan"
+    );
+    for pair in opaque.windows(2) {
+        assert_eq!(
+            pair[0].t1.to_bits(),
+            pair[1].t0.to_bits(),
+            "opaque segments share endpoints bitwise"
+        );
+    }
+    let honest_by: BTreeMap<String, f64> = tl.critical_path_by_host(&path).into_iter().collect();
+    let opaque_by: BTreeMap<String, f64> = tl.critical_path_by_host(&opaque).into_iter().collect();
+    println!("\nhonest vs opaque per-host attribution (full path):");
+    let mut moved = 0.0f64;
+    let hosts: std::collections::BTreeSet<&String> =
+        honest_by.keys().chain(opaque_by.keys()).collect();
+    for h in hosts {
+        let a = honest_by.get(h).copied().unwrap_or(0.0);
+        let b = opaque_by.get(h).copied().unwrap_or(0.0);
+        moved += (a - b).abs();
+        println!(
+            "  {:<14} honest {a:>10.3} s  opaque {b:>10.3} s  delta {:>+10.3} s",
+            h,
+            a - b
+        );
+    }
+    println!(
+        "  walking through the tree re-assigns {:.3} s ({:.1}% of the makespan)",
+        moved / 2.0,
+        100.0 * (moved / 2.0) / makespan
+    );
 
     // -------- Chrome trace artifact --------
     let json = tl.to_chrome_trace();

@@ -31,6 +31,19 @@ const TAG_GATHER: u64 = INTERNAL_TAG_BASE + 3;
 const TAG_SCATTER: u64 = INTERNAL_TAG_BASE + 4;
 const TAG_BARRIER: u64 = INTERNAL_TAG_BASE + 5;
 
+/// Operation label for a per-hop span recorded inside a collective,
+/// derived from the internal tag the tree leg was sent on.
+fn coll_hop_label(tag: u64) -> Option<&'static str> {
+    match tag {
+        TAG_BCAST => Some("bcast"),
+        TAG_REDUCE => Some("reduce"),
+        TAG_GATHER => Some("gather"),
+        TAG_SCATTER => Some("scatter"),
+        TAG_BARRIER => Some("barrier"),
+        _ => None,
+    }
+}
+
 /// Resolves a logical rank to the host it currently runs on.
 #[derive(Clone)]
 pub enum Mapping {
@@ -173,7 +186,11 @@ impl Comm {
     }
 
     /// Record one send half plus, outside collectives, the blocked
-    /// interval a rendezvous wait produced.
+    /// interval a rendezvous wait produced. Inside a collective the span
+    /// is recorded as a per-hop internal instead (nested in the enclosing
+    /// [`RankState::Collective`] interval, only on an internals-enabled
+    /// recorder), so the tree legs stay visible without double-counting
+    /// blocked time.
     #[inline]
     fn rec_send(&self, dst: usize, tag: u64, bytes: f64, t0: f64, t1: f64, eager: bool) {
         self.rec.send_msg(
@@ -188,9 +205,20 @@ impl Comm {
             eager,
             self.msg_kind(),
         );
-        if self.coll_depth == 0 && t1 > t0 {
-            self.rec
-                .interval(self.wtag, self.track_rank, RankState::SendBlocked, t0, t1);
+        if self.coll_depth == 0 {
+            if t1 > t0 {
+                self.rec
+                    .interval(self.wtag, self.track_rank, RankState::SendBlocked, t0, t1);
+            }
+        } else if t1 > t0 {
+            self.rec.hop(
+                self.wtag,
+                self.track_rank,
+                RankState::SendBlocked,
+                coll_hop_label(tag),
+                t0,
+                t1,
+            );
         }
     }
 
@@ -279,9 +307,20 @@ impl Comm {
         }
         self.rec
             .recv_msg(self.wtag, self.track_rank, src, self.rank, tag, t0, t1);
-        if self.coll_depth == 0 && t1 > t0 {
-            self.rec
-                .interval(self.wtag, self.track_rank, RankState::RecvBlocked, t0, t1);
+        if self.coll_depth == 0 {
+            if t1 > t0 {
+                self.rec
+                    .interval(self.wtag, self.track_rank, RankState::RecvBlocked, t0, t1);
+            }
+        } else if t1 > t0 {
+            self.rec.hop(
+                self.wtag,
+                self.track_rank,
+                RankState::RecvBlocked,
+                coll_hop_label(tag),
+                t0,
+                t1,
+            );
         }
         p
     }

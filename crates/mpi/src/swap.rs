@@ -244,6 +244,16 @@ impl SwapWorld {
             if t1 > t0 {
                 self.rec
                     .interval(self.wtag, phys, RankState::Migrating, t0, t1);
+                // On an internals-enabled recorder, the shipping leg is
+                // also a per-hop span nested in the Migrating interval.
+                self.rec.hop(
+                    self.wtag,
+                    phys,
+                    RankState::SendBlocked,
+                    Some("handoff"),
+                    t0,
+                    t1,
+                );
             }
             self.rec.send_msg(
                 self.wtag,
@@ -295,6 +305,18 @@ impl SwapWorld {
             if takeover.is_some() {
                 self.rec
                     .recv_msg(self.wtag, phys, phys, phys, SWAP_HANDOFF_TAG, t0, t1);
+                if t1 > t0 {
+                    // Split the receiving end of the handoff out of the
+                    // SwappedOut block (internals-enabled recorders only).
+                    self.rec.hop(
+                        self.wtag,
+                        phys,
+                        RankState::RecvBlocked,
+                        Some("handoff"),
+                        t0,
+                        t1,
+                    );
+                }
             }
         }
         takeover

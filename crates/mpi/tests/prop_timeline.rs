@@ -14,7 +14,7 @@
 //!   [`Timeline`]s and byte-identical Chrome-trace exports.
 
 use grads_mpi::launch_traced;
-use grads_obs::{Recorder, Timeline};
+use grads_obs::{RankState, Recorder, Timeline};
 use grads_sim::prelude::*;
 use grads_sim::topology::{GridBuilder, HostSpec};
 use proptest::prelude::*;
@@ -51,12 +51,20 @@ fn op() -> impl Strategy<Value = Op> {
 /// Run the script on `n` ranks with a fresh recorder; return the built
 /// timeline, its Chrome export, and the kernel end time.
 fn run_script(n: usize, ops: &[Op]) -> (Timeline, String, f64) {
+    run_script_rec(n, ops, Recorder::enabled())
+}
+
+/// As [`run_script`] but with collective-internals (per-hop) recording.
+fn run_script_internals(n: usize, ops: &[Op]) -> (Timeline, String, f64) {
+    run_script_rec(n, ops, Recorder::enabled_with_internals())
+}
+
+fn run_script_rec(n: usize, ops: &[Op], rec: Recorder) -> (Timeline, String, f64) {
     let mut b = GridBuilder::new();
     let c = b.cluster("X");
     b.local_link(c, 1e8, 1e-4);
     let hs = b.add_hosts(c, n, &HostSpec::with_speed(1e9));
     let mut eng = Engine::new(b.build().unwrap());
-    let rec = Recorder::enabled();
     eng.set_recorder(rec.clone());
     let script = ops.to_vec();
     launch_traced(&mut eng, "prop", &hs, move |ctx, comm| {
@@ -127,6 +135,62 @@ proptest! {
                 prop_assert!(iv.t0 <= iv.t1, "interval runs forward: {iv:?}");
                 prop_assert!(t.start <= iv.t0 && iv.t1 <= t.end,
                     "interval inside the lifecycle span: {iv:?} in {}..{}", t.start, t.end);
+            }
+        }
+    }
+
+    /// Collective internals: per-hop spans nest inside exactly their
+    /// parent `Collective` interval and tile it bitwise — and recording
+    /// them perturbs nothing (same end time, same state intervals, same
+    /// matched messages as a plain recorder run).
+    #[test]
+    fn collective_hops_nest_and_tile_their_parent_interval(
+        n in 2usize..6,
+        ops in prop::collection::vec(op(), 1..10),
+    ) {
+        let (plain, _, plain_end) = run_script(n, &ops);
+        let (tl, _, end) = run_script_internals(n, &ops);
+        prop_assert_eq!(end.to_bits(), plain_end.to_bits(),
+            "internals recording must not perturb the run");
+        prop_assert_eq!(&plain.msgs, &tl.msgs, "matched messages identical");
+        for (a, b) in plain.tracks.iter().zip(&tl.tracks) {
+            prop_assert_eq!(&a.intervals, &b.intervals, "state intervals identical");
+            prop_assert!(a.hops.is_empty(), "plain recorder keeps no hops");
+        }
+        for t in &tl.tracks {
+            let colls: Vec<_> = t
+                .intervals
+                .iter()
+                .filter(|iv| iv.state == RankState::Collective)
+                .collect();
+            for h in &t.hops {
+                prop_assert!(h.t1 > h.t0, "recorded hops have width: {h:?}");
+                prop_assert!(
+                    colls.iter().any(|c| c.t0 <= h.t0 && h.t1 <= c.t1),
+                    "hop nests in a Collective interval: {:?}", h
+                );
+            }
+            for c in &colls {
+                let inside: Vec<_> = t
+                    .hops
+                    .iter()
+                    .filter(|h| c.t0 <= h.t0 && h.t1 <= c.t1)
+                    .collect();
+                if c.t1 > c.t0 {
+                    // Inside a collective the rank is always in a send or
+                    // a recv call, so the positive-width hops tile the
+                    // parent exactly — bitwise-shared endpoints.
+                    prop_assert!(!inside.is_empty(),
+                        "positive-width collective must contain hops: {:?}", c);
+                    prop_assert_eq!(inside[0].t0.to_bits(), c.t0.to_bits(),
+                        "first hop starts at the collective start");
+                    for w in inside.windows(2) {
+                        prop_assert_eq!(w[0].t1.to_bits(), w[1].t0.to_bits(),
+                            "consecutive hops share endpoints bitwise");
+                    }
+                    prop_assert_eq!(inside.last().unwrap().t1.to_bits(), c.t1.to_bits(),
+                        "last hop ends at the collective end");
+                }
             }
         }
     }

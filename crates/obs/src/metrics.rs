@@ -36,6 +36,16 @@ pub struct Histogram {
     /// `v <= HISTOGRAM_LE[i]` (exclusive of earlier buckets); the last
     /// entry is the overflow bucket.
     pub buckets: [u64; HISTOGRAM_LE.len() + 1],
+    /// Observations strictly below the lowest edge. They still count in
+    /// `buckets[0]` (cumulative `le` semantics), but without this counter
+    /// the clamp is silent: a `1e-9` and a `1e-3` sample are
+    /// indistinguishable, hiding samples the log-decade range cannot
+    /// resolve.
+    pub underflow: u64,
+    /// Observations strictly above the highest edge — the same count as
+    /// the last (overflow) bucket, surfaced by name so range blowouts are
+    /// visible without knowing the bucket layout.
+    pub overflow: u64,
 }
 
 impl Default for Histogram {
@@ -46,6 +56,8 @@ impl Default for Histogram {
             min: 0.0,
             max: 0.0,
             buckets: [0; HISTOGRAM_LE.len() + 1],
+            underflow: 0,
+            overflow: 0,
         }
     }
 }
@@ -67,6 +79,11 @@ impl Histogram {
             .position(|&le| v <= le)
             .unwrap_or(HISTOGRAM_LE.len());
         self.buckets[idx] += 1;
+        if v < HISTOGRAM_LE[0] {
+            self.underflow += 1;
+        } else if v > HISTOGRAM_LE[HISTOGRAM_LE.len() - 1] {
+            self.overflow += 1;
+        }
     }
 
     /// Mean observation, or `0.0` when empty.
@@ -206,7 +223,11 @@ impl MetricsSnapshot {
                 }
                 out.push_str(&b.to_string());
             }
-            out.push_str("]}");
+            out.push_str("], \"underflow\": ");
+            out.push_str(&h.underflow.to_string());
+            out.push_str(", \"overflow\": ");
+            out.push_str(&h.overflow.to_string());
+            out.push('}');
         });
         out.push_str("}\n}");
         out
@@ -276,6 +297,28 @@ mod tests {
         assert_eq!(h.buckets[5], 1); // <= 1e2
         assert_eq!(h.buckets[HISTOGRAM_LE.len()], 1); // overflow
         assert!((h.mean() - (0.0005 + 0.5 + 0.5 + 50.0 + 1e6) / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_range_samples_are_counted_not_silently_clamped() {
+        let mut h = Histogram::default();
+        h.observe(1e-9); // below the lowest edge
+        h.observe(0.5); // in range
+        h.observe(1e-3); // exactly on the lowest edge: NOT underflow
+        h.observe(1e4); // exactly on the highest edge: NOT overflow
+        h.observe(1e9); // above the highest edge
+        assert_eq!(h.underflow, 1);
+        assert_eq!(h.overflow, 1);
+        // Bucket counts keep their cumulative-le shape unchanged.
+        assert_eq!(h.buckets[0], 2, "1e-9 and 1e-3 both land in bucket 0");
+        assert_eq!(h.buckets[HISTOGRAM_LE.len() - 1], 1, "1e4 in last edge");
+        assert_eq!(h.buckets[HISTOGRAM_LE.len()], 1, "1e9 in overflow bucket");
+        assert_eq!(h.overflow, h.buckets[HISTOGRAM_LE.len()]);
+        let mut r = Registry::default();
+        r.observe("h", 1e-9);
+        let json = r.snapshot().to_json();
+        assert!(json.contains("\"underflow\": 1"));
+        assert!(json.contains("\"overflow\": 0"));
     }
 
     #[test]

@@ -158,10 +158,15 @@ struct TimelineLog {
     worlds: Vec<WorldMeta>,
     tracks: Vec<TrackMeta>,
     intervals: Vec<RawInterval>,
+    /// Per-hop spans nested inside collectives / swap handoffs; only
+    /// populated when `internals` is set (see
+    /// [`Recorder::enabled_with_internals`]).
+    hops: Vec<RawInterval>,
     sends: Vec<RawSend>,
     recvs: Vec<RawRecv>,
     bridges: Vec<RawBridge>,
     pid_track: HashMap<u32, u32>,
+    internals: bool,
 }
 
 impl TimelineLog {
@@ -195,10 +200,63 @@ impl Recorder {
         }
     }
 
+    /// A recording handle that additionally records *collective
+    /// internals*: per-hop send/recv spans inside collective trees and
+    /// swap handoffs (see [`Recorder::hop`]). Internals never change the
+    /// simulated run — the hop spans reuse timestamps their callers
+    /// already read — they only add nested [`Track::hops`] to the built
+    /// [`Timeline`], making wait-state attribution and the critical path
+    /// honest for bcast-heavy applications.
+    pub fn enabled_with_internals() -> Self {
+        Recorder {
+            inner: Some(Arc::new(Mutex::new(TimelineLog {
+                internals: true,
+                ..TimelineLog::default()
+            }))),
+        }
+    }
+
     /// A no-op handle: every recording call returns after one `Option`
     /// test. This is the `Default`.
     pub fn disabled() -> Self {
         Recorder { inner: None }
+    }
+
+    /// Whether per-hop collective internals are being recorded.
+    pub fn internals_enabled(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.lock().internals)
+    }
+
+    /// Record one per-hop span nested inside a collective operation (or a
+    /// swap handoff) on `(world, track_rank)`. `detail` names the
+    /// enclosing operation (`"bcast"`, `"reduce"`, `"handoff"`, …). No-op
+    /// unless the handle was created with
+    /// [`Recorder::enabled_with_internals`].
+    #[inline]
+    pub fn hop(
+        &self,
+        w: WorldTag,
+        track_rank: usize,
+        state: RankState,
+        detail: Option<&'static str>,
+        t0: f64,
+        t1: f64,
+    ) {
+        if let Some(i) = &self.inner {
+            let mut log = i.lock();
+            if !log.internals {
+                return;
+            }
+            if let Some(track) = log.track_of(w, track_rank) {
+                log.hops.push(RawInterval {
+                    track,
+                    state,
+                    detail,
+                    t0,
+                    t1,
+                });
+            }
+        }
     }
 
     /// Whether this handle records anything.
@@ -467,6 +525,13 @@ pub struct Track {
     pub live: bool,
     /// State intervals, sorted by `t0`.
     pub intervals: Vec<Interval>,
+    /// Per-hop spans nested inside collective / swap-handoff intervals,
+    /// sorted by `t0`. Empty unless the recorder was created with
+    /// [`Recorder::enabled_with_internals`]. Within one enclosing
+    /// [`RankState::Collective`] interval the hops tile it exactly: the
+    /// first hop starts at the interval start, consecutive hops share
+    /// endpoints bitwise, and the last hop ends at the interval end.
+    pub hops: Vec<Interval>,
 }
 
 /// A fully matched message: one send half paired with one receive half.
@@ -561,6 +626,7 @@ impl Timeline {
                 end: tm.end,
                 live: tm.started,
                 intervals: Vec::new(),
+                hops: Vec::new(),
             })
             .collect();
         for iv in &log.intervals {
@@ -571,10 +637,21 @@ impl Timeline {
                 t1: iv.t1,
             });
         }
+        for h in &log.hops {
+            tracks[h.track as usize].hops.push(Interval {
+                state: h.state,
+                detail: h.detail,
+                t0: h.t0,
+                t1: h.t1,
+            });
+        }
         // Within one track, intervals are appended in completion order and
         // never overlap, so a stable sort by start time is a total order.
+        // The same holds for hops (a rank is inside at most one
+        // send/recv call at a time).
         for t in &mut tracks {
             t.intervals.sort_by(|a, b| a.t0.total_cmp(&b.t0));
+            t.hops.sort_by(|a, b| a.t0.total_cmp(&b.t0));
         }
 
         // FIFO matching per (world-of-track, src, dst, tag). World is
@@ -727,6 +804,23 @@ impl Timeline {
                     RankState::Idle => {}
                 }
             }
+            // Hop spans split the opaque Collective block into its tree
+            // legs; swap-handoff hops stay out (already charged to
+            // Migrating / SwappedOut above).
+            for h in t.hops.iter().filter(|h| h.detail != Some("handoff")) {
+                let d = h.t1 - h.t0;
+                match h.state {
+                    RankState::SendBlocked => b.coll_send_wait += d,
+                    RankState::RecvBlocked => {
+                        b.coll_recv_wait += d;
+                        if let Some(&mi) = recv_at.get(&(ti as u32, h.t1.to_bits())) {
+                            let m = &self.msgs[mi];
+                            b.coll_late_sender += (m.t_send_post.min(h.t1) - h.t0).max(0.0);
+                        }
+                    }
+                    _ => {}
+                }
+            }
             b.idle = (b.span - busy).max(0.0);
             out.push(b);
         }
@@ -776,7 +870,28 @@ impl Timeline {
     /// t = 0. Returned segments are contiguous in time (forward order) and
     /// their durations sum *exactly* to [`Timeline::makespan`] — each step
     /// charges precisely the span it walks back over.
+    ///
+    /// Collective-internal message halves are walk edges like any other,
+    /// so the path goes *through* binomial trees and charges the rank that
+    /// actually delayed the operation — the honest attribution. Compare
+    /// with [`Timeline::critical_path_opaque`] to measure what opacity
+    /// would mis-attribute.
     pub fn critical_path(&self) -> Vec<PathSegment> {
+        self.critical_path_walk(true)
+    }
+
+    /// The critical path with collectives treated as *opaque blocks*:
+    /// edges through [`MsgKind::Collective`] messages are ignored, so time
+    /// inside a collective is charged wholesale to whichever rank the walk
+    /// lands on, never to the subtree that actually set its exit time.
+    /// This is the dishonest baseline most tools ship; it tiles
+    /// `[0, makespan]` just like the honest walk, but its per-host
+    /// attribution differs for bcast-heavy applications.
+    pub fn critical_path_opaque(&self) -> Vec<PathSegment> {
+        self.critical_path_walk(false)
+    }
+
+    fn critical_path_walk(&self, through_collectives: bool) -> Vec<PathSegment> {
         let Some(last) = self
             .tracks
             .iter()
@@ -792,6 +907,9 @@ impl Timeline {
         let mut recv_by: HashMap<u32, Vec<usize>> = HashMap::new();
         let mut send_by: HashMap<u32, Vec<usize>> = HashMap::new();
         for (i, m) in self.msgs.iter().enumerate() {
+            if !through_collectives && m.kind == MsgKind::Collective {
+                continue;
+            }
             recv_by.entry(m.dst_track.0).or_default().push(i);
             if !m.eager {
                 send_by.entry(m.src_track.0).or_default().push(i);
@@ -1018,6 +1136,31 @@ impl Timeline {
                 push_ev(&mut out, &body);
             }
         }
+        // Per-hop internals nest inside their enclosing state slices on
+        // the same thread (Perfetto nests contained "X" events). Absent
+        // unless the recorder was created with internals, so traces from
+        // plain recorders are byte-identical to what they always were.
+        for t in &self.tracks {
+            for h in &t.hops {
+                let dir = match h.state {
+                    RankState::SendBlocked => "send",
+                    RankState::RecvBlocked => "recv",
+                    s => s.name(),
+                };
+                let mut body = format!(
+                    "{{\"ph\":\"X\",\"pid\":{},\"tid\":{},\"cat\":\"hop\",\"name\":\"{}:{}\",\"ts\":",
+                    t.world.0,
+                    t.rank,
+                    h.detail.unwrap_or("hop"),
+                    dir
+                );
+                push_us(&mut body, h.t0);
+                body.push_str(",\"dur\":");
+                push_us(&mut body, h.t1 - h.t0);
+                body.push('}');
+                push_ev(&mut out, &body);
+            }
+        }
         out.push_str("\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"worlds\":[");
         for (i, w) in self.worlds.iter().enumerate() {
             if i > 0 {
@@ -1043,7 +1186,7 @@ impl Timeline {
         for w in &self.worlds {
             out.push_str(&format!("world {} ({} ranks)\n", w.name, w.n_ranks));
             out.push_str(&format!(
-                "  {:>4} {:<12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>6}\n",
+                "  {:>4} {:<12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>6}\n",
                 "rank",
                 "host",
                 "compute",
@@ -1051,13 +1194,15 @@ impl Timeline {
                 "recv_wait",
                 "late_send",
                 "collective",
+                "c_recv",
+                "c_late",
                 "swapped",
                 "idle",
                 "util"
             ));
             for b in stats.iter().filter(|b| b.world == w.tag) {
                 out.push_str(&format!(
-                    "  {:>4} {:<12} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>5.1}%\n",
+                    "  {:>4} {:<12} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>5.1}%\n",
                     b.rank,
                     b.host,
                     b.compute,
@@ -1065,6 +1210,8 @@ impl Timeline {
                     b.recv_wait,
                     b.late_sender,
                     b.collective,
+                    b.coll_recv_wait,
+                    b.coll_late_sender,
                     b.swapped_out,
                     b.idle,
                     b.utilisation() * 100.0
@@ -1107,6 +1254,16 @@ pub struct RankBreakdown {
     pub late_receiver: f64,
     /// Inside collective operations.
     pub collective: f64,
+    /// Portion of `collective` blocked sending a tree leg (collective
+    /// internals only; zero without [`Recorder::enabled_with_internals`]).
+    pub coll_send_wait: f64,
+    /// Portion of `collective` blocked receiving a tree leg (collective
+    /// internals only).
+    pub coll_recv_wait: f64,
+    /// Portion of `coll_recv_wait` spent before the sending leg was even
+    /// posted — the collective analogue of `late_sender`, pointing at the
+    /// slow subtree instead of the whole opaque block.
+    pub coll_late_sender: f64,
     /// Inactive in a swap world.
     pub swapped_out: f64,
     /// Migration downtime.
@@ -1490,6 +1647,105 @@ mod tests {
         assert!(ja.contains("\"ranks\":2"));
         assert!(ja.contains("\"name\":\"Compute\""));
         assert_eq!(a.summary(), b.summary());
+    }
+
+    #[test]
+    fn hops_require_an_internals_handle() {
+        let (rec, w) = two_rank_recorder();
+        assert!(!rec.internals_enabled());
+        rec.hop(w, 0, RankState::RecvBlocked, Some("bcast"), 0.0, 1.0);
+        assert!(rec.timeline().tracks[0].hops.is_empty());
+
+        let rec2 = Recorder::enabled_with_internals();
+        assert!(rec2.internals_enabled());
+        let w2 = rec2.register_world("w", &["h0".to_string()]);
+        rec2.bind_pid(0, w2, 0);
+        rec2.track_start(0, 0.0);
+        rec2.hop(w2, 0, RankState::RecvBlocked, Some("bcast"), 0.0, 1.0);
+        rec2.track_end(0, 1.0);
+        let tl = rec2.timeline();
+        assert_eq!(tl.tracks[0].hops.len(), 1);
+        assert_eq!(tl.tracks[0].hops[0].detail, Some("bcast"));
+        assert!(
+            tl.tracks[0].intervals.is_empty(),
+            "hops are nested spans, not state intervals"
+        );
+    }
+
+    /// A collective with a late sending subtree: the honest walk jumps
+    /// through the tree to the sender; the opaque walk charges the whole
+    /// block to the waiting rank. Both tile `[0, makespan]` exactly.
+    fn collective_fixture() -> Timeline {
+        let rec = Recorder::enabled_with_internals();
+        let w = rec.register_world("w", &["h0".to_string(), "h1".to_string()]);
+        rec.bind_pid(0, w, 0);
+        rec.bind_pid(1, w, 1);
+        rec.track_start(0, 0.0);
+        rec.track_start(1, 0.0);
+        // Rank 0 (root): computes until 5, then an instant eager tree send.
+        rec.interval(w, 0, RankState::Compute, 0.0, 5.0);
+        rec.send_msg(w, 0, 0, 1, 99, 100.0, 5.0, 5.0, true, MsgKind::Collective);
+        // Rank 1: computes until 1, blocked in the bcast 1..6, computes 6..8.
+        rec.interval(w, 1, RankState::Compute, 0.0, 1.0);
+        rec.interval_detail(w, 1, RankState::Collective, Some("bcast"), 1.0, 6.0);
+        rec.hop(w, 1, RankState::RecvBlocked, Some("bcast"), 1.0, 6.0);
+        rec.recv_msg(w, 1, 0, 1, 99, 1.0, 6.0);
+        rec.interval(w, 1, RankState::Compute, 6.0, 8.0);
+        rec.track_end(0, 5.0);
+        rec.track_end(1, 8.0);
+        rec.timeline()
+    }
+
+    #[test]
+    fn honest_and_opaque_walks_attribute_differently_but_both_tile() {
+        let tl = collective_fixture();
+        let check_tiling = |path: &[PathSegment]| {
+            assert_eq!(path[0].t0, 0.0);
+            assert_eq!(path.last().unwrap().t1, 8.0);
+            for p in path.windows(2) {
+                assert_eq!(p[0].t1.to_bits(), p[1].t0.to_bits());
+            }
+            let total: f64 = path.iter().map(|s| s.dur()).sum();
+            assert_eq!(total, 8.0);
+        };
+        let honest = tl.critical_path();
+        let opaque = tl.critical_path_opaque();
+        check_tiling(&honest);
+        check_tiling(&opaque);
+        // Honest: the root's compute set the bcast exit — h0 is on the path.
+        let h_hosts = tl.critical_path_by_host(&honest);
+        assert_eq!(h_hosts[0].0, "h0");
+        assert_eq!(h_hosts[0].1, 5.0);
+        // Opaque: the whole run is charged to the waiting rank's host.
+        let o_hosts = tl.critical_path_by_host(&opaque);
+        assert_eq!(o_hosts, vec![("h1".to_string(), 8.0)]);
+        assert!(opaque
+            .iter()
+            .any(|s| matches!(s.kind, SegKind::State(RankState::Collective))));
+    }
+
+    #[test]
+    fn rank_stats_split_collective_waits_from_hops() {
+        let tl = collective_fixture();
+        let stats = tl.rank_stats();
+        let r1 = &stats[1];
+        assert_eq!(r1.collective, 5.0);
+        assert_eq!(r1.coll_recv_wait, 5.0);
+        assert_eq!(
+            r1.coll_late_sender, 4.0,
+            "waited 4 s before the tree leg was even posted"
+        );
+        assert_eq!(r1.coll_send_wait, 0.0);
+    }
+
+    #[test]
+    fn chrome_trace_includes_hop_slices() {
+        let tl = collective_fixture();
+        let json = tl.to_chrome_trace();
+        assert!(json.contains("\"cat\":\"hop\""));
+        assert!(json.contains("\"name\":\"bcast:recv\""));
+        assert!(json.contains("process_name"));
+        assert!(json.contains("thread_name"));
     }
 
     #[test]

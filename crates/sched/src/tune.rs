@@ -36,6 +36,17 @@ pub struct SchedTune {
     /// (`1` = score on the calling thread). Ignored by the reference
     /// path. The argmin is bit-identical at any value.
     pub workers: usize,
+    /// Critical-path attribution feedback strength, in thousandths
+    /// (`0` = off, the default; `250` = α 0.25). Stored as an integer so
+    /// the tune stays `Eq`/hashable. When on, drivers that keep a
+    /// flight-recorder timeline inflate a candidate prefix's predicted
+    /// time by `1 + α · w̄`, where `w̄` is the mean measured
+    /// critical-path share of the prefix's hosts from the previous
+    /// incarnation (`grads_perf::AttrPrefix`) — hosts that carried the
+    /// last incarnation's critical path are penalized in the next
+    /// mapping. Off ⇒ the scoring arithmetic is untouched and decisions
+    /// are bit-identical to a build without the knob.
+    pub attr_alpha_milli: u32,
 }
 
 impl Default for SchedTune {
@@ -43,6 +54,7 @@ impl Default for SchedTune {
         SchedTune {
             path: DecisionPath::default(),
             workers: 1,
+            attr_alpha_milli: 0,
         }
     }
 }
@@ -53,6 +65,7 @@ impl SchedTune {
         SchedTune {
             path: DecisionPath::Reference,
             workers: 1,
+            attr_alpha_milli: 0,
         }
     }
 
@@ -61,6 +74,7 @@ impl SchedTune {
         SchedTune {
             path: DecisionPath::Fast,
             workers: 1,
+            attr_alpha_milli: 0,
         }
     }
 
@@ -69,6 +83,20 @@ impl SchedTune {
         SchedTune {
             path: DecisionPath::Fast,
             workers: workers.max(1),
+            attr_alpha_milli: 0,
         }
+    }
+
+    /// This tune with attribution feedback at strength
+    /// `alpha_milli / 1000`.
+    pub fn with_attr_alpha_milli(mut self, alpha_milli: u32) -> Self {
+        self.attr_alpha_milli = alpha_milli;
+        self
+    }
+
+    /// The feedback strength as a float (`0.0` = off). Derived from the
+    /// integer field, so equal tunes always yield bitwise-equal alphas.
+    pub fn attr_alpha(&self) -> f64 {
+        self.attr_alpha_milli as f64 * 1e-3
     }
 }

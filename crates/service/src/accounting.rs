@@ -29,6 +29,20 @@ pub struct TenantAccount {
     pub spend: f64,
 }
 
+impl TenantAccount {
+    /// SLO burn rate: the fraction of completed jobs that missed their
+    /// deadline (`0` while nothing has completed). This is the per-tenant
+    /// error-budget signal the span stream's `SloMiss` events aggregate
+    /// into.
+    pub fn slo_burn_rate(&self) -> f64 {
+        if self.completed > 0 {
+            self.slo_misses as f64 / self.completed as f64
+        } else {
+            0.0
+        }
+    }
+}
+
 /// The service-wide ledger: one [`TenantAccount`] per tenant.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Accounting {
@@ -90,6 +104,7 @@ impl Accounting {
             obs.counter_add(&format!("{prefix}.slo_misses"), a.slo_misses);
             obs.gauge_set(&format!("{prefix}.host_seconds"), a.host_seconds);
             obs.gauge_set(&format!("{prefix}.spend"), a.spend);
+            obs.gauge_set(&format!("{prefix}.slo_burn_rate"), a.slo_burn_rate());
         };
         pub_one("svc", &self.totals());
         for (i, a) in self.accounts.iter().enumerate() {
@@ -129,6 +144,7 @@ mod tests {
         let mut acc = Accounting::new(2);
         acc.tenant_mut(0).admitted = 5;
         acc.tenant_mut(1).admitted = 2;
+        acc.tenant_mut(1).completed = 2;
         acc.tenant_mut(1).slo_misses = 1;
         let obs = Obs::enabled();
         acc.publish(&obs);
@@ -141,5 +157,16 @@ mod tests {
         assert!(json.contains("\"svc.t0.admitted\""), "per-tenant counters");
         assert!(json.contains("\"svc.t1.slo_misses\""));
         assert!(json.contains("\"svc.fairness\""));
+        assert!(json.contains("\"svc.t1.slo_burn_rate\": 0.5"), "{json}");
+        assert!(json.contains("\"svc.t0.slo_burn_rate\": 0"));
+    }
+
+    #[test]
+    fn burn_rate_is_zero_until_something_completes() {
+        let mut a = TenantAccount::default();
+        assert_eq!(a.slo_burn_rate(), 0.0);
+        a.completed = 4;
+        a.slo_misses = 1;
+        assert_eq!(a.slo_burn_rate(), 0.25);
     }
 }

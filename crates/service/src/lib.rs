@@ -34,8 +34,10 @@
 
 pub mod accounting;
 pub mod service;
+pub mod spans;
 pub mod workload;
 
 pub use accounting::{Accounting, TenantAccount};
 pub use service::{run_service_experiment, service_grid, ServiceConfig, ServiceResult};
+pub use spans::{JobPhase, JobSpan, SpanLog, MARKET_TENANT};
 pub use workload::{generate_workload, AppKind, Job, WorkloadConfig};

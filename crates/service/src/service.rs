@@ -52,6 +52,7 @@ use grads_sim::prelude::*;
 use parking_lot::Mutex;
 
 use crate::accounting::{Accounting, TenantAccount};
+use crate::spans::{JobPhase, JobSpan, SpanLog, MARKET_TENANT};
 use crate::workload::{generate_workload, Job, WorkloadConfig};
 
 /// Service experiment parameters.
@@ -85,6 +86,11 @@ pub struct ServiceConfig {
     pub tune: EngineTune,
     /// Metrics sink (counters/gauges published at end of run).
     pub obs: Obs,
+    /// Per-job lifecycle span stream (disabled by default). Every span
+    /// timestamp is a value the dispatcher already computed — round
+    /// time, submit time, modeled finish — so enabling this changes no
+    /// decision and [`ServiceResult`] stays bit-identical.
+    pub spans: SpanLog,
     /// Virtual-time budget; the run aborts past this.
     pub t_max: f64,
 }
@@ -104,6 +110,7 @@ impl Default for ServiceConfig {
             sched: SchedTune::default(),
             tune: EngineTune::default(),
             obs: Obs::disabled(),
+            spans: SpanLog::disabled(),
             t_max: 1.0e7,
         }
     }
@@ -297,12 +304,30 @@ fn dispatcher(ctx: &mut Ctx, grid: &Grid, cfg: &ServiceConfig) -> ServiceResult 
     let mut in_flight_sum = 0.0f64;
     let mut high_water_rounds = 0u64;
     let mut end_time = 0.0f64;
+    let mut t_last = 0.0f64;
+
+    // Lifecycle spans use only timestamps the decisions already computed
+    // (round time, submit time, modeled finish) — no clock reads, so the
+    // stream cannot perturb the run.
+    let jspan =
+        |job: &Job, phase: JobPhase, detail: Option<&'static str>, t0: f64, t1: f64, v: f64| {
+            cfg.spans.push(JobSpan {
+                job: job.id,
+                tenant: job.tenant,
+                phase,
+                detail,
+                t0,
+                t1,
+                value: v,
+            });
+        };
 
     loop {
         let t = ctx.now();
         if t > cfg.t_max {
             break;
         }
+        t_last = t;
 
         // 1. Retire finished jobs.
         while let Some(&Reverse((fbits, _id, slot))) = running.peek() {
@@ -318,8 +343,24 @@ fn dispatcher(ctx: &mut Ctx, grid: &Grid, cfg: &ServiceConfig) -> ServiceResult 
             let a = accounting.tenant_mut(run.job.tenant);
             a.completed += 1;
             a.host_seconds += run.hosts.len() as f64 * (run.finish_s - run.start_s);
+            jspan(
+                &run.job,
+                JobPhase::Complete,
+                None,
+                run.finish_s,
+                run.finish_s,
+                run.finish_s - run.job.submit_s,
+            );
             if run.finish_s > run.deadline_abs {
                 a.slo_misses += 1;
+                jspan(
+                    &run.job,
+                    JobPhase::SloMiss,
+                    None,
+                    run.finish_s,
+                    run.finish_s,
+                    run.finish_s - run.deadline_abs,
+                );
             }
             turnarounds.push(run.finish_s - run.job.submit_s);
             end_time = end_time.max(run.finish_s);
@@ -333,6 +374,14 @@ fn dispatcher(ctx: &mut Ctx, grid: &Grid, cfg: &ServiceConfig) -> ServiceResult 
             let job = pending.next().expect("peeked");
             accounting.tenant_mut(job.tenant).submitted += 1;
             let deadline_abs = job.submit_s + job.deadline_s;
+            jspan(
+                &job,
+                JobPhase::Submit,
+                None,
+                job.submit_s,
+                job.submit_s,
+                deadline_abs,
+            );
             queue.push(Queued { job, deadline_abs });
         }
         peak_queue = peak_queue.max(queue.len());
@@ -374,6 +423,15 @@ fn dispatcher(ctx: &mut Ctx, grid: &Grid, cfg: &ServiceConfig) -> ServiceResult 
         let price = eq.price.max(cfg.reserve_price);
         market.price = price;
         price_series.push(price);
+        cfg.spans.push(JobSpan {
+            job: rounds as u32,
+            tenant: MARKET_TENANT,
+            phase: JobPhase::Price,
+            detail: None,
+            t0: t,
+            t1: t,
+            value: price,
+        });
 
         // 5. Admission, earliest absolute deadline first (ids break ties
         // FIFO — they are in submit order).
@@ -416,6 +474,7 @@ fn dispatcher(ctx: &mut Ctx, grid: &Grid, cfg: &ServiceConfig) -> ServiceResult 
             // Expired while queued (unaffordable or unplaceable too
             // long): reject — even a zero-duration run would miss now.
             if t >= q.deadline_abs {
+                jspan(&q.job, JobPhase::Reject, Some("expired"), t, t, 0.0);
                 accounting.tenant_mut(q.job.tenant).rejected += 1;
                 still_queued[qi] = false;
                 continue;
@@ -425,7 +484,9 @@ fn dispatcher(ctx: &mut Ctx, grid: &Grid, cfg: &ServiceConfig) -> ServiceResult 
             }
             if let Some(won) = &auction_winner {
                 if !won[qi] {
-                    continue; // defer: lost the scarcity auction
+                    // defer: lost the scarcity auction
+                    jspan(&q.job, JobPhase::Defer, Some("auction"), t, t, 0.0);
+                    continue;
                 }
             }
             let eligible: Vec<HostId> = (0..n_hosts as u32)
@@ -433,22 +494,37 @@ fn dispatcher(ctx: &mut Ctx, grid: &Grid, cfg: &ServiceConfig) -> ServiceResult 
                 .filter(|h| free_cores[h.0 as usize] > 0)
                 .collect();
             if eligible.len() < q.job.procs {
-                continue; // defer: not enough free hosts anywhere
+                // defer: not enough free hosts anywhere
+                jspan(&q.job, JobPhase::Defer, Some("no-hosts"), t, t, 0.0);
+                continue;
             }
             let Some(choice) = map_job(&q.job, grid, &nws, &snap, &eligible, cfg.sched) else {
-                continue; // defer: no cluster offers `procs` free hosts
+                // defer: no cluster offers `procs` free hosts
+                jspan(&q.job, JobPhase::Defer, Some("no-cluster"), t, t, 0.0);
+                continue;
             };
+            jspan(&q.job, JobPhase::Map, None, t, t, choice.predicted);
             let est_finish = t + choice.predicted;
             if est_finish > q.deadline_abs {
                 // Deadline-infeasible on the best available placement:
                 // running it would burn slots on a guaranteed SLO miss.
+                jspan(
+                    &q.job,
+                    JobPhase::Reject,
+                    Some("infeasible"),
+                    t,
+                    t,
+                    est_finish,
+                );
                 accounting.tenant_mut(q.job.tenant).rejected += 1;
                 still_queued[qi] = false;
                 continue;
             }
             let cost = price * q.job.procs as f64 * choice.predicted;
             if cost > q.job.budget {
-                continue; // defer: market price above the job's budget
+                // defer: market price above the job's budget
+                jspan(&q.job, JobPhase::Defer, Some("over-budget"), t, t, cost);
+                continue;
             }
             // Admit.
             for &h in &choice.hosts {
@@ -459,7 +535,9 @@ fn dispatcher(ctx: &mut Ctx, grid: &Grid, cfg: &ServiceConfig) -> ServiceResult 
             a.spend += cost;
             waits.push(t - q.job.submit_s);
             admitted_ids.push(q.job.id);
+            jspan(&q.job, JobPhase::Admit, None, q.job.submit_s, t, cost);
             let finish_s = t + choice.predicted * q.job.runtime_skew;
+            jspan(&q.job, JobPhase::Run, None, t, finish_s, choice.predicted);
             let slot = running_jobs.len();
             running.push(Reverse((finish_s.to_bits(), q.job.id, slot)));
             running_jobs.push(Some(Running {
@@ -486,6 +564,14 @@ fn dispatcher(ctx: &mut Ctx, grid: &Grid, cfg: &ServiceConfig) -> ServiceResult 
 
     // Reject whatever never got in before t_max (bounded-run safety).
     for q in &queue {
+        jspan(
+            &q.job,
+            JobPhase::Reject,
+            Some("cutoff"),
+            t_last,
+            t_last,
+            0.0,
+        );
         accounting.tenant_mut(q.job.tenant).rejected += 1;
     }
 
@@ -610,6 +696,66 @@ mod tests {
         let r = run_service_experiment(cfg);
         assert_eq!(r.totals.admitted, 0, "infeasible deadlines never admit");
         assert_eq!(r.totals.rejected, 60);
+    }
+
+    #[test]
+    fn spans_do_not_perturb_and_cover_the_lifecycle() {
+        // Spans off (the default) vs on: the decision trace and every
+        // metric must be bit-identical — recording is observation only.
+        let r_off = run_service_experiment(small_cfg());
+        let mut cfg = small_cfg();
+        cfg.spans = SpanLog::enabled();
+        let spans = cfg.spans.clone();
+        let r_on = run_service_experiment(cfg);
+        assert_eq!(r_off, r_on, "span recording must not perturb the run");
+
+        // The stream is a complete lifecycle ledger: phase counts match
+        // the accounting totals exactly.
+        let count = |p: JobPhase| spans.phase_spans(p).len() as u64;
+        let t = &r_on.totals;
+        assert_eq!(count(JobPhase::Submit), t.submitted);
+        assert_eq!(count(JobPhase::Admit), t.admitted);
+        assert_eq!(count(JobPhase::Run), t.admitted);
+        assert_eq!(count(JobPhase::Reject), t.rejected);
+        assert_eq!(count(JobPhase::Complete), t.completed);
+        assert_eq!(count(JobPhase::SloMiss), t.slo_misses);
+        assert_eq!(count(JobPhase::Price), r_on.rounds);
+
+        // Every admitted job's spans chain: Submit.t0 ≤ Admit.t1 =
+        // Run.t0 ≤ Run.t1 = its Complete instant, all caller-stamped.
+        let runs = spans.phase_spans(JobPhase::Run);
+        let completes = spans.phase_spans(JobPhase::Complete);
+        for run in &runs {
+            assert!(run.t1 >= run.t0);
+            let c = completes
+                .iter()
+                .find(|c| c.job == run.job)
+                .expect("drained run completes every admitted job");
+            assert_eq!(c.t0.to_bits(), run.t1.to_bits(), "finish stamps agree");
+        }
+    }
+
+    #[test]
+    fn service_round_chrome_trace_is_deterministic_with_metadata() {
+        let export = |spans_out: &mut Option<String>| {
+            let mut cfg = small_cfg();
+            cfg.workload.n_jobs = 60;
+            cfg.spans = SpanLog::enabled();
+            let spans = cfg.spans.clone();
+            run_service_experiment(cfg);
+            *spans_out = Some(spans.to_chrome_trace());
+        };
+        let (mut a, mut b) = (None, None);
+        export(&mut a);
+        export(&mut b);
+        let a = a.unwrap();
+        assert_eq!(a, b.unwrap(), "rerun-byte-identical export");
+        assert!(a.contains("\"name\":\"process_name\""), "{a}");
+        assert!(a.contains("\"name\":\"thread_name\""));
+        assert!(a.contains("\"name\":\"tenant 0\""));
+        assert!(a.contains("\"name\":\"market\""));
+        assert!(a.contains("\"name\":\"Run\""));
+        assert!(a.contains("\"name\":\"Price\""));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! runs must record identical metric snapshots, JSON exports, and decision
 //! event logs.
 
-use grads_core::obs::{DecisionAction, DecisionKind, Obs};
+use grads_core::obs::{DecisionAction, DecisionKind, Obs, PathSegment};
 use grads_core::prelude::*;
 use grads_core::sim::topology::macrogrid_qr;
 
@@ -99,6 +99,62 @@ fn recorder_on_and_off_are_bit_identical() {
     let path = tl.critical_path();
     assert!(!path.is_empty());
     assert_eq!(path.last().unwrap().t1, tl.makespan());
+}
+
+#[test]
+fn collective_internals_attribute_through_the_tree_without_perturbing() {
+    let off = run_qr_experiment(macrogrid_qr(), fig3_cfg(Obs::disabled()));
+    let rec = Recorder::enabled_with_internals();
+    let mut cfg = fig3_cfg(Obs::disabled());
+    cfg.recorder = rec.clone();
+    let on = run_qr_experiment(macrogrid_qr(), cfg);
+
+    assert!(on.migrated && off.migrated, "scenario must migrate");
+    assert_eq!(
+        on.report.end_time.to_bits(),
+        off.report.end_time.to_bits(),
+        "end_time must be bit-identical with collective internals on vs. off"
+    );
+    assert_eq!(on.report, off.report, "full run report must be identical");
+
+    let tl = rec.timeline();
+    assert!(
+        tl.tracks.iter().any(|t| !t.hops.is_empty()),
+        "per-hop collective spans recorded"
+    );
+
+    // Both walks tile [0, makespan] with bitwise-shared endpoints — the
+    // path-tiling invariant survives walking through the tree.
+    let tile = |path: &[PathSegment], label: &str| {
+        assert!(!path.is_empty(), "{label} path exists");
+        assert_eq!(path[0].t0.to_bits(), 0f64.to_bits(), "{label} starts at 0");
+        for w in path.windows(2) {
+            assert_eq!(
+                w[0].t1.to_bits(),
+                w[1].t0.to_bits(),
+                "{label} segments share endpoints bitwise"
+            );
+        }
+        assert_eq!(
+            path.last().unwrap().t1.to_bits(),
+            tl.makespan().to_bits(),
+            "{label} ends at the makespan"
+        );
+    };
+    let honest = tl.critical_path();
+    let opaque = tl.critical_path_opaque();
+    tile(&honest, "honest");
+    tile(&opaque, "opaque");
+
+    // And they attribute the makespan to hosts differently: the honest
+    // walk follows the collective's internal sends across ranks, the
+    // opaque walk is forbidden from using collective edges — this is the
+    // measurable difference per-hop recording buys on fig3.
+    assert_ne!(
+        tl.critical_path_by_host(&honest),
+        tl.critical_path_by_host(&opaque),
+        "per-host attribution must change between honest and opaque walks"
+    );
 }
 
 #[test]
