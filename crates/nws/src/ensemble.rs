@@ -97,6 +97,30 @@ impl Ensemble {
         self.last
     }
 
+    /// [`Ensemble::forecast`]'s value alone, skipping the predictor-name
+    /// allocation — the same winning predictor by the same tie rule, so
+    /// the returned value is bit-identical to `forecast().value`. This is
+    /// the per-observation fast path of the delta-capture dirty check in
+    /// [`crate::monitor::NwsService`].
+    pub fn forecast_value(&self) -> Option<f64> {
+        let mut best: Option<(f64, f64)> = None; // (mae, predicted)
+        for t in &self.tracked {
+            let Some(pred) = t.predictor.predict() else {
+                continue;
+            };
+            let mae = if t.n_scored > 0 {
+                t.abs_err_sum / t.n_scored as f64
+            } else {
+                f64::INFINITY
+            };
+            match best {
+                Some((bmae, _)) if mae >= bmae => {}
+                _ => best = Some((mae, pred)),
+            }
+        }
+        best.map(|(_, v)| v)
+    }
+
     /// Forecast the next value using the predictor with the lowest mean
     /// absolute error so far. Ties break toward the earlier battery entry
     /// (deterministic). `None` until at least one measurement has arrived.
@@ -218,6 +242,18 @@ mod tests {
         for (name, mae, rmse) in scores {
             assert!(mae.is_finite(), "{name} unscored");
             assert!(rmse >= mae * 0.99, "{name}: rmse {rmse} < mae {mae}");
+        }
+    }
+
+    #[test]
+    fn forecast_value_matches_full_forecast_bitwise() {
+        let mut e = Ensemble::standard();
+        assert!(e.forecast_value().is_none());
+        for i in 0..120u32 {
+            e.update((i.wrapping_mul(48271) % 89) as f64 * 0.01);
+            let full = e.forecast().unwrap().value;
+            let fast = e.forecast_value().unwrap();
+            assert_eq!(full.to_bits(), fast.to_bits(), "step {i}");
         }
     }
 

@@ -9,7 +9,15 @@
 
 use crate::ensemble::{Ensemble, Forecast};
 use grads_sim::prelude::*;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
+
+/// The bit pattern a snapshot serves for an unmeasured CPU series: an
+/// unmeasured host is assumed idle (`forecast_cpu_or_idle` → `1.0`).
+pub(crate) const IDLE_BITS: u64 = 0x3FF0_0000_0000_0000; // 1.0f64.to_bits()
+
+/// Sentinel for "no forecast" on a network series, where `None` is a
+/// distinct observable state (it routes queries to the static topology).
+pub(crate) const NONE_BITS: u64 = u64::MAX;
 
 /// Orders a cluster pair so (a,b) and (b,a) share one series.
 fn pair(a: ClusterId, b: ClusterId) -> (ClusterId, ClusterId) {
@@ -20,6 +28,61 @@ fn pair(a: ClusterId, b: ClusterId) -> (ClusterId, ClusterId) {
     }
 }
 
+/// Per-series change tracking for delta snapshot capture.
+///
+/// `*_latest` holds the bit pattern of the forecast each series would
+/// serve *right now* (refreshed on every observation while tracking is
+/// on); `*_clean` holds the bits the last synchronized snapshot capture
+/// served. A series is **dirty** iff latest ≠ clean — and because the
+/// comparison is bitwise on the served forecast, an observation whose
+/// ensemble output lands back on the clean bits *removes* the series
+/// from the dirty set again. Never-captured series compare against the
+/// sentinel the snapshot serves for them ([`IDLE_BITS`] / [`NONE_BITS`]).
+#[derive(Default)]
+pub(crate) struct DeltaTrack {
+    pub(crate) cpu_latest: HashMap<HostId, u64>,
+    cpu_clean: HashMap<HostId, u64>,
+    pub(crate) bw_latest: HashMap<(ClusterId, ClusterId), u64>,
+    bw_clean: HashMap<(ClusterId, ClusterId), u64>,
+    pub(crate) lat_latest: HashMap<(ClusterId, ClusterId), u64>,
+    lat_clean: HashMap<(ClusterId, ClusterId), u64>,
+    pub(crate) dirty_hosts: BTreeSet<HostId>,
+    pub(crate) dirty_bw: BTreeSet<(ClusterId, ClusterId)>,
+    pub(crate) dirty_lat: BTreeSet<(ClusterId, ClusterId)>,
+}
+
+impl DeltaTrack {
+    /// Record the latest served bits for one series and flip its dirty
+    /// membership against the clean baseline `default` (the sentinel an
+    /// uncaptured series serves).
+    fn note<K: Ord + std::hash::Hash + Copy>(
+        latest: &mut HashMap<K, u64>,
+        clean: &HashMap<K, u64>,
+        dirty: &mut BTreeSet<K>,
+        key: K,
+        bits: u64,
+        default: u64,
+    ) {
+        latest.insert(key, bits);
+        if bits == clean.get(&key).copied().unwrap_or(default) {
+            dirty.remove(&key);
+        } else {
+            dirty.insert(key);
+        }
+    }
+
+    /// Mark everything clean: the snapshot just captured serves exactly
+    /// the latest bits.
+    fn sync(&mut self) {
+        self.cpu_clean = self.cpu_latest.clone();
+        self.bw_clean = self.bw_latest.clone();
+        self.lat_clean = self.lat_latest.clone();
+        self.dirty_hosts.clear();
+        self.dirty_bw.clear();
+        self.dirty_lat.clear();
+    }
+}
+
 /// The weather service: stores measurement streams and serves forecasts.
 #[derive(Default)]
 pub struct NwsService {
@@ -27,6 +90,9 @@ pub struct NwsService {
     bandwidth: HashMap<(ClusterId, ClusterId), Ensemble>,
     latency: HashMap<(ClusterId, ClusterId), Ensemble>,
     heartbeat: HashMap<HostId, f64>,
+    /// Delta-capture tracking; `None` (the default) keeps every
+    /// observation on the exact seed code path with zero overhead.
+    track: Option<DeltaTrack>,
 }
 
 impl NwsService {
@@ -38,26 +104,146 @@ impl NwsService {
     /// Record a CPU availability measurement in `[0, 1]` for a host
     /// (fraction of one core's peak rate a new process would obtain).
     pub fn observe_cpu(&mut self, host: HostId, availability: f64) {
-        self.cpu
-            .entry(host)
-            .or_insert_with(Ensemble::standard)
-            .update(availability.clamp(0.0, 1.0));
+        let e = self.cpu.entry(host).or_insert_with(Ensemble::standard);
+        e.update(availability.clamp(0.0, 1.0));
+        if let Some(t) = &mut self.track {
+            let bits = e.forecast_value().expect("just updated").to_bits();
+            DeltaTrack::note(
+                &mut t.cpu_latest,
+                &t.cpu_clean,
+                &mut t.dirty_hosts,
+                host,
+                bits,
+                IDLE_BITS,
+            );
+        }
     }
 
     /// Record an achieved end-to-end bandwidth (bytes/s) between two sites.
     pub fn observe_bandwidth(&mut self, a: ClusterId, b: ClusterId, bytes_per_s: f64) {
-        self.bandwidth
-            .entry(pair(a, b))
-            .or_insert_with(Ensemble::standard)
-            .update(bytes_per_s.max(0.0));
+        let p = pair(a, b);
+        let e = self.bandwidth.entry(p).or_insert_with(Ensemble::standard);
+        e.update(bytes_per_s.max(0.0));
+        if let Some(t) = &mut self.track {
+            let bits = e.forecast_value().expect("just updated").to_bits();
+            DeltaTrack::note(
+                &mut t.bw_latest,
+                &t.bw_clean,
+                &mut t.dirty_bw,
+                p,
+                bits,
+                NONE_BITS,
+            );
+        }
     }
 
     /// Record a measured one-way latency (seconds) between two sites.
     pub fn observe_latency(&mut self, a: ClusterId, b: ClusterId, seconds: f64) {
-        self.latency
-            .entry(pair(a, b))
-            .or_insert_with(Ensemble::standard)
-            .update(seconds.max(0.0));
+        let p = pair(a, b);
+        let e = self.latency.entry(p).or_insert_with(Ensemble::standard);
+        e.update(seconds.max(0.0));
+        if let Some(t) = &mut self.track {
+            let bits = e.forecast_value().expect("just updated").to_bits();
+            DeltaTrack::note(
+                &mut t.lat_latest,
+                &t.lat_clean,
+                &mut t.dirty_lat,
+                p,
+                bits,
+                NONE_BITS,
+            );
+        }
+    }
+
+    /// Turn on delta-capture tracking: from here on every observation
+    /// maintains a dirty set of series whose *served forecast bits*
+    /// changed since the last synchronized snapshot capture
+    /// (`ForecastSnapshot::capture_sync` / `capture_delta` in this
+    /// crate). Tracking is off by default — the seed observation path is
+    /// untouched — and turning it on never changes a forecast, only what
+    /// bookkeeping an observation does. Idempotent; already-measured
+    /// series enter the dirty set (nothing has been captured yet).
+    pub fn enable_delta_tracking(&mut self) {
+        if self.track.is_some() {
+            return;
+        }
+        let mut t = DeltaTrack::default();
+        for (&h, e) in &self.cpu {
+            if let Some(v) = e.forecast_value() {
+                DeltaTrack::note(
+                    &mut t.cpu_latest,
+                    &t.cpu_clean,
+                    &mut t.dirty_hosts,
+                    h,
+                    v.to_bits(),
+                    IDLE_BITS,
+                );
+            }
+        }
+        for (&p, e) in &self.bandwidth {
+            if let Some(v) = e.forecast_value() {
+                DeltaTrack::note(
+                    &mut t.bw_latest,
+                    &t.bw_clean,
+                    &mut t.dirty_bw,
+                    p,
+                    v.to_bits(),
+                    NONE_BITS,
+                );
+            }
+        }
+        for (&p, e) in &self.latency {
+            if let Some(v) = e.forecast_value() {
+                DeltaTrack::note(
+                    &mut t.lat_latest,
+                    &t.lat_clean,
+                    &mut t.dirty_lat,
+                    p,
+                    v.to_bits(),
+                    NONE_BITS,
+                );
+            }
+        }
+        self.track = Some(t);
+    }
+
+    /// Whether delta-capture tracking is on.
+    pub fn delta_tracking(&self) -> bool {
+        self.track.is_some()
+    }
+
+    /// Hosts whose served CPU forecast bits differ from the last
+    /// synchronized capture, ascending. Empty when tracking is off.
+    pub fn dirty_hosts(&self) -> Vec<HostId> {
+        match &self.track {
+            Some(t) => t.dirty_hosts.iter().copied().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// True when any bandwidth/latency pair's served forecast bits differ
+    /// from the last synchronized capture. Coarser than per-pair dirt on
+    /// purpose: network forecasts feed cross-cluster transfer estimates,
+    /// so epoch drivers conservatively invalidate every cached cluster
+    /// score when this trips. `false` when tracking is off.
+    pub fn has_dirty_network(&self) -> bool {
+        self.track
+            .as_ref()
+            .is_some_and(|t| !t.dirty_bw.is_empty() || !t.dirty_lat.is_empty())
+    }
+
+    /// Read-only view of the tracking state for the snapshot module.
+    pub(crate) fn delta_track(&self) -> Option<&DeltaTrack> {
+        self.track.as_ref()
+    }
+
+    /// Mark every tracked series clean — called by the snapshot module
+    /// right after a capture that serves the latest bits.
+    pub(crate) fn sync_clean(&mut self) {
+        self.track
+            .as_mut()
+            .expect("sync_clean requires delta tracking")
+            .sync();
     }
 
     /// Record a sensor heartbeat: the sensor on `host` was alive at

@@ -1,0 +1,115 @@
+//! Property pin of the delta-capture equivalence: under *any*
+//! interleaving of CPU/network observations, no-op observations
+//! (re-measuring a value that leaves the served forecast bit-identical)
+//! and capture points, a [`ForecastSnapshot::capture_delta`] chain serves
+//! bitwise exactly what a fresh full [`ForecastSnapshot::capture`] would
+//! serve at every capture point. This is the dirty-set bookkeeping's
+//! contract — including the clearing edge cases, where a series goes
+//! dirty and then returns to its baseline bits before the next capture.
+
+use grads_nws::{ForecastSnapshot, NwsService};
+use grads_sim::prelude::*;
+use grads_sim::topology::{GridBuilder, HostSpec};
+use proptest::prelude::*;
+
+const HOSTS_PER_CLUSTER: usize = 2;
+const CLUSTERS: usize = 3;
+
+fn grid() -> Grid {
+    let mut b = GridBuilder::new();
+    let mut ids = Vec::new();
+    for c in 0..CLUSTERS {
+        let id = b.cluster(&format!("C{c}"));
+        b.local_link(id, 1e8, 1e-4);
+        b.add_hosts(
+            id,
+            HOSTS_PER_CLUSTER,
+            &HostSpec::with_speed(1e8 + 1e7 * c as f64),
+        );
+        ids.push(id);
+    }
+    for c in 1..CLUSTERS {
+        b.connect(ids[0], ids[c], 1e6 * c as f64, 0.01 * c as f64);
+    }
+    b.build().unwrap()
+}
+
+/// One scripted step. Values are drawn from a tiny palette so that
+/// repeated observations frequently reproduce the same forecast bits —
+/// the no-op / dirty-clearing paths get exercised, not just the
+/// always-dirty path.
+#[derive(Debug, Clone)]
+enum Op {
+    Cpu { host: u8, v: u8 },
+    Bandwidth { a: u8, b: u8, v: u8 },
+    Latency { a: u8, b: u8, v: u8 },
+    Capture,
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    let n_hosts = (HOSTS_PER_CLUSTER * CLUSTERS) as u8;
+    prop_oneof![
+        4 => (0..n_hosts, 0u8..4).prop_map(|(host, v)| Op::Cpu { host, v }),
+        2 => (0..CLUSTERS as u8, 0..CLUSTERS as u8, 0u8..4)
+            .prop_map(|(a, b, v)| Op::Bandwidth { a, b, v }),
+        2 => (0..CLUSTERS as u8, 0..CLUSTERS as u8, 0u8..4)
+            .prop_map(|(a, b, v)| Op::Latency { a, b, v }),
+        1 => Just(Op::Capture),
+    ]
+}
+
+fn palette(v: u8) -> f64 {
+    [0.25, 0.5, 0.75, 0.5][v as usize % 4]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn delta_capture_chain_equals_full_capture(ops in proptest::collection::vec(op(), 1..120)) {
+        let g = grid();
+        let mut nws = NwsService::new();
+        nws.enable_delta_tracking();
+        let mut prev = ForecastSnapshot::capture_sync(&g, &mut nws);
+        for (step, o) in ops.into_iter().enumerate() {
+            match o {
+                Op::Cpu { host, v } => nws.observe_cpu(HostId(host as u32), palette(v)),
+                Op::Bandwidth { a, b, v } => nws.observe_bandwidth(
+                    ClusterId(a as u32),
+                    ClusterId(b as u32),
+                    1e6 * (1.0 + palette(v)),
+                ),
+                Op::Latency { a, b, v } => nws.observe_latency(
+                    ClusterId(a as u32),
+                    ClusterId(b as u32),
+                    0.01 * (1.0 + palette(v)),
+                ),
+                Op::Capture => {
+                    let full = ForecastSnapshot::capture(&g, &nws);
+                    let delta = ForecastSnapshot::capture_delta(&g, &mut nws, &prev);
+                    prop_assert_eq!(
+                        full.fingerprint(),
+                        delta.fingerprint(),
+                        "step {}: delta chain diverged from full capture",
+                        step
+                    );
+                    for h in 0..(HOSTS_PER_CLUSTER * CLUSTERS) as u32 {
+                        prop_assert_eq!(
+                            full.speed(HostId(h)).to_bits(),
+                            delta.speed(HostId(h)).to_bits(),
+                            "step {} host {}",
+                            step,
+                            h
+                        );
+                    }
+                    prop_assert!(nws.dirty_hosts().is_empty(), "capture drains dirty hosts");
+                    prev = delta;
+                }
+            }
+        }
+        // Final capture: whatever the tail of the script left dirty.
+        let full = ForecastSnapshot::capture(&g, &nws);
+        let delta = ForecastSnapshot::capture_delta(&g, &mut nws, &prev);
+        prop_assert_eq!(full.fingerprint(), delta.fingerprint());
+    }
+}

@@ -17,6 +17,7 @@
 pub mod bounds;
 pub mod dag;
 pub mod economy;
+pub mod epoch;
 pub mod heuristics;
 pub mod mpi_sched;
 pub mod tune;
@@ -25,6 +26,8 @@ pub mod workflow;
 
 pub use bounds::{area_bound, best_ecosts, critical_path_bound, makespan_lower_bound};
 pub use dag::{DagError, WfComponent, WfEdge, Workflow};
+pub use epoch::{ClusterOrder, HostBitset, RepairReport, SnapshotIndex};
+
 pub use economy::{
     auction_allocate, demand_at, jain_fairness, price_volatility, AuctionOutcome, CommodityMarket,
     Consumer, Equilibrium, Producer, AUCTION_EPS,

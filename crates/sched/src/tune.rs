@@ -47,6 +47,15 @@ pub struct SchedTune {
     /// mapping. Off ⇒ the scoring arithmetic is untouched and decisions
     /// are bit-identical to a build without the knob.
     pub attr_alpha_milli: u32,
+    /// Incremental decision epochs (default off). When on, service
+    /// drivers maintain the round's scheduling state incrementally —
+    /// delta forecast capture ([`grads_nws::ForecastSnapshot::capture_delta`]),
+    /// a persistent [`crate::SnapshotIndex`] repaired from the snapshot
+    /// delta instead of re-sorted per job, and a reusable mapping plan
+    /// with per-cluster free-host bitsets and a within-round placement
+    /// memo. Every decision, ledger, and bench byte is bit-identical to
+    /// the rebuilt-per-job path; only the cost of reaching them changes.
+    pub epoch: bool,
 }
 
 impl Default for SchedTune {
@@ -55,6 +64,7 @@ impl Default for SchedTune {
             path: DecisionPath::default(),
             workers: 1,
             attr_alpha_milli: 0,
+            epoch: false,
         }
     }
 }
@@ -66,6 +76,7 @@ impl SchedTune {
             path: DecisionPath::Reference,
             workers: 1,
             attr_alpha_milli: 0,
+            epoch: false,
         }
     }
 
@@ -75,6 +86,7 @@ impl SchedTune {
             path: DecisionPath::Fast,
             workers: 1,
             attr_alpha_milli: 0,
+            epoch: false,
         }
     }
 
@@ -84,7 +96,14 @@ impl SchedTune {
             path: DecisionPath::Fast,
             workers: workers.max(1),
             attr_alpha_milli: 0,
+            epoch: false,
         }
+    }
+
+    /// This tune with incremental decision epochs switched `on`.
+    pub fn with_epoch(mut self, on: bool) -> Self {
+        self.epoch = on;
+        self
     }
 
     /// This tune with attribution feedback at strength

@@ -25,6 +25,7 @@
 //! still `O(n²)` in closure work; write a real [`PrefixPredictor`] for
 //! the `O(n)` path).
 
+use crate::epoch::{HostBitset, SnapshotIndex};
 use crate::mpi_sched::{MpiPredictor, ResourceChoice};
 use crate::tune::{DecisionPath, SchedTune};
 use grads_nws::{ForecastSnapshot, ForecastSource, NwsService};
@@ -107,6 +108,116 @@ impl CandidateWalk {
             min_procs,
             max_procs,
         }
+    }
+
+    /// Enumerate candidates from a prebuilt [`SnapshotIndex`] instead of
+    /// re-sorting: walk each cluster's persistent order, keep hosts set
+    /// in `eligible`, and stop once `max_procs` of them are collected —
+    /// `O(procs + skipped hosts)` per cluster instead of `O(H log H)`.
+    ///
+    /// `elig_counts[ci]` must be the number of eligible hosts in cluster
+    /// `ci` (service drivers maintain it `O(1)` per admit/complete).
+    /// Clusters with fewer than `min_procs` eligible hosts are skipped
+    /// without touching their order at all — the same retention rule as
+    /// [`CandidateWalk::new`].
+    ///
+    /// Bit-identity with the fresh walk: the index order filtered by
+    /// eligibility equals filter-then-sort (the comparator is a unique
+    /// total order), and truncating at `max_procs` removes only hosts
+    /// [`CandidateWalk::best_in_cluster`] never reads. One contract
+    /// deviation: [`PrefixPredictor::begin_cluster`] sees the truncated
+    /// host list rather than the full eligible list; every in-tree
+    /// predictor ([`grads_perf::TreeBcastPrefix`], `AttrPrefix`,
+    /// [`PrefixClosure`]) ignores that argument, but a custom predictor
+    /// that reads beyond the scored prefix would observe the difference.
+    pub fn from_index(
+        index: &SnapshotIndex,
+        eligible: &HostBitset,
+        elig_counts: &[usize],
+        min_procs: usize,
+        max_procs: usize,
+    ) -> Self {
+        assert!(min_procs >= 1, "a candidate prefix needs at least one host");
+        let mut clusters = Vec::new();
+        if min_procs <= max_procs {
+            for (ci, order) in index.clusters().iter().enumerate() {
+                let avail = elig_counts[ci];
+                if avail < min_procs {
+                    continue;
+                }
+                let take = max_procs.min(avail);
+                let mut hosts = Vec::with_capacity(take);
+                let mut speeds = Vec::with_capacity(take);
+                for (i, &h) in order.hosts.iter().enumerate() {
+                    if eligible.contains(h) {
+                        hosts.push(h);
+                        speeds.push(order.speeds[i]);
+                        if hosts.len() == take {
+                            break;
+                        }
+                    }
+                }
+                debug_assert_eq!(hosts.len(), take, "elig_counts out of sync with bitset");
+                clusters.push(ClusterPrefixes {
+                    cluster: order.cluster,
+                    hosts,
+                    speeds,
+                });
+            }
+        }
+        CandidateWalk {
+            clusters,
+            min_procs,
+            max_procs,
+        }
+    }
+
+    /// Score a *single* cluster of the index against `pred` and return
+    /// its best `(prefix length, predicted)` — `None` when fewer than
+    /// `min_procs` hosts are eligible (the retention rule). This is the
+    /// memoizable unit of epoch-mode mapping: a cluster's best depends
+    /// only on its eligible prefix, the snapshot behind `index`, and the
+    /// predictor's inputs, so service drivers cache it per cluster and
+    /// recompute only when one of those moved. Bit-identical to scoring
+    /// the same cluster inside [`CandidateWalk::from_index`] (it is the
+    /// same collection and the same [`CandidateWalk::best_in_cluster`]).
+    pub fn score_cluster_from_index<P: PrefixPredictor>(
+        index: &SnapshotIndex,
+        ci: usize,
+        eligible: &HostBitset,
+        avail: usize,
+        min_procs: usize,
+        max_procs: usize,
+        pred: &mut P,
+    ) -> Option<(usize, f64)> {
+        assert!(min_procs >= 1, "a candidate prefix needs at least one host");
+        if avail < min_procs || min_procs > max_procs {
+            return None;
+        }
+        let order = &index.clusters()[ci];
+        let take = max_procs.min(avail);
+        let mut hosts = Vec::with_capacity(take);
+        let mut speeds = Vec::with_capacity(take);
+        for (i, &h) in order.hosts.iter().enumerate() {
+            if eligible.contains(h) {
+                hosts.push(h);
+                speeds.push(order.speeds[i]);
+                if hosts.len() == take {
+                    break;
+                }
+            }
+        }
+        debug_assert_eq!(hosts.len(), take, "avail out of sync with bitset");
+        let one = CandidateWalk {
+            clusters: vec![ClusterPrefixes {
+                cluster: order.cluster,
+                hosts,
+                speeds,
+            }],
+            min_procs,
+            max_procs,
+        };
+        Some(one.best_in_cluster(0, pred))
     }
 
     /// The per-cluster prefix families, in cluster-index order.

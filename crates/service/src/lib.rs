@@ -33,11 +33,13 @@
 //! count (pinned by the root `service_determinism` suite).
 
 pub mod accounting;
+pub mod plan;
 pub mod service;
 pub mod spans;
 pub mod workload;
 
 pub use accounting::{Accounting, TenantAccount};
-pub use service::{run_service_experiment, service_grid, ServiceConfig, ServiceResult};
+pub use plan::MappingPlan;
+pub use service::{percentile, run_service_experiment, service_grid, ServiceConfig, ServiceResult};
 pub use spans::{JobPhase, JobSpan, SpanLog, MARKET_TENANT};
 pub use workload::{generate_workload, AppKind, Job, WorkloadConfig};

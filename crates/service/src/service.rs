@@ -46,12 +46,13 @@ use grads_obs::Obs;
 use grads_perf::TreeBcastPrefix;
 use grads_sched::{
     auction_allocate, price_volatility, select_mpi_resources, select_mpi_resources_fast,
-    CommodityMarket, Consumer, DecisionPath, Producer, SchedTune, AUCTION_EPS,
+    CommodityMarket, Consumer, DecisionPath, Producer, SchedTune, SnapshotIndex, AUCTION_EPS,
 };
 use grads_sim::prelude::*;
 use parking_lot::Mutex;
 
 use crate::accounting::{Accounting, TenantAccount};
+use crate::plan::MappingPlan;
 use crate::spans::{JobPhase, JobSpan, SpanLog, MARKET_TENANT};
 use crate::workload::{generate_workload, Job, WorkloadConfig};
 
@@ -191,6 +192,21 @@ pub fn service_grid(hosts: usize, clusters: usize, cores_per_host: u32) -> Grid 
     b.build().expect("valid service grid")
 }
 
+/// Nearest-rank percentile `p ∈ [0, 1]` of `series`, computed on a
+/// sorted copy under `total_cmp` (the service-wide float order). `0.0`
+/// for an empty series. The shared helper for every percentile the
+/// service and its benches report; callers that also need a mean must
+/// keep summing the *original* order — re-ordering a float sum changes
+/// its bits.
+pub fn percentile(series: &[f64], p: f64) -> f64 {
+    if series.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = series.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    sorted[((sorted.len() - 1) as f64 * p).round() as usize]
+}
+
 /// Deterministic pseudo-availability jitter in `[0, 1)` for host `i` at
 /// round `j` — hash-based, no RNG state, identical on every run.
 fn jitter(i: usize, j: u64) -> f64 {
@@ -212,6 +228,16 @@ struct Running {
     start_s: f64,
     finish_s: f64,
     deadline_abs: f64,
+}
+
+/// Incremental decision-epoch state ([`SchedTune::epoch`]): the
+/// persistent per-cluster host orderings and the reusable mapping plan,
+/// plus the previous round's snapshot (the delta-capture baseline).
+/// Built at the first dispatch round, maintained `O(Δ)` afterwards.
+struct EpochState {
+    index: SnapshotIndex,
+    plan: MappingPlan,
+    prev_snap: ForecastSnapshot,
 }
 
 /// Map `job` onto `eligible` hosts through the tuned decision path. Both
@@ -275,7 +301,12 @@ fn dispatcher(ctx: &mut Ctx, grid: &Grid, cfg: &ServiceConfig) -> ServiceResult 
 
     // NWS seeded with a short deterministic history per host so the
     // ensemble has something to select predictors on from round one.
+    // Epoch mode turns on delta tracking first, so the seed history is
+    // already part of the dirty-set baseline bookkeeping.
     let mut nws = NwsService::new();
+    if cfg.sched.epoch {
+        nws.enable_delta_tracking();
+    }
     for i in 0..n_hosts {
         for j in 0..6u64 {
             nws.observe_cpu(HostId(i as u32), 0.55 + 0.4 * jitter(i, j));
@@ -305,6 +336,7 @@ fn dispatcher(ctx: &mut Ctx, grid: &Grid, cfg: &ServiceConfig) -> ServiceResult 
     let mut high_water_rounds = 0u64;
     let mut end_time = 0.0f64;
     let mut t_last = 0.0f64;
+    let mut epoch_state: Option<EpochState> = None;
 
     // Lifecycle spans use only timestamps the decisions already computed
     // (round time, submit time, modeled finish) — no clock reads, so the
@@ -338,6 +370,12 @@ fn dispatcher(ctx: &mut Ctx, grid: &Grid, cfg: &ServiceConfig) -> ServiceResult 
             let run = running_jobs[slot].take().expect("slot occupied");
             for &h in &run.hosts {
                 free_cores[h.0 as usize] += 1;
+                if free_cores[h.0 as usize] == 1 {
+                    // 0 → 1: the host just became eligible again.
+                    if let Some(st) = epoch_state.as_mut() {
+                        st.plan.set_host_free(h, true);
+                    }
+                }
             }
             in_flight -= 1;
             let a = accounting.tenant_mut(run.job.tenant);
@@ -399,7 +437,35 @@ fn dispatcher(ctx: &mut Ctx, grid: &Grid, cfg: &ServiceConfig) -> ServiceResult 
             let avail = (0.35 + 0.6 * free_frac) * (0.7 + 0.3 * jitter(i, rounds));
             nws.observe_cpu(HostId(i as u32), avail);
         }
-        let snap = ForecastSnapshot::capture(grid, &nws);
+        // Epoch mode captures incrementally (bit-identical to a full
+        // capture — the delta-capture contract) and repairs the
+        // persistent index from the same dirty set; the reference path
+        // re-captures from scratch. Both serve the identical snapshot.
+        let snap = if cfg.sched.epoch {
+            let dirty = nws.dirty_hosts();
+            let net_dirty = nws.has_dirty_network();
+            match epoch_state.as_mut() {
+                None => {
+                    let snap = ForecastSnapshot::capture_sync(grid, &mut nws);
+                    epoch_state = Some(EpochState {
+                        index: SnapshotIndex::build(grid, &snap),
+                        plan: MappingPlan::new(grid, &free_cores),
+                        prev_snap: snap.clone(),
+                    });
+                    snap
+                }
+                Some(st) => {
+                    let snap = ForecastSnapshot::capture_delta(grid, &mut nws, &st.prev_snap);
+                    let rep = st.index.repair(grid, &snap, &dirty);
+                    st.plan.note_repair(rep);
+                    st.plan.on_weather(&dirty, net_dirty);
+                    st.prev_snap = snap.clone();
+                    snap
+                }
+            }
+        } else {
+            ForecastSnapshot::capture(grid, &nws)
+        };
 
         let free_slots: f64 = free_cores.iter().map(|&c| c as f64).sum();
 
@@ -468,6 +534,7 @@ fn dispatcher(ctx: &mut Ctx, grid: &Grid, cfg: &ServiceConfig) -> ServiceResult 
             };
 
         let mut admitted_this_round = 0usize;
+        let mut decisions_this_round = 0u64;
         let mut still_queued: Vec<bool> = vec![true; queue.len()];
         for &qi in &order {
             let q = &queue[qi];
@@ -489,16 +556,32 @@ fn dispatcher(ctx: &mut Ctx, grid: &Grid, cfg: &ServiceConfig) -> ServiceResult 
                     continue;
                 }
             }
-            let eligible: Vec<HostId> = (0..n_hosts as u32)
-                .map(HostId)
-                .filter(|h| free_cores[h.0 as usize] > 0)
-                .collect();
-            if eligible.len() < q.job.procs {
-                // defer: not enough free hosts anywhere
-                jspan(&q.job, JobPhase::Defer, Some("no-hosts"), t, t, 0.0);
-                continue;
-            }
-            let Some(choice) = map_job(&q.job, grid, &nws, &snap, &eligible, cfg.sched) else {
+            // Epoch mode answers the free-host check from the plan's
+            // running count and maps through the persistent index + memo;
+            // the reference path rebuilds the eligibility list and the
+            // walk from scratch. Decisions are bit-identical.
+            let mapped = if let Some(st) = epoch_state.as_mut() {
+                if st.plan.free_host_count() < q.job.procs {
+                    // defer: not enough free hosts anywhere
+                    jspan(&q.job, JobPhase::Defer, Some("no-hosts"), t, t, 0.0);
+                    continue;
+                }
+                decisions_this_round += 1;
+                st.plan.map(&q.job, &st.index, grid, &snap)
+            } else {
+                let eligible: Vec<HostId> = (0..n_hosts as u32)
+                    .map(HostId)
+                    .filter(|h| free_cores[h.0 as usize] > 0)
+                    .collect();
+                if eligible.len() < q.job.procs {
+                    // defer: not enough free hosts anywhere
+                    jspan(&q.job, JobPhase::Defer, Some("no-hosts"), t, t, 0.0);
+                    continue;
+                }
+                decisions_this_round += 1;
+                map_job(&q.job, grid, &nws, &snap, &eligible, cfg.sched)
+            };
+            let Some(choice) = mapped else {
                 // defer: no cluster offers `procs` free hosts
                 jspan(&q.job, JobPhase::Defer, Some("no-cluster"), t, t, 0.0);
                 continue;
@@ -529,6 +612,12 @@ fn dispatcher(ctx: &mut Ctx, grid: &Grid, cfg: &ServiceConfig) -> ServiceResult 
             // Admit.
             for &h in &choice.hosts {
                 free_cores[h.0 as usize] -= 1;
+                if free_cores[h.0 as usize] == 0 {
+                    // 1 → 0: the host left the eligible set.
+                    if let Some(st) = epoch_state.as_mut() {
+                        st.plan.set_host_free(h, false);
+                    }
+                }
             }
             let a = accounting.tenant_mut(q.job.tenant);
             a.admitted += 1;
@@ -551,6 +640,11 @@ fn dispatcher(ctx: &mut Ctx, grid: &Grid, cfg: &ServiceConfig) -> ServiceResult 
             admitted_this_round += 1;
             still_queued[qi] = false;
         }
+        // Decision-cost histogram: mapping decisions computed this round.
+        // Both paths attempt the same mappings (the defer/reject logic is
+        // identical), so the histogram is path-independent.
+        cfg.obs
+            .observe("svc.round.decisions", decisions_this_round as f64);
         max_in_flight = max_in_flight.max(in_flight);
         in_flight_sum += in_flight as f64;
         if in_flight >= cfg.high_water_in_flight {
@@ -576,7 +670,6 @@ fn dispatcher(ctx: &mut Ctx, grid: &Grid, cfg: &ServiceConfig) -> ServiceResult 
     }
 
     // Metrics.
-    let sorted_by = |v: &mut Vec<f64>| v.sort_by(|a, b| a.total_cmp(b));
     let mean = |v: &[f64]| {
         if v.is_empty() {
             0.0
@@ -584,13 +677,7 @@ fn dispatcher(ctx: &mut Ctx, grid: &Grid, cfg: &ServiceConfig) -> ServiceResult 
             v.iter().sum::<f64>() / v.len() as f64
         }
     };
-    let mut wait_sorted = waits.clone();
-    sorted_by(&mut wait_sorted);
-    let p95_wait_s = if wait_sorted.is_empty() {
-        0.0
-    } else {
-        wait_sorted[((wait_sorted.len() - 1) as f64 * 0.95).round() as usize]
-    };
+    let p95_wait_s = percentile(&waits, 0.95);
     let totals = accounting.totals();
     let throughput_per_hour = if end_time > 0.0 {
         totals.completed as f64 / end_time * 3600.0
@@ -604,6 +691,9 @@ fn dispatcher(ctx: &mut Ctx, grid: &Grid, cfg: &ServiceConfig) -> ServiceResult 
     };
 
     accounting.publish(&cfg.obs);
+    if let Some(st) = &epoch_state {
+        st.plan.publish(&cfg.obs);
+    }
     cfg.obs.counter_add("svc.rounds", rounds);
     cfg.obs.counter_add("svc.auction_rounds", auction_rounds);
     cfg.obs.gauge_set("svc.max_in_flight", max_in_flight as f64);
@@ -756,6 +846,38 @@ mod tests {
         assert!(a.contains("\"name\":\"market\""));
         assert!(a.contains("\"name\":\"Run\""));
         assert!(a.contains("\"name\":\"Price\""));
+    }
+
+    #[test]
+    fn epoch_path_is_bit_identical_and_counts_its_work() {
+        // The tentpole contract: epoch on vs off must agree on every
+        // float bit of the result (ServiceResult's PartialEq is bitwise).
+        let r_off = run_service_experiment(small_cfg());
+        let mut cfg = small_cfg();
+        cfg.sched = cfg.sched.with_epoch(true);
+        cfg.obs = Obs::enabled();
+        let obs = cfg.obs.clone();
+        let r_on = run_service_experiment(cfg);
+        assert_eq!(r_off, r_on, "epoch mode must not change any decision");
+        let json = obs.snapshot().to_json();
+        assert!(json.contains("\"svc.epoch.memo_misses\""), "{json}");
+        assert!(json.contains("\"svc.epoch.elig_updates\""));
+        assert!(json.contains("\"svc.epoch.index_repairs\""));
+        assert!(json.contains("\"svc.round.decisions\""));
+    }
+
+    #[test]
+    fn percentile_matches_the_inline_computation_it_replaced() {
+        assert_eq!(percentile(&[], 0.95), 0.0);
+        assert_eq!(percentile(&[3.0], 0.95), 3.0);
+        let v: Vec<f64> = (0..100).rev().map(|i| i as f64).collect();
+        // Nearest-rank on the sorted copy: index round(99 · p).
+        assert_eq!(percentile(&v, 0.95), 94.0);
+        assert_eq!(percentile(&v, 0.0), 0.0);
+        assert_eq!(percentile(&v, 1.0), 99.0);
+        let with_nan = [2.0, f64::NAN, 1.0];
+        // total_cmp files NaN last, so p=0.5 is the finite median.
+        assert_eq!(percentile(&with_nan, 0.5), 2.0);
     }
 
     #[test]
