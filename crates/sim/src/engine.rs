@@ -28,7 +28,7 @@ use crate::maildir::{MailDir, QueuedSend};
 use crate::process::{
     Ctx, Endpoint, Grant, KillToken, MailKey, Payload, ProcFn, ProcId, Request, SendMode,
 };
-use crate::sharing::{cpu_share, max_min_fair, FairScratch};
+use crate::sharing::{cpu_share, FairScratch};
 use crate::topology::{Grid, HostId, LinkId};
 use crate::trace::{Trace, TraceKind, TraceRecord};
 use crate::window::{Job, WindowPolicy, WorkerPool};
@@ -54,6 +54,30 @@ pub enum RecomputeMode {
     /// the sharing components reachable from churned links are re-solved.
     #[default]
     Incremental,
+}
+
+/// *When* the kernel re-derives rates relative to the churn that dirtied
+/// them.
+///
+/// Rates are only observable through the work they accrue, and work accrues
+/// only while virtual time advances — so any number of same-instant churn
+/// events (a collective starting dozens of flows at one timestamp, a load
+/// inject/remove pair, a compute storm at a barrier) can share a single
+/// solve as long as it lands before the clock moves past that instant. Both
+/// timings produce bit-identical [`RunReport`]s in every
+/// [`RecomputeMode`] × [`KernelMode`] combination
+/// (`tests/prop_coalesced.rs`, `tests/determinism.rs`); DESIGN.md
+/// ("Coalesced recomputation") carries the soundness argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecomputeTiming {
+    /// Solve inline on every churn event — the reference and the default.
+    #[default]
+    Eager,
+    /// Churn only marks dirty sets; one solve runs per virtual instant, at
+    /// the point the kernel is about to pop a completion event or advance
+    /// past the current timestamp. A same-time churn burst of size *k*
+    /// collapses from *k* solves to one.
+    Coalesced,
 }
 
 /// Which process ↔ kernel transport newly spawned processes use.
@@ -133,6 +157,8 @@ pub struct EngineTune {
     /// Run-loop organisation. [`KernelMode::Windowed`] implies (and
     /// forces) the indexed queue, sharded by cluster.
     pub kernel: KernelMode,
+    /// When rate solves run relative to churn ([`RecomputeTiming`]).
+    pub recompute: RecomputeTiming,
 }
 
 /// When the kernel rebuilds the event heap to shed stale completion
@@ -248,6 +274,14 @@ struct CpuAction {
     /// Pending `CpuDone` handle in the indexed queue ([`NO_HANDLE`] when no
     /// completion is scheduled or the queue is in stale-mark mode).
     ev: u32,
+    /// Virtual time of the pending completion event (`INFINITY` when none
+    /// is scheduled). A solve never re-stamps an action whose completion
+    /// is due *exactly now*: the event fires this instant regardless of
+    /// the new rate, and re-deriving its time from the accrued residual
+    /// (rounding noise) would stagger bitwise-synchronized completion
+    /// waves by ulps — the rule that keeps eager and coalesced recompute
+    /// timing bit-identical (see [`Engine::must_flush_before`]).
+    due: f64,
 }
 
 enum OnDone {
@@ -274,6 +308,9 @@ struct Flow {
     /// Pending `FlowDone` handle in the indexed queue ([`NO_HANDLE`] when no
     /// completion is scheduled or the queue is in stale-mark mode).
     ev: u32,
+    /// Virtual time of the pending completion event (`INFINITY` when none
+    /// is scheduled); same due-now re-stamp guard as [`CpuAction::due`].
+    due: f64,
     /// Event partition this flow's events belong to (its source host's
     /// cluster); fixed for the flow's lifetime. Only meaningful under
     /// [`KernelMode::Windowed`], but cheap enough to stamp always.
@@ -374,6 +411,14 @@ struct RateScratch {
     comp_link_mark: EpochMap,
     link_local: EpochMap,
     route_tmp: Vec<u32>,
+    /// Per component flow (sorted by id): index of its route class.
+    class_of: Vec<u32>,
+    /// Per route class: member-flow count (the solver's multiplicity).
+    class_mult: Vec<u32>,
+    /// Per route class: the solved per-flow rate.
+    class_rates: Vec<f64>,
+    /// Route id → class index for the component being solved.
+    route_class: EpochMap,
 }
 
 /// The kernel's pending-event queue, in one of the [`EventQueueMode`]
@@ -484,11 +529,31 @@ pub struct Engine {
     /// (the engine may be built on a different thread than it runs on).
     kernel_thread: KernelThread,
     trace: Trace,
-    completed: Vec<String>,
+    /// Interned names of completed processes; materialized into the
+    /// report's `String`s once at `finish` instead of allocating per exit.
+    completed: Vec<Arc<str>>,
     failed: Vec<(String, String)>,
     mode: RecomputeMode,
+    /// When solves run relative to churn ([`RecomputeTiming`]).
+    timing: RecomputeTiming,
+    /// Churn notifications since the last solve (0 = rates are current).
+    /// Always 0 between events under [`RecomputeTiming::Eager`].
+    pending_churn: u32,
+    /// Rate solves actually executed (== `recomputes` under `Eager`).
+    solves: u64,
+    /// Churn notifications absorbed into a shared solve (`Coalesced` only).
+    coalesced_absorbed: u64,
     routes_tbl: Vec<RouteEntry>,
     route_ids: HashMap<(u32, u32), u32>,
+    /// Route interning dedups by content: host pairs whose routes traverse
+    /// the identical link list (every pair in the same cluster pair, for
+    /// the standard topologies) share one route id, which is what makes
+    /// the per-route-class aggregated solve collapse all-to-all traffic
+    /// from O(P²) flows to O(clusters²) solver classes.
+    route_contents: HashMap<(Box<[u32]>, u64), u32>,
+    /// Per-link capacity, hoisted out of the solve loops (the legacy
+    /// reference used to rebuild this vector on every recompute).
+    link_caps: Vec<f64>,
     /// Live CPU action ids per host; the length doubles as the action count
     /// the CPU sharing model needs.
     host_actions: Vec<Vec<u32>>,
@@ -588,6 +653,7 @@ impl Engine {
         let nparts = grid.clusters().len().clamp(1, MAX_SHARDS) as u32;
         let part_of_host = grid.hosts().iter().map(|h| h.cluster.0 % nparts).collect();
         let lookahead = grid.min_wan_latency().unwrap_or(f64::INFINITY);
+        let link_caps = grid.links().iter().map(|l| l.bandwidth).collect();
         Engine {
             grid,
             now: 0.0,
@@ -613,8 +679,14 @@ impl Engine {
             completed: Vec::new(),
             failed: Vec::new(),
             mode: RecomputeMode::default(),
+            timing: RecomputeTiming::default(),
+            pending_churn: 0,
+            solves: 0,
+            coalesced_absorbed: 0,
             routes_tbl: Vec::new(),
             route_ids: HashMap::new(),
+            route_contents: HashMap::new(),
+            link_caps,
             host_actions: vec![Vec::new(); nhosts],
             link_flows: vec![Vec::new(); nlinks],
             free_cpu: Vec::new(),
@@ -662,6 +734,23 @@ impl Engine {
     /// The active rate recomputation strategy.
     pub fn recompute_mode(&self) -> RecomputeMode {
         self.mode
+    }
+
+    /// Select when rate solves run relative to churn (default:
+    /// [`RecomputeTiming::Eager`]). Safe to switch any time the engine is
+    /// not mid-run; composes with every [`RecomputeMode`] and
+    /// [`KernelMode`] without perturbing a result bit.
+    pub fn set_recompute_timing(&mut self, t: RecomputeTiming) {
+        debug_assert_eq!(
+            self.pending_churn, 0,
+            "switch recompute timing between runs, not mid-burst"
+        );
+        self.timing = t;
+    }
+
+    /// The active recompute timing.
+    pub fn recompute_timing(&self) -> RecomputeTiming {
+        self.timing
     }
 
     /// Select the process ↔ kernel transport for *subsequently spawned*
@@ -792,6 +881,7 @@ impl Engine {
         self.set_handoff_mode(t.handoff);
         self.set_event_queue_mode(t.queue);
         self.set_kernel_mode(t.kernel);
+        self.set_recompute_timing(t.recompute);
     }
 
     /// The event partition an event belongs to: the cluster of the host
@@ -1182,6 +1272,14 @@ impl Engine {
                 break;
             }
             self.maybe_compact();
+            // Deferred-recompute flush: solve the pending burst before its
+            // rates become observable. The solve may push the event the
+            // next peek selects, so it runs before the peek.
+            if self.pending_churn > 0
+                && self.must_flush_before(self.events.peek().map(|ev| (ev.t, ev.class)))
+            {
+                self.flush_rates();
+            }
             match self.events.peek() {
                 None => break,
                 Some(ev) if ev.t > tmax => break,
@@ -1218,7 +1316,15 @@ impl Engine {
             if self.staged_total == 0 {
                 self.plan_window();
             }
-            let Some((t, src)) = self.peek_windowed() else {
+            // Deferred-recompute flush, as in the serial loop. A flush
+            // pushes into the live shards, where the merge's global-min
+            // comparison picks it up — staged windows are unaffected.
+            if self.pending_churn > 0
+                && self.must_flush_before(self.peek_windowed().map(|(t, c, _)| (t, c)))
+            {
+                self.flush_rates();
+            }
+            let Some((t, _class, src)) = self.peek_windowed() else {
                 break;
             };
             if t > tmax {
@@ -1326,8 +1432,10 @@ impl Engine {
     }
 
     /// The source holding the globally next event under the kernel's strict
-    /// total order: a staged window front or the live sharded heap.
-    fn peek_windowed(&self) -> Option<(f64, WindowSource)> {
+    /// total order: a staged window front or the live sharded heap. Returns
+    /// the winner's `(t, class)` too — the coalesced-recompute flush rule
+    /// needs both to decide whether pending churn must solve first.
+    fn peek_windowed(&self) -> Option<(f64, u8, WindowSource)> {
         let EventQueue::Sharded(sh) = &self.events else {
             unreachable!("windowed loop requires the sharded queue");
         };
@@ -1339,7 +1447,7 @@ impl Engine {
                 }
             }
         }
-        best.map(|(e, src)| (e.t, src))
+        best.map(|(e, src)| (e.t, e.class, src))
     }
 
     /// Pop the event [`Self::peek_windowed`] selected.
@@ -1408,6 +1516,13 @@ impl Engine {
             self.obs
                 .counter_add("sim.heap_compactions", self.compactions);
             self.obs.counter_add("sim.recomputes", self.recomputes);
+            // Timing split: `recomputes` counts churn notifications (a
+            // timing-invariant property of the scenario), `solves` the rate
+            // solves actually run, `coalesced` the same-instant churns a
+            // deferred solve absorbed. Eager: solves == recomputes.
+            self.obs.counter_add("sim.recompute.solves", self.solves);
+            self.obs
+                .counter_add("sim.recompute.coalesced", self.coalesced_absorbed);
             self.obs.gauge_set("sim.end_time", self.now);
             // Staged-but-unapplied window events are still pending events;
             // `staged_total` is 0 outside windowed mode, so serial
@@ -1425,7 +1540,7 @@ impl Engine {
         }
         RunReport {
             end_time: self.now,
-            completed: std::mem::take(&mut self.completed),
+            completed: self.completed.iter().map(|s| s.to_string()).collect(),
             failed: std::mem::take(&mut self.failed),
             unfinished,
             died,
@@ -1583,13 +1698,68 @@ impl Engine {
         self.compactions += 1;
     }
 
-    /// Re-derive rates and reschedule completions after a churn.
+    /// Note a churn (the site already marked its dirty hosts/links). Under
+    /// [`RecomputeTiming::Eager`] the solve runs inline, exactly as it
+    /// always did; under [`RecomputeTiming::Coalesced`] the churn joins the
+    /// pending burst and the run loop flushes it before the rates become
+    /// observable (see [`Self::must_flush_before`]).
     fn recompute(&mut self) {
         self.recomputes += 1;
+        self.pending_churn += 1;
+        if self.timing == RecomputeTiming::Eager {
+            self.flush_rates();
+        }
+    }
+
+    /// Whether a pending churn burst must be solved before applying the
+    /// next event (`peeked = (t, class)` of the run loop's candidate, or
+    /// `None` when no event is queued).
+    ///
+    /// The burst may keep growing across *every* same-instant event —
+    /// completions included — and must land only when the clock is about
+    /// to advance (accrual reads rates) or the queue is empty (the solve
+    /// itself may supply the next event). Same-instant completion pops are
+    /// safe to defer across because a deferred solve can never (re)stamp a
+    /// completion *at* `now`:
+    ///
+    /// - an in-flight action due exactly at `now` has bitwise-zero
+    ///   remaining work, so any post-churn rate leaves its stamp at `now`
+    ///   unchanged (`now + 0.0 / rate`), and the run loop pops it off its
+    ///   original stamp under the same `(t, class, key, seq)` order;
+    /// - an action still in flight past `now` has `remaining > 0` and a
+    ///   finite rate, so its restamp lands strictly in the future;
+    /// - churn cannot *create* an at-`now` completion: zero-flop computes
+    ///   never allocate a cpu action ([`Request::Compute`] guards
+    ///   `flops <= 0`), and empty-route or zero-byte flows finish inline
+    ///   at [`EventKind::FlowActivate`] without ever scheduling a
+    ///   [`EventKind::FlowDone`].
+    ///
+    /// The one caveat is floating point: `now + remaining / rate` can in
+    /// principle round down to `now` when the quotient is below half an
+    /// ulp of `now`, which would let an eager solve pop that completion
+    /// earlier within the instant than the deferred solve does. DESIGN.md
+    /// records this as the pinned modeling assumption behind the flush
+    /// rule; the randomized determinism suites probe it continuously.
+    #[inline]
+    fn must_flush_before(&self, peeked: Option<(f64, u8)>) -> bool {
+        match peeked {
+            None => true,
+            Some((t, _class)) => t > self.now,
+        }
+    }
+
+    /// Re-derive rates and reschedule completions for the pending churn
+    /// burst (a burst of one, under eager timing).
+    fn flush_rates(&mut self) {
+        debug_assert!(self.pending_churn > 0, "flush without pending churn");
+        self.solves += 1;
+        self.coalesced_absorbed += (self.pending_churn - 1) as u64;
         // Dirty marking happens in every mode, so the dirty-set sizes are
-        // meaningful (if unused) under Legacy/Full too. Gated: building two
-        // histogram observations per churn is the only non-counter cost.
+        // meaningful (if unused) under Legacy/Full too. Gated: building the
+        // histogram observations per solve is the only non-counter cost.
         if self.obs.is_enabled() {
+            self.obs
+                .observe("sim.recompute.burst", self.pending_churn as f64);
             self.obs.observe(
                 "sim.dirty_hosts_per_recompute",
                 self.dirty_hosts.len() as f64,
@@ -1599,6 +1769,7 @@ impl Engine {
                 self.dirty_links.len() as f64,
             );
         }
+        self.pending_churn = 0;
         match self.mode {
             RecomputeMode::Legacy => self.recompute_legacy(),
             RecomputeMode::Full => self.recompute_scoped(true),
@@ -1621,7 +1792,14 @@ impl Engine {
             if let Some(a) = slot {
                 let h = &self.grid.hosts()[a.host];
                 let had_pending = a.gen != 0 && a.rate > 0.0;
-                a.rate = cpu_share(h.speed, h.cores, counts[a.host], self.host_load[a.host]);
+                let rate = cpu_share(h.speed, h.cores, counts[a.host], self.host_load[a.host]);
+                if had_pending && a.due == now {
+                    // Due-now guard (see `CpuAction::due`): the event fires
+                    // this instant under any rate; keep its stamp.
+                    a.rate = rate;
+                    continue;
+                }
+                a.rate = rate;
                 a.gen = self.gen_counter;
                 self.gen_counter += 1;
                 if a.rate > 0.0 {
@@ -1630,12 +1808,14 @@ impl Engine {
                     cpu_events.push((now + a.remaining / a.rate, id, a.gen, had_pending));
                 } else if had_pending {
                     Self::cancel_ev(&mut self.events, &mut self.stale_events, &mut a.ev);
+                    a.due = f64::INFINITY;
                 }
             }
         }
         for (t, id, gen, had_pending) in cpu_events {
             let a = self.cpu[id].as_mut().expect("live action");
             let shard = self.part_of_host[a.host];
+            a.due = t;
             Self::restamp_ev(
                 &mut self.events,
                 &mut self.stale_events,
@@ -1647,40 +1827,52 @@ impl Engine {
                 EventKind::CpuDone { id, gen },
             );
         }
-        let caps: Vec<f64> = self.grid.links().iter().map(|l| l.bandwidth).collect();
-        let mut idxs = Vec::new();
-        let mut routes = Vec::new();
+        // Flat-array global solve: capacities are hoisted into engine state
+        // (`link_caps`) and routes referenced in place, so the reference path
+        // allocates nothing on the steady path either — legacy stays slow by
+        // *scope* (global, every solve), not by incidental allocation.
+        let s = &mut self.scratch;
+        s.comp_flows.clear();
+        s.offsets.clear();
+        s.links_flat.clear();
         for (id, slot) in self.flows.iter().enumerate() {
             if let Some(f) = slot {
                 if f.active {
-                    idxs.push(id);
-                    routes.push(
-                        self.routes_tbl[f.route as usize]
-                            .links
-                            .iter()
-                            .map(|&l| l as usize)
-                            .collect::<Vec<_>>(),
-                    );
+                    s.comp_flows.push(id as u32);
+                    let links = &self.routes_tbl[f.route as usize].links;
+                    s.offsets
+                        .push((s.links_flat.len() as u32, links.len() as u32));
+                    s.links_flat.extend_from_slice(links);
                 }
             }
         }
-        let rates = max_min_fair(&routes, &caps);
+        s.fair
+            .solve(&s.offsets, &s.links_flat, &self.link_caps, &mut s.rates);
         let mut flow_events = Vec::new();
-        for (k, &id) in idxs.iter().enumerate() {
+        for (k, &fid) in self.scratch.comp_flows.iter().enumerate() {
+            let id = fid as usize;
             let f = self.flows[id].as_mut().expect("active flow");
             let had_pending = f.gen != 0 && f.rate > 0.0;
-            f.rate = rates[k];
+            let rate = self.scratch.rates[k];
+            if had_pending && f.due == now {
+                // Due-now guard (see `CpuAction::due`).
+                f.rate = rate;
+                continue;
+            }
+            f.rate = rate;
             f.gen = self.gen_counter;
             self.gen_counter += 1;
             if f.rate > 0.0 && f.rate.is_finite() {
                 flow_events.push((now + f.remaining / f.rate, id, f.gen, had_pending));
             } else if had_pending {
                 Self::cancel_ev(&mut self.events, &mut self.stale_events, &mut f.ev);
+                f.due = f64::INFINITY;
             }
         }
         for (t, id, gen, had_pending) in flow_events {
             let f = self.flows[id].as_mut().expect("active flow");
             let shard = f.part;
+            f.due = t;
             Self::restamp_ev(
                 &mut self.events,
                 &mut self.stale_events,
@@ -1733,10 +1925,16 @@ impl Engine {
                     continue;
                 }
                 let had_pending = a.gen != 0 && a.rate > 0.0;
+                if had_pending && a.due == now {
+                    // Due-now guard (see `CpuAction::due`).
+                    a.rate = rate;
+                    continue;
+                }
                 a.rate = rate;
                 a.gen = self.gen_counter;
                 self.gen_counter += 1;
                 if rate > 0.0 {
+                    a.due = now + a.remaining / rate;
                     Self::restamp_ev(
                         &mut self.events,
                         &mut self.stale_events,
@@ -1744,11 +1942,12 @@ impl Engine {
                         shard,
                         &mut a.ev,
                         had_pending,
-                        now + a.remaining / rate,
+                        a.due,
                         EventKind::CpuDone { id, gen: a.gen },
                     );
                 } else if had_pending {
                     Self::cancel_ev(&mut self.events, &mut self.stale_events, &mut a.ev);
+                    a.due = f64::INFINITY;
                 }
             }
         }
@@ -1829,11 +2028,20 @@ impl Engine {
     /// Max-min solve the component collected by `flood_component` and apply
     /// the resulting rates.
     ///
-    /// Flows are sorted by id and component-local link indices assigned in
-    /// first-encounter order over that sorted list, so the solver input —
-    /// and hence every rounding decision — is a pure function of the
-    /// component's membership, independent of flood traversal order or
-    /// which dirty link seeded it.
+    /// Flows are sorted by id, grouped into *route classes* (flows sharing
+    /// one interned route — concurrent transfers between the same host
+    /// pair, e.g. a bulk migration alongside application traffic), and the
+    /// progressive filling runs over distinct classes with multiplicity
+    /// weights ([`FairScratch::solve_classes`]) — arithmetically identical
+    /// to the per-flow solve, at O(classes) per filling round instead of
+    /// O(flows).
+    ///
+    /// Classes and component-local link indices are assigned in
+    /// first-encounter order over the sorted flow list (repeat routes
+    /// introduce no new links, so the link enumeration matches the per-flow
+    /// solver's exactly), keeping the solver input — and hence every
+    /// rounding decision — a pure function of the component's membership,
+    /// independent of flood traversal order or which dirty link seeded it.
     fn solve_component(&mut self, now: f64) {
         let s = &mut self.scratch;
         if s.comp_flows.is_empty() {
@@ -1844,8 +2052,21 @@ impl Engine {
         s.links_flat.clear();
         s.caps_local.clear();
         s.link_local.begin();
+        s.class_of.clear();
+        s.class_mult.clear();
+        s.route_class.ensure(self.routes_tbl.len());
+        s.route_class.begin();
         for &fid in &s.comp_flows {
             let f = self.flows[fid as usize].as_ref().expect("indexed flow");
+            if let Some(c) = s.route_class.get(f.route as usize) {
+                s.class_of.push(c);
+                s.class_mult[c as usize] += 1;
+                continue;
+            }
+            let c = s.class_mult.len() as u32;
+            s.route_class.set(f.route as usize, c);
+            s.class_of.push(c);
+            s.class_mult.push(1);
             let links = &self.routes_tbl[f.route as usize].links;
             s.offsets
                 .push((s.links_flat.len() as u32, links.len() as u32));
@@ -1854,7 +2075,7 @@ impl Engine {
                     Some(v) => v,
                     None => {
                         let v = s.caps_local.len() as u32;
-                        s.caps_local.push(self.grid.links()[l as usize].bandwidth);
+                        s.caps_local.push(self.link_caps[l as usize]);
                         s.link_local.set(l as usize, v);
                         v
                     }
@@ -1862,20 +2083,31 @@ impl Engine {
                 s.links_flat.push(li);
             }
         }
-        s.fair
-            .solve(&s.offsets, &s.links_flat, &s.caps_local, &mut s.rates);
+        s.fair.solve_classes(
+            &s.offsets,
+            &s.links_flat,
+            &s.caps_local,
+            &s.class_mult,
+            &mut s.class_rates,
+        );
         for (k, &fid) in s.comp_flows.iter().enumerate() {
             let id = fid as usize;
-            let rate = s.rates[k];
+            let rate = s.class_rates[s.class_of[k] as usize];
             let f = self.flows[id].as_mut().expect("indexed flow");
             if f.rate == rate {
                 continue;
             }
             let had_pending = f.gen != 0 && f.rate > 0.0;
+            if had_pending && f.due == now {
+                // Due-now guard (see `CpuAction::due`).
+                f.rate = rate;
+                continue;
+            }
             f.rate = rate;
             f.gen = self.gen_counter;
             self.gen_counter += 1;
             if rate > 0.0 && rate.is_finite() {
+                f.due = now + f.remaining / rate;
                 Self::restamp_ev(
                     &mut self.events,
                     &mut self.stale_events,
@@ -1883,11 +2115,12 @@ impl Engine {
                     f.part,
                     &mut f.ev,
                     had_pending,
-                    now + f.remaining / rate,
+                    f.due,
                     EventKind::FlowDone { id, gen: f.gen },
                 );
             } else if had_pending {
                 Self::cancel_ev(&mut self.events, &mut self.stale_events, &mut f.ev);
+                f.due = f64::INFINITY;
             }
         }
     }
@@ -1990,7 +2223,7 @@ impl Engine {
                 let slot = &mut self.procs[pid.0 as usize];
                 slot.state = PState::Done;
                 let name = slot.name.clone();
-                self.completed.push(name.to_string());
+                self.completed.push(name.clone());
                 self.record(Some(pid), TraceKind::ProcExit { name });
                 self.rec.track_end(pid.0, self.now);
             }
@@ -2013,6 +2246,7 @@ impl Engine {
             rate: 0.0,
             gen: 0,
             ev: NO_HANDLE,
+            due: f64::INFINITY,
         };
         let id = match self.free_cpu.pop() {
             Some(i) => {
@@ -2118,6 +2352,12 @@ impl Engine {
 
     /// Interned route lookup: resolves each (src, dst) pair once and shares
     /// the link list for every subsequent flow.
+    /// Intern the route for a host pair, deduplicating by *content*
+    /// (link list + latency): every pair sharing one physical path maps to
+    /// a single route id, which is what [`Self::solve_component`] groups
+    /// route classes by. Hosts have private NIC uplinks, so distinct pairs
+    /// stay distinct; the dedup collapses repeated lookups of one pair,
+    /// and all same-host (empty-route) transfers grid-wide.
     fn route_id(&mut self, src: HostId, dst: HostId) -> u32 {
         if let Some(&id) = self.route_ids.get(&(src.0, dst.0)) {
             return id;
@@ -2125,11 +2365,19 @@ impl Engine {
         let mut links = std::mem::take(&mut self.scratch.route_tmp);
         links.clear();
         let latency = self.grid.route_links_into(src, dst, &mut links);
-        let id = self.routes_tbl.len() as u32;
-        self.routes_tbl.push(RouteEntry {
-            links: links[..].into(),
-            latency,
-        });
+        let content = (links[..].into(), latency.to_bits());
+        let id = match self.route_contents.get(&content) {
+            Some(&id) => id,
+            None => {
+                let id = self.routes_tbl.len() as u32;
+                self.routes_tbl.push(RouteEntry {
+                    links: content.0.clone(),
+                    latency,
+                });
+                self.route_contents.insert(content, id);
+                id
+            }
+        };
         self.scratch.route_tmp = links;
         self.route_ids.insert((src.0, dst.0), id);
         id
@@ -2154,6 +2402,7 @@ impl Engine {
             active: false,
             act_idx: u32::MAX,
             ev: NO_HANDLE,
+            due: f64::INFINITY,
             part: self.part_of_host[src.0 as usize],
             payload,
             on_done,
@@ -2845,6 +3094,16 @@ mod tests {
     /// contention, external load churn and a host failure — every event
     /// class the windowed kernel must merge correctly.
     fn cross_cluster_scenario(kernel: KernelMode, policy: WindowPolicy) -> RunReport {
+        cross_cluster_scenario_tuned(
+            EngineTune {
+                kernel,
+                ..Default::default()
+            },
+            policy,
+        )
+    }
+
+    fn cross_cluster_scenario_tuned(tune: EngineTune, policy: WindowPolicy) -> RunReport {
         let mut b = GridBuilder::new();
         let mut all_hosts = Vec::new();
         let mut clusters = Vec::new();
@@ -2859,10 +3118,7 @@ mod tests {
         b.connect(clusters[0], clusters[2], 5e6, 0.05);
         let grid = b.build().unwrap();
         let mut eng = Engine::new(grid);
-        eng.apply_tune(EngineTune {
-            kernel,
-            ..Default::default()
-        });
+        eng.apply_tune(tune);
         eng.set_window_policy(policy);
         // Cross-cluster ring: each hop computes then forwards.
         for ring in 0..3u64 {
@@ -3020,5 +3276,111 @@ mod tests {
         // 100 flops in [0,1) at full rate, 50 in [1,2) at half (load 1.0),
         // the last 30 at full rate again: done at t = 2.3.
         assert!((r.trace.last_value("t").unwrap() - 2.3).abs() < 1e-9);
+    }
+
+    /// Coalesced timing is a pure scheduling change: on the mixed
+    /// cross-cluster scenario (WAN flows, load windows, a host failure) the
+    /// run report matches the eager reference bit for bit under both
+    /// kernels. Unit level of the three-level pin (property:
+    /// `tests/prop_coalesced.rs`, e2e: `tests/substrate_determinism.rs`).
+    #[test]
+    fn coalesced_recompute_matches_eager_bitwise() {
+        for kernel in [KernelMode::Serial, KernelMode::Windowed { workers: 2 }] {
+            let eager = cross_cluster_scenario_tuned(
+                EngineTune {
+                    kernel,
+                    recompute: RecomputeTiming::Eager,
+                    ..Default::default()
+                },
+                WindowPolicy::default(),
+            );
+            let coalesced = cross_cluster_scenario_tuned(
+                EngineTune {
+                    kernel,
+                    recompute: RecomputeTiming::Coalesced,
+                    ..Default::default()
+                },
+                WindowPolicy::default(),
+            );
+            assert_eq!(eager, coalesced, "{kernel:?}");
+        }
+    }
+
+    /// Coalescing actually coalesces: a same-instant send burst (one
+    /// process issuing several non-blocking sends back to back) runs fewer
+    /// rate solves than churn notifications, while eager runs exactly one
+    /// solve per churn. Both see the same churn count — `sim.recomputes`
+    /// is a property of the scenario, not of the timing.
+    #[test]
+    fn coalescing_reduces_solves_on_same_instant_bursts() {
+        let run = |timing: RecomputeTiming| {
+            let (g, h0, h1) = two_host_grid();
+            let mut eng = Engine::new(g);
+            eng.apply_tune(EngineTune {
+                recompute: timing,
+                ..Default::default()
+            });
+            let obs = grads_obs::Obs::enabled();
+            eng.set_obs(obs.clone());
+            for i in 0..4u64 {
+                let key = mail_key(&[i]);
+                eng.spawn(&format!("s{i}"), h0, move |ctx| {
+                    ctx.isend(key, h1, 1e5, Box::new(i));
+                });
+                eng.spawn(&format!("r{i}"), h1, move |ctx| {
+                    let _ = ctx.recv(key);
+                });
+            }
+            let report = eng.run();
+            let snap = obs.snapshot();
+            (
+                report,
+                snap.counter("sim.recomputes").unwrap_or(0),
+                snap.counter("sim.recompute.solves").unwrap_or(0),
+                snap.counter("sim.recompute.coalesced").unwrap_or(0),
+            )
+        };
+        let (re, churn_e, solves_e, absorbed_e) = run(RecomputeTiming::Eager);
+        let (rc, churn_c, solves_c, absorbed_c) = run(RecomputeTiming::Coalesced);
+        assert_eq!(re, rc, "burst reports must be bit-identical");
+        assert_eq!(churn_e, churn_c, "churn count is timing-invariant");
+        assert_eq!(solves_e, churn_e, "eager solves once per churn");
+        assert_eq!(absorbed_e, 0, "eager absorbs nothing");
+        assert!(
+            solves_c < solves_e,
+            "coalescing must absorb same-instant churn: {solves_c} vs {solves_e}"
+        );
+        assert_eq!(
+            solves_c + absorbed_c,
+            churn_c,
+            "every churn is either solved or absorbed"
+        );
+    }
+
+    /// Content-deduplicated route interning: repeated lookups of one pair
+    /// and all same-host (empty) routes share an id, while distinct pairs
+    /// stay distinct — hosts have private NIC uplinks, so their routes
+    /// really are different links.
+    #[test]
+    fn route_interning_dedups_by_content() {
+        let mut b = GridBuilder::new();
+        let c0 = b.cluster("A");
+        b.local_link(c0, 1e8, 1e-4);
+        let ha = b.add_hosts(c0, 3, &HostSpec::with_speed(100.0));
+        let c1 = b.cluster("B");
+        b.local_link(c1, 1e8, 1e-4);
+        let hb = b.add_hosts(c1, 3, &HostSpec::with_speed(100.0));
+        b.connect(c0, c1, 1e7, 0.02);
+        let mut eng = Engine::new(b.build().unwrap());
+        // Same pair → same id (concurrent same-pair transfers share a
+        // route class with multiplicity > 1).
+        assert_eq!(eng.route_id(ha[0], hb[0]), eng.route_id(ha[0], hb[0]));
+        // Distinct pairs → distinct ids: src/dst NIC links differ.
+        assert_ne!(eng.route_id(ha[0], hb[0]), eng.route_id(ha[0], hb[1]));
+        assert_ne!(eng.route_id(ha[0], hb[0]), eng.route_id(ha[1], hb[0]));
+        // Every same-host transfer grid-wide shares the one empty route.
+        let loop0 = eng.route_id(ha[0], ha[0]);
+        assert_eq!(loop0, eng.route_id(hb[2], hb[2]));
+        assert!(eng.routes_tbl[loop0 as usize].links.is_empty());
     }
 }

@@ -38,6 +38,14 @@ pub(crate) enum EventKind {
 /// insertion order, so the pop sequence is independent of *how often* rates
 /// were re-stamped — a prerequisite for the incremental and full recompute
 /// paths (which push different numbers of events) to stay bit-identical.
+/// Classes 6 and up are rate-derived completion events (`CpuDone`,
+/// `FlowDone`) — the only kinds a rate solve can (re)schedule. A deferred
+/// solve never needs to slot one *before* a same-instant event already
+/// queued: completions due exactly at `now` carry bitwise-zero remaining
+/// work (their stamps survive any rate change), and churn cannot create an
+/// at-`now` completion (zero-work actions finish inline without scheduling
+/// events) — see `Engine::must_flush_before` for the full argument that
+/// lets the coalesced flush defer across completion pops.
 pub(crate) fn class_key(kind: &EventKind) -> (u8, u64) {
     match kind {
         EventKind::Start(pid) => (0, pid.0 as u64),

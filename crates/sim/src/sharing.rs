@@ -49,6 +49,12 @@ pub struct FairScratch {
     count: Vec<u32>,
     fixed: Vec<bool>,
     saturated: Vec<bool>,
+    /// Links still carrying undecided flows, ascending — the aggregated
+    /// solver's filling rounds scan this instead of every link.
+    live: Vec<u32>,
+    /// Classes not yet fixed, ascending — the aggregated solver's rate
+    /// accumulation and fixing sweeps scan this instead of every class.
+    undecided: Vec<u32>,
 }
 
 impl FairScratch {
@@ -152,6 +158,135 @@ impl FairScratch {
                 }
             }
         }
+    }
+
+    /// Max-min fair allocation over *route classes* — groups of flows that
+    /// share the exact same route, weighted by multiplicity.
+    ///
+    /// `offsets[c] = (start, len)` into `links_flat` gives class `c`'s route;
+    /// `mult[c]` is how many flows travel it. On return `rates[c]` is the
+    /// per-flow rate of every flow in class `c` (classes with empty routes
+    /// get `f64::INFINITY`).
+    ///
+    /// Arithmetically identical to running [`FairScratch::solve`] over the
+    /// expanded per-flow inputs, bit for bit: a link's claimant count is the
+    /// *sum of multiplicities* (the same integer the per-flow solver counts
+    /// one flow at a time), so each round's fair-share increment
+    /// `rem_cap / count` is the identical `f64`; per-flow rates accumulate
+    /// the identical increment sequence (one addition per round, whether a
+    /// round's increment is added to one class accumulator or to each member
+    /// flow separately — same operands, same order); capacity deduction
+    /// `inc * count` multiplies the same values; and classes fix exactly
+    /// when all their member flows would (members share every route link).
+    /// `prop_sharing.rs` pins the equivalence over randomized inputs.
+    ///
+    /// Unlike the per-flow reference, every per-round sweep here runs over
+    /// a compact list instead of the full index range: the tightest-link
+    /// search and capacity deduction scan a *live-link list* (links still
+    /// carrying undecided classes) and the rate accumulation and fixing
+    /// test scan an *undecided-class list*. Both lists are built and
+    /// maintained ascending (`Vec::retain` preserves order), so argmin
+    /// tie-breaks, rate additions and fix decisions happen in exactly the
+    /// reference's `0..nl` / `0..nc` order.
+    pub fn solve_classes(
+        &mut self,
+        offsets: &[(u32, u32)],
+        links_flat: &[u32],
+        caps: &[f64],
+        mult: &[u32],
+        rates: &mut Vec<f64>,
+    ) {
+        let nc = offsets.len();
+        let nl = caps.len();
+        rates.clear();
+        rates.resize(nc, 0.0);
+        self.rem_cap.clear();
+        self.rem_cap.extend_from_slice(caps);
+        self.count.clear();
+        self.count.resize(nl, 0);
+        self.saturated.clear();
+        self.saturated.resize(nl, false);
+
+        let route = |c: usize| {
+            let (s, n) = offsets[c];
+            &links_flat[s as usize..s as usize + n as usize]
+        };
+        self.undecided.clear();
+        for (c, rate) in rates.iter_mut().enumerate().take(nc) {
+            let r = route(c);
+            if r.is_empty() {
+                *rate = f64::INFINITY;
+            } else {
+                self.undecided.push(c as u32);
+                for &l in r {
+                    self.count[l as usize] += mult[c];
+                }
+            }
+        }
+        // Ascending build: ties in the argmin scan must resolve to the
+        // lowest link index, exactly as the reference's 0..nl sweep does.
+        self.live.clear();
+        self.live
+            .extend((0..nl as u32).filter(|&l| self.count[l as usize] > 0));
+        // The borrow checker cannot see that `undecided` and the other
+        // scratch vectors are disjoint fields once a closure captures
+        // `self`, so the list is moved out for the duration of the loop.
+        let mut undecided = std::mem::take(&mut self.undecided);
+        while !undecided.is_empty() {
+            // Tightest link among links still carrying undecided classes.
+            // Every live link has count > 0 by maintenance below.
+            let mut best: Option<(usize, f64)> = None;
+            for &lu in &self.live {
+                let l = lu as usize;
+                let fair = self.rem_cap[l] / self.count[l] as f64;
+                match best {
+                    Some((_, b)) if fair >= b => {}
+                    _ => best = Some((l, fair)),
+                }
+            }
+            let Some((argmin, inc)) = best else { break };
+            for &cu in &undecided {
+                rates[cu as usize] += inc;
+            }
+            // Deduct this round's allocation; a link is exhausted when what
+            // remains is negligible relative to its original capacity.
+            for &lu in &self.live {
+                let l = lu as usize;
+                self.saturated[l] = false;
+                self.rem_cap[l] -= inc * self.count[l] as f64;
+                if self.rem_cap[l] <= 1e-12 * caps[l] {
+                    self.rem_cap[l] = 0.0;
+                    self.saturated[l] = true;
+                }
+            }
+            // Progress guarantee: the argmin link is saturated by
+            // construction even if round-off left it marginally positive.
+            self.rem_cap[argmin] = 0.0;
+            self.saturated[argmin] = true;
+            // Fix every class crossing a link saturated this round. The
+            // fix test reads only `saturated`, never `count`, so the
+            // in-pass count decrements cannot change later decisions.
+            let count = &mut self.count;
+            let saturated = &self.saturated;
+            undecided.retain(|&cu| {
+                let c = cu as usize;
+                if route(c).iter().any(|&l| saturated[l as usize]) {
+                    for &l in route(c) {
+                        count[l as usize] -= mult[c];
+                    }
+                    false
+                } else {
+                    true
+                }
+            });
+            // An undecided class's route links all stay live (none can be
+            // saturated, and the class itself keeps their counts positive),
+            // so shedding saturated and emptied links here never removes a
+            // link the fixing test or the next argmin scan still needs.
+            self.live
+                .retain(|&lu| count[lu as usize] > 0 && !saturated[lu as usize]);
+        }
+        self.undecided = undecided;
     }
 }
 
@@ -293,6 +428,86 @@ mod tests {
             assert!(used <= cap * (1.0 + 1e-6), "link {l}: {used} > {cap}");
             assert!(rates.iter().all(|r| r.is_finite() && *r >= 0.0));
         }
+    }
+
+    /// Expand class inputs to per-flow inputs and check the aggregated
+    /// solver reproduces the per-flow reference bit for bit.
+    fn assert_classes_match_flows(class_routes: &[Vec<u32>], mult: &[u32], caps: &[f64]) {
+        let mut offsets = Vec::new();
+        let mut links_flat = Vec::new();
+        for r in class_routes {
+            offsets.push((links_flat.len() as u32, r.len() as u32));
+            links_flat.extend_from_slice(r);
+        }
+        // Per-flow expansion: every class repeated `mult` times.
+        let mut f_offsets = Vec::new();
+        let mut f_links = Vec::new();
+        for (c, r) in class_routes.iter().enumerate() {
+            for _ in 0..mult[c] {
+                f_offsets.push((f_links.len() as u32, r.len() as u32));
+                f_links.extend_from_slice(r);
+            }
+        }
+        let mut scratch = FairScratch::default();
+        let mut class_rates = Vec::new();
+        scratch.solve_classes(&offsets, &links_flat, caps, mult, &mut class_rates);
+        let mut flow_rates = Vec::new();
+        scratch.solve(&f_offsets, &f_links, caps, &mut flow_rates);
+        let mut k = 0;
+        for (c, &m) in mult.iter().enumerate() {
+            for _ in 0..m {
+                assert_eq!(
+                    class_rates[c].to_bits(),
+                    flow_rates[k].to_bits(),
+                    "class {c} vs expanded flow {k}: {} vs {}",
+                    class_rates[c],
+                    flow_rates[k]
+                );
+                k += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn class_solver_matches_flow_solver_on_shared_bottleneck() {
+        // Two classes over a shared link plus private tails; weights 3 and 2.
+        assert_classes_match_flows(
+            &[vec![0, 1], vec![0, 2], vec![2]],
+            &[3, 2, 4],
+            &[10.0, 100.0, 7.0],
+        );
+    }
+
+    #[test]
+    fn class_solver_matches_flow_solver_with_empty_routes_and_unit_weights() {
+        assert_classes_match_flows(
+            &[vec![], vec![0], vec![0, 1], vec![1]],
+            &[2, 1, 1, 1],
+            &[4.0, 6.0],
+        );
+    }
+
+    #[test]
+    fn class_solver_matches_flow_solver_on_mixed_magnitudes() {
+        assert_classes_match_flows(
+            &[vec![0, 1], vec![1, 2], vec![0, 2], vec![1]],
+            &[7, 1, 13, 2],
+            &[1e-6, 3.0e6, 7.5e-3],
+        );
+    }
+
+    #[test]
+    fn class_solver_scratch_reuse_is_clean() {
+        let offsets = [(0u32, 2u32), (2, 1)];
+        let links = [0u32, 1, 0];
+        let caps = [9.0, 3.0];
+        let mult = [2u32, 5];
+        let mut scratch = FairScratch::default();
+        let mut a = Vec::new();
+        scratch.solve_classes(&offsets, &links, &caps, &mult, &mut a);
+        let mut b = Vec::new();
+        scratch.solve_classes(&offsets, &links, &caps, &mult, &mut b);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -241,6 +241,56 @@ fn substrate_matrix_is_bit_identical() {
     }
 }
 
+/// Coalesced recomputation — deferring the rate solve to the end of each
+/// virtual instant — must be unobservable: for every recompute mode the
+/// full report matches the eager reference bit for bit, under load
+/// injection and the mid-run host failure.
+#[test]
+fn coalesced_matches_eager_bitwise_across_modes() {
+    for mode in [
+        RecomputeMode::Legacy,
+        RecomputeMode::Full,
+        RecomputeMode::Incremental,
+    ] {
+        let eager = scenario_tuned(
+            mode,
+            EngineTune {
+                recompute: RecomputeTiming::Eager,
+                ..Default::default()
+            },
+        );
+        let coalesced = scenario_tuned(
+            mode,
+            EngineTune {
+                recompute: RecomputeTiming::Coalesced,
+                ..Default::default()
+            },
+        );
+        assert_eq!(eager, coalesced, "{mode:?}: eager vs coalesced timing");
+    }
+}
+
+/// Coalesced timing composed with the rest of the substrate matrix
+/// (transport × queue) still reproduces the default-tune reference.
+#[test]
+fn coalesced_substrate_matrix_is_bit_identical() {
+    let baseline = scenario_tuned(RecomputeMode::Incremental, EngineTune::default());
+    for handoff in [HandoffMode::Channel, HandoffMode::Direct] {
+        for queue in [EventQueueMode::StaleMark, EventQueueMode::Indexed] {
+            let r = scenario_tuned(
+                RecomputeMode::Incremental,
+                EngineTune {
+                    handoff,
+                    queue,
+                    recompute: RecomputeTiming::Coalesced,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(baseline, r, "coalesced + {handoff:?} + {queue:?}");
+        }
+    }
+}
+
 /// The scenario actually exercises what it claims to: cross-cluster flows,
 /// a killed worker, and survivors that finish.
 #[test]

@@ -1,6 +1,6 @@
 //! Property-based tests of the fluid resource-sharing models.
 
-use grads_sim::sharing::{cpu_share, max_min_fair};
+use grads_sim::sharing::{cpu_share, max_min_fair, FairScratch};
 use proptest::prelude::*;
 
 /// Strategy: a random flow/link configuration.
@@ -123,6 +123,71 @@ proptest! {
                 .iter()
                 .any(|&l| used[l] >= caps[l] * (1.0 - 1e-6));
             prop_assert!(bottlenecked, "flow {f} has slack everywhere");
+        }
+    }
+
+    /// The route-class aggregated solver is bit-identical to the per-flow
+    /// reference: expanding each class to `mult` copies of its route and
+    /// running [`FairScratch::solve`] yields the same `f64`s, bit for bit,
+    /// over randomized route sets, multiplicities, and capacities spanning
+    /// wild magnitudes. This is what licenses the kernel's O(classes)
+    /// progressive filling on all-to-all traffic.
+    #[test]
+    fn class_solver_is_bitwise_equal_to_flow_solver(
+        (routes, mult, caps) in (2usize..7).prop_flat_map(|nl| {
+            let links = proptest::collection::vec(
+                prop_oneof![
+                    1e-6f64..1e-2,
+                    0.5f64..2e3,
+                    1e6f64..1e10,
+                ],
+                nl,
+            );
+            let classes = proptest::collection::vec(
+                proptest::collection::btree_set(0..nl, 0..=nl.min(4))
+                    .prop_map(|s| s.into_iter().map(|l| l as u32).collect::<Vec<_>>()),
+                1..8,
+            );
+            (classes, links).prop_flat_map(|(classes, links)| {
+                let n = classes.len();
+                (
+                    Just(classes),
+                    proptest::collection::vec(1u32..9, n),
+                    Just(links),
+                )
+            })
+        })
+    ) {
+        let mut offsets = Vec::new();
+        let mut links_flat = Vec::new();
+        for r in &routes {
+            offsets.push((links_flat.len() as u32, r.len() as u32));
+            links_flat.extend_from_slice(r);
+        }
+        let mut f_offsets = Vec::new();
+        let mut f_links = Vec::new();
+        for (c, r) in routes.iter().enumerate() {
+            for _ in 0..mult[c] {
+                f_offsets.push((f_links.len() as u32, r.len() as u32));
+                f_links.extend_from_slice(r);
+            }
+        }
+        let mut scratch = FairScratch::default();
+        let mut class_rates = Vec::new();
+        scratch.solve_classes(&offsets, &links_flat, &caps, &mult, &mut class_rates);
+        let mut flow_rates = Vec::new();
+        scratch.solve(&f_offsets, &f_links, &caps, &mut flow_rates);
+        let mut k = 0;
+        for (c, &m) in mult.iter().enumerate() {
+            for _ in 0..m {
+                prop_assert_eq!(
+                    class_rates[c].to_bits(),
+                    flow_rates[k].to_bits(),
+                    "class {} vs expanded flow {}: {} vs {}",
+                    c, k, class_rates[c], flow_rates[k]
+                );
+                k += 1;
+            }
         }
     }
 

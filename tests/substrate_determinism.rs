@@ -99,6 +99,36 @@ fn seed_substrate_matches_fast_substrate_on_fig3() {
     assert_eq!(fast.breakdown, seed.breakdown, "phase breakdown");
 }
 
+/// Coalesced rate recomputation on the full fig3 QR-migration scenario:
+/// deferring the solve to the end of each virtual instant must be
+/// unobservable end to end — middleware, contract monitor, rescheduler and
+/// migration included. This is the end-to-end level of the coalescing
+/// determinism pin (unit: `engine::tests`, property:
+/// `crates/sim/tests/prop_coalesced.rs`).
+#[test]
+fn coalesced_recompute_matches_eager_on_fig3() {
+    let eager = run_qr_experiment(macrogrid_qr(), fig3_cfg(EngineTune::default()));
+    let coalesced = run_qr_experiment(
+        macrogrid_qr(),
+        fig3_cfg(EngineTune {
+            recompute: RecomputeTiming::Coalesced,
+            ..Default::default()
+        }),
+    );
+    assert!(
+        eager.migrated && coalesced.migrated,
+        "scenario must migrate"
+    );
+    assert_eq!(
+        eager.report.end_time.to_bits(),
+        coalesced.report.end_time.to_bits(),
+        "end_time must be bit-identical across recompute timing"
+    );
+    assert_eq!(eager.report, coalesced.report, "full run report");
+    assert_eq!(eager.incarnations, coalesced.incarnations);
+    assert_eq!(eager.final_hosts, coalesced.final_hosts);
+}
+
 /// The windowed (conservative parallel) kernel on the full fig3
 /// QR-migration scenario: the multi-cluster MacroGrid gives real WAN
 /// lookahead, and the run report must be bit-identical to the serial
